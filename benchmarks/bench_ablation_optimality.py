@@ -1,0 +1,119 @@
+"""Ablation A1 — how close are the paper's DPs to the exact optimum?
+
+RA's budget-indexed DP vs the exact knapsack DP on the surrogate
+objective, and HA's compromise vs exhaustive closeness minimization on
+small instances.  DESIGN.md's claim: zero gap under convex (linear-
+pricing) group latencies.  Also quantifies the greedy single-path
+variant's gap — the reason the faithful DP matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import HTuningProblem, TaskSpec
+from repro.core import (
+    budget_indexed_dp,
+    closeness,
+    exact_group_dp,
+    exhaustive_group_search,
+    greedy_marginal_allocation,
+    group_onhold_latency,
+    heterogeneous_algorithm,
+    surrogate_onhold_objective,
+    utopia_point,
+)
+from repro.experiments import format_table
+from repro.market import LinearPricing
+
+
+def _repe_problem(budget):
+    pricing = LinearPricing(2.0, 1.0)
+    tasks = []
+    tid = 0
+    for reps, n in ((3, 4), (5, 3), (2, 5)):
+        for _ in range(n):
+            tasks.append(TaskSpec(tid, reps, pricing, 2.0, type_name="x"))
+            tid += 1
+    return HTuningProblem(tasks, budget)
+
+
+def test_ra_dp_vs_exact_and_greedy(benchmark, report):
+    budgets = list(range(40, 241, 20))
+    rows = []
+    worst_dp_gap = 0.0
+    worst_greedy_gap = 0.0
+    for budget in budgets:
+        problem = _repe_problem(budget)
+        dp = budget_indexed_dp(
+            problem.groups(), problem.budget, group_onhold_latency
+        )
+        greedy = greedy_marginal_allocation(
+            problem.groups(), problem.budget, group_onhold_latency
+        )
+        exact = exact_group_dp(problem, group_onhold_latency)
+        dp_val = surrogate_onhold_objective(problem, dp)
+        greedy_val = surrogate_onhold_objective(problem, greedy)
+        exact_val = surrogate_onhold_objective(problem, exact)
+        worst_dp_gap = max(worst_dp_gap, dp_val - exact_val)
+        worst_greedy_gap = max(worst_greedy_gap, greedy_val - exact_val)
+        rows.append((budget, exact_val, dp_val, greedy_val))
+    report(
+        "ablation_ra_optimality",
+        format_table(
+            ["budget", "exact", "RA dp", "greedy"],
+            rows,
+            title=(
+                "Ablation A1a — RA's DP vs exact optimum vs single-path "
+                f"greedy (worst DP gap {worst_dp_gap:.2e}, worst greedy gap "
+                f"{worst_greedy_gap:.2e})"
+            ),
+        ),
+    )
+    assert worst_dp_gap < 1e-9
+
+    problem = _repe_problem(240)
+    benchmark(
+        lambda: budget_indexed_dp(
+            problem.groups(), problem.budget, group_onhold_latency
+        )
+    )
+
+
+def test_ha_vs_exhaustive_closeness(benchmark, report):
+    pricing_a = LinearPricing(1.0, 1.0)
+    pricing_b = LinearPricing(2.0, 1.0)
+    rows = []
+    worst_gap = 0.0
+    for budget in (12, 20, 31, 45, 60):
+        tasks = [
+            TaskSpec(0, 2, pricing_a, 2.0, type_name="a"),
+            TaskSpec(1, 2, pricing_a, 2.0, type_name="a"),
+            TaskSpec(2, 3, pricing_b, 0.5, type_name="b"),
+        ]
+        problem = HTuningProblem(tasks, budget)
+        utopia = utopia_point(problem)
+        ha = heterogeneous_algorithm(problem, return_details=True)
+        _prices, best_cl = exhaustive_group_search(
+            problem, lambda p, gp: closeness(p, gp, utopia)
+        )
+        worst_gap = max(worst_gap, ha.closeness - best_cl)
+        rows.append((budget, best_cl, ha.closeness))
+    report(
+        "ablation_ha_optimality",
+        format_table(
+            ["budget", "exhaustive CL", "HA CL"],
+            rows,
+            title=f"Ablation A1b — HA vs exhaustive closeness "
+            f"(worst gap {worst_gap:.2e})",
+        ),
+    )
+    assert worst_gap < 1e-6
+
+    tasks = [
+        TaskSpec(0, 2, pricing_a, 2.0, type_name="a"),
+        TaskSpec(1, 2, pricing_a, 2.0, type_name="a"),
+        TaskSpec(2, 3, pricing_b, 0.5, type_name="b"),
+    ]
+    problem = HTuningProblem(tasks, 60)
+    benchmark(lambda: heterogeneous_algorithm(problem))

@@ -1,0 +1,96 @@
+"""Ablation A3 — algorithm runtime scaling.
+
+The paper claims O(1) for EA and O(nB') for RA/HA.  This bench times
+the kernels over growing budgets and group counts so regressions in
+the DP's complexity are caught, and records the measured scaling
+ratios alongside the timings.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import (
+    even_allocation,
+    heterogeneous_algorithm,
+    repetition_algorithm,
+)
+from repro.experiments import format_table
+from repro.workloads import (
+    homogeneity_workload,
+    many_groups_problem,
+    repetition_workload,
+)
+
+
+def _time(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_ea_constant_in_budget(benchmark, report):
+    rows = []
+    times = []
+    for budget in (1000, 10_000, 100_000):
+        problem = homogeneity_workload(budget, case="a")
+        t = _time(lambda p=problem: even_allocation(p, rng=0))
+        times.append(t)
+        rows.append((budget, t * 1e3))
+    report(
+        "ablation_scaling_ea",
+        format_table(
+            ["budget", "time/ms"],
+            rows,
+            title="Ablation A3a — EA time vs budget (should be ~flat)",
+        ),
+    )
+    # 100x budget must not cost anywhere near 100x time.
+    assert times[-1] < times[0] * 20 + 0.05
+    benchmark(lambda: even_allocation(homogeneity_workload(5000), rng=0))
+
+
+def test_ra_linear_in_budget(benchmark, report):
+    rows = []
+    times = []
+    budgets = (2000, 4000, 8000)
+    for budget in budgets:
+        problem = repetition_workload(budget, case="a")
+        t = _time(lambda p=problem: repetition_algorithm(p))
+        times.append(t)
+        rows.append((budget, t * 1e3))
+    report(
+        "ablation_scaling_ra",
+        format_table(
+            ["budget", "time/ms"],
+            rows,
+            title="Ablation A3b — RA time vs budget (O(nB') — ~linear)",
+        ),
+    )
+    # Doubling B' should not quadruple the time (super-linear blowup).
+    assert times[-1] < times[0] * 16 + 0.1
+    benchmark(lambda: repetition_algorithm(repetition_workload(5000)))
+
+
+def test_ha_scales_with_groups(benchmark, report):
+    rows = []
+    for n_groups in (2, 5, 10, 20):
+        problem = many_groups_problem(n_groups, 3, seed=0)
+        t = _time(lambda p=problem: heterogeneous_algorithm(p))
+        rows.append((n_groups, problem.budget, t * 1e3))
+    report(
+        "ablation_scaling_ha",
+        format_table(
+            ["groups", "budget", "time/ms"],
+            rows,
+            title="Ablation A3c — HA time vs group count",
+        ),
+    )
+    benchmark(
+        lambda: heterogeneous_algorithm(many_groups_problem(5, 3, seed=0))
+    )

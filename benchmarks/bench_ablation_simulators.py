@@ -1,0 +1,68 @@
+"""Ablation A2 — aggregate vs agent simulator agreement.
+
+The tuning theory assumes the aggregate exponential model; the agent
+engine derives acceptance behaviour from worker arrivals and choices.
+This bench quantifies the agreement on a sequential workload where the
+correspondence λ_o = Λ is exact (see tests/integration for why the
+parallel case needs calibration), certifying the substitution claim in
+DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_table
+from repro.market import (
+    AgentSimulator,
+    AggregateSimulator,
+    AtomicTaskOrder,
+    LinearPricing,
+    MarketModel,
+    TaskType,
+    WorkerPool,
+)
+
+
+def test_engine_agreement(benchmark, report):
+    lam = 5.0
+    vote = TaskType("vote", processing_rate=2.0)
+    market = MarketModel(LinearPricing(slope=0.0, intercept=lam))
+    reps = 40
+    trials = 60
+
+    def run_pair(seed):
+        order = AtomicTaskOrder(
+            task_type=vote, prices=(2,) * reps, atomic_task_id=0
+        )
+        agent = AgentSimulator(WorkerPool(arrival_rate=lam), seed=seed)
+        aggregate = AggregateSimulator(market, seed=seed + 50_000)
+        return (
+            agent.run_job([order]).makespan,
+            aggregate.run_job([order]).makespan,
+        )
+
+    pairs = [run_pair(s) for s in range(trials)]
+    agent_mean = float(np.mean([p[0] for p in pairs]))
+    aggregate_mean = float(np.mean([p[1] for p in pairs]))
+    analytic = reps * (1 / lam + 1 / vote.processing_rate)
+    report(
+        "ablation_simulators",
+        format_table(
+            ["engine", "mean makespan", "analytic expectation"],
+            [
+                ("agent", agent_mean, analytic),
+                ("aggregate", aggregate_mean, analytic),
+            ],
+            title=(
+                "Ablation A2 — engine agreement on a 40-repetition "
+                f"sequential job ({trials} trials)"
+            ),
+        ),
+    )
+    assert agent_mean == pytest.approx(analytic, rel=0.1)
+    assert aggregate_mean == pytest.approx(analytic, rel=0.1)
+    assert agent_mean == pytest.approx(aggregate_mean, rel=0.15)
+
+    benchmark(lambda: run_pair(0))

@@ -1,0 +1,99 @@
+"""Extension E1 — the dual problem: min-cost pricing for a deadline.
+
+The paper positions H-Tuning against Gao & Parameswaran's
+deadline-constrained pricing ([29], §2).  This bench runs the dual on
+the Fig. 5(c)-style workload: for a ladder of deadlines, find the
+cheapest group-uniform allocation that meets each with 90% confidence,
+and cross-check duality — re-tuning the found cost with HA must yield
+a latency quantile no worse than the deadline the money was sized for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HTuningProblem, TaskSpec
+from repro.core import (
+    completion_probability,
+    heterogeneous_algorithm,
+    latency_quantile,
+    min_cost_for_deadline,
+)
+from repro.experiments import format_table
+from repro.market import LinearPricing
+
+
+def _tasks():
+    pricing = LinearPricing(1.0, 1.0)
+    return [
+        TaskSpec(0, 2, pricing, 5.0, type_name="easy"),
+        TaskSpec(1, 2, pricing, 5.0, type_name="easy"),
+        TaskSpec(2, 3, pricing, 3.0, type_name="hard"),
+    ]
+
+
+def test_min_cost_deadline_ladder(benchmark, report):
+    deadlines = (2.5, 3.0, 4.0, 6.0, 10.0)
+    confidence = 0.9
+    rows = []
+    costs = []
+    for deadline in deadlines:
+        result = min_cost_for_deadline(
+            _tasks(), deadline=deadline, confidence=confidence, max_price=300
+        )
+        assert result.feasible, f"deadline {deadline} should be reachable"
+        rows.append(
+            (
+                deadline,
+                result.cost,
+                result.achieved_probability,
+            )
+        )
+        costs.append(result.cost)
+    report(
+        "ext_deadline_ladder",
+        format_table(
+            ["deadline", "min cost", "P(meet deadline)"],
+            rows,
+            title="Extension E1 — cheapest allocation per deadline "
+            f"(confidence {confidence})",
+        ),
+    )
+    # Tighter deadlines cost (weakly) more.
+    assert all(a >= b for a, b in zip(costs, costs[1:]))
+
+    benchmark(
+        lambda: min_cost_for_deadline(
+            _tasks(), deadline=3.0, confidence=0.9, max_price=300
+        )
+    )
+
+
+def test_duality_with_h_tuning(report):
+    """Spend the dual's budget through HA: the 90%-quantile of the
+    tuned allocation must not exceed the deadline the budget was sized
+    for (H-Tuning can only improve on the dual's own allocation)."""
+    deadline, confidence = 3.0, 0.9
+    dual = min_cost_for_deadline(
+        _tasks(), deadline=deadline, confidence=confidence, max_price=300
+    )
+    problem = HTuningProblem(_tasks(), budget=dual.cost)
+    ha = heterogeneous_algorithm(problem)
+    prices = {g.key: ha.uniform_group_price(g) for g in problem.groups()}
+    q = latency_quantile(problem, prices, confidence)
+    prob = completion_probability(problem, prices, deadline)
+    report(
+        "ext_deadline_duality",
+        format_table(
+            ["quantity", "value"],
+            [
+                ("deadline (input to dual)", deadline),
+                ("dual min cost", dual.cost),
+                ("HA 90%-quantile at that budget", q),
+                ("HA P(meet deadline)", prob),
+            ],
+            title="Extension E1 — duality cross-check",
+        ),
+    )
+    assert q <= deadline * 1.05
+    assert prob >= confidence * 0.98

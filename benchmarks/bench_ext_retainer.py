@@ -1,0 +1,116 @@
+"""Extension E4 — posted-price tuning vs the retainer model ([26–28]).
+
+The paper's §2 argues the two recruitment regimes serve different
+operating points: retainers buy near-zero phase-1 latency at a
+standing wage, posted prices buy throughput per dollar.  This bench
+runs the *same* batch job (30 tasks × 2 reps) both ways and reports
+latency and total cost, certifying the claimed trade-off:
+
+* retainer latency << posted-price latency (instantaneity);
+* retainer cost >> posted-price cost at equal workload (the pool is
+  paid to idle);
+* shrinking the retainer pool narrows the cost gap but erodes the
+  latency advantage (the knob between the two regimes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import HTuningProblem, TaskSpec, Tuner
+from repro.experiments import format_table
+from repro.market import (
+    AggregateSimulator,
+    AtomicTaskOrder,
+    LinearPricing,
+    MarketModel,
+    RetainerCostModel,
+    RetainerSimulator,
+    TaskType,
+)
+
+# AMT-realistic time scales (seconds): posted-price acceptance takes
+# minutes (Fig. 4's rates), processing ~90 s, retained workers react in
+# ~2 s but are paid a standing wage while they wait.
+VOTE = TaskType("vote", processing_rate=1.0 / 90.0)
+CURVE = LinearPricing(0.001, 0.0005)
+N_TASKS, REPS = 30, 2
+BUDGET = 400
+WAGE = 0.05          # units per worker-second on retainer
+REACTION_MEAN = 2.0  # seconds from alert to start
+TRIALS = 20
+
+
+def _posted_price_run(seed: int) -> tuple[float, float]:
+    tasks = [
+        TaskSpec(i, REPS, CURVE, VOTE.processing_rate, type_name=VOTE.name)
+        for i in range(N_TASKS)
+    ]
+    problem = HTuningProblem(tasks, BUDGET)
+    allocation = Tuner(seed=seed).tune(problem)
+    orders = [
+        AtomicTaskOrder(
+            task_type=VOTE,
+            prices=tuple(allocation[t.task_id]),
+            atomic_task_id=t.task_id,
+        )
+        for t in problem.tasks
+    ]
+    sim = AggregateSimulator(MarketModel(CURVE), seed=seed)
+    job = sim.run_job(orders)
+    return job.latency, float(job.total_paid)
+
+
+def _retainer_run(pool_size: int, seed: int) -> tuple[float, float]:
+    orders = [
+        AtomicTaskOrder(
+            task_type=VOTE, prices=(1,) * REPS, atomic_task_id=i
+        )
+        for i in range(N_TASKS)
+    ]
+    sim = RetainerSimulator(
+        pool_size=pool_size, reaction_mean=REACTION_MEAN, seed=seed
+    )
+    job = sim.run_job(orders)
+    cost_model = RetainerCostModel(wage_per_time=WAGE, payment_per_answer=1)
+    cost = cost_model.total_cost(pool_size, job.latency, N_TASKS * REPS)
+    return job.latency, cost
+
+
+def test_retainer_vs_posted_price(benchmark, report):
+    posted = [_posted_price_run(s) for s in range(TRIALS)]
+    big_pool = [_retainer_run(N_TASKS, s) for s in range(TRIALS)]
+    small_pool = [_retainer_run(max(N_TASKS // 6, 1), s) for s in range(TRIALS)]
+
+    def mean(pairs, idx):
+        return float(np.mean([p[idx] for p in pairs]))
+
+    rows = [
+        ("posted-price (H-Tuning)", mean(posted, 0), mean(posted, 1)),
+        (f"retainer pool R={N_TASKS}", mean(big_pool, 0), mean(big_pool, 1)),
+        (
+            f"retainer pool R={max(N_TASKS // 6, 1)}",
+            mean(small_pool, 0),
+            mean(small_pool, 1),
+        ),
+    ]
+    report(
+        "ext_retainer_comparison",
+        format_table(
+            ["recruitment", "mean latency", "mean cost"],
+            rows,
+            title="Extension E4 — posted-price tuning vs retainer pools "
+            f"(30 tasks x 2 reps, wage {WAGE}/time)",
+        ),
+    )
+    # The paper's trade-off shape:
+    posted_latency, posted_cost = rows[0][1], rows[0][2]
+    big_latency, big_cost = rows[1][1], rows[1][2]
+    small_latency, small_cost = rows[2][1], rows[2][2]
+    assert big_latency < posted_latency * 0.7, "retainer must be faster"
+    assert big_cost > posted_cost, "instantaneity must cost more"
+    assert small_cost < big_cost, "smaller pools are cheaper"
+    assert small_latency > big_latency, "...but slower"
+
+    benchmark(lambda: _retainer_run(N_TASKS, 0))

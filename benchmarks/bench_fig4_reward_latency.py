@@ -1,0 +1,70 @@
+"""Fig. 4 — reward vs latency, and the inferred rate curve.
+
+One 10-repetition dot-filter task per reward in {$0.05, $0.08, $0.10,
+$0.12} on the calibrated market; the per-order acceptance latencies
+shrink as the reward grows, and the rates inferred from the traces
+support the Linearity Hypothesis.
+
+Paper's inferred rates: λ = 0.0038 / 0.0062 / 0.0121 / 0.0131 s⁻¹.
+Our market is *calibrated to those numbers*, so the recovered rates
+must land near them (up to the one-trace estimation noise the paper's
+own procedure has).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig4_experiment, format_kv, format_table
+from repro.inference import paper_amt_rates
+
+
+def test_fig4_reward_vs_latency(benchmark, report):
+    # Average the inference over several independent traces to tame
+    # single-trace noise (the paper reports one trace; same procedure).
+    results = [
+        benchmark.pedantic(
+            lambda s=seed: fig4_experiment(seed=s), rounds=1, iterations=1
+        )
+        if seed == 0
+        else fig4_experiment(seed=seed)
+        for seed in range(6)
+    ]
+    prices = results[0].prices
+    mean_rates = {
+        p: float(np.mean([r.inferred_rates[p] for r in results]))
+        for p in prices
+    }
+    mean_latency = {
+        p: float(
+            np.mean([np.mean(r.latency_orders[p]) for r in results])
+        )
+        for p in prices
+    }
+    paper_prices, paper_rates = paper_amt_rates()
+    rows = [
+        (
+            f"${p / 100:.2f}",
+            mean_latency[p] / 60.0,
+            mean_rates[p],
+            paper_rates[paper_prices.index(float(p))],
+        )
+        for p in prices
+    ]
+    report(
+        "fig4_reward_latency",
+        format_table(
+            ["reward", "mean accept latency/min", "inferred rate", "paper rate"],
+            rows,
+            title="Fig 4 — reward vs latency and inferred λ_o "
+            f"(fit slope {results[0].fit.slope:.2e}, R² {results[0].fit.r_squared:.2f})",
+        ),
+    )
+    # Shape: latency decreases with reward; rates increase with reward.
+    latencies = [mean_latency[p] for p in prices]
+    assert all(a > b for a, b in zip(latencies, latencies[1:]))
+    rates = [mean_rates[p] for p in prices]
+    assert all(a < b for a, b in zip(rates, rates[1:]))
+    # Calibration: recovered rates within 2x of the paper's values.
+    for p, paper_rate in zip(paper_prices, paper_rates):
+        assert 0.5 < mean_rates[int(p)] / paper_rate < 2.0

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench module regenerates one table/figure of the paper: it
+prints the series (the same rows the paper plots) and writes them to
+``benchmarks/results/`` so the reproduction record survives pytest's
+output capture.  The pytest-benchmark timings measure the tuning /
+simulation kernels themselves.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Print *and* persist a reproduction report."""
+
+    def _report(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _report

@@ -1,0 +1,68 @@
+"""Crowd-powered sorting with a tuned budget (Motivation Example 1).
+
+A crowd-powered database receives ``SELECT * FROM photos ORDER BY
+attractiveness`` — a query no SQL engine can answer.  The planner
+decomposes it into pairwise comparison votes (the "next votes" plan),
+the tuner prices each vote within a $2.00 budget, the market executes,
+and majority aggregation produces the ranking.
+
+Run:  python examples/crowd_sort_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro import Tuner
+from repro.crowddb import CrowdQueryEngine, CrowdSort
+from repro.market import CrowdPlatform, LinearPricing, MarketModel, TaskType
+
+# --- the data the crowd will sort -----------------------------------
+# Latent "attractiveness" keys are what a human can judge but the
+# database cannot compute.
+photos = [f"photo_{c}" for c in "abcdefgh"]
+latent_keys = [0.31, 0.93, 0.17, 0.55, 0.48, 0.71, 0.08, 0.62]
+
+# --- the market ------------------------------------------------------
+comparison_vote = TaskType(
+    name="pairwise-vote",
+    processing_rate=1.0,   # ~1 comparison per time unit once accepted
+    accuracy=0.93,         # workers err on ~7% of votes
+)
+market_curve = LinearPricing(slope=0.8, intercept=0.5)
+platform = CrowdPlatform(MarketModel(market_curve), seed=42)
+
+# --- plan, tune, execute ---------------------------------------------
+engine = CrowdQueryEngine(
+    platform,
+    pricing={"pairwise-vote": market_curve},
+    tuner=Tuner(seed=0),
+)
+
+query = CrowdSort(
+    items=photos,
+    keys=latent_keys,
+    task_type=comparison_vote,
+    repetitions=5,          # 5 votes per pair, majority wins
+    strategy="next_votes",  # adjacent pairs only; close pairs get extra votes
+    hard_pair_extra=2,
+)
+
+BUDGET = 200  # cents
+outcome = engine.execute(query, budget=BUDGET)
+
+print("Plan:")
+for i, planned in enumerate(query.plan()):
+    q = planned.question
+    prices = outcome.allocation[i]
+    print(
+        f"  compare {q.left} vs {q.right}: {planned.repetitions} votes, "
+        f"prices {list(prices)}"
+    )
+
+print(f"\nTuning strategy: {outcome.strategy}")
+print(f"Total paid:      {outcome.total_paid} of {BUDGET} cents")
+print(f"Job latency:     {outcome.latency:.2f} time units")
+print(f"\nCrowd ranking:   {outcome.result}")
+print(f"True ranking:    {query.ground_truth()}")
+
+correct = outcome.result == query.ground_truth()
+print(f"Exact match: {correct}")

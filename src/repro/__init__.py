@@ -1,0 +1,67 @@
+"""repro — full reproduction of "Tuning Crowdsourced Human Computation"
+(Cao, Liu, Chen, Jagadish; ICDE 2017).
+
+Subpackages:
+
+* :mod:`repro.stats` — probability substrate (exponential / Erlang /
+  hypoexponential latencies, order statistics);
+* :mod:`repro.market` — crowd-market simulator (the AMT substitute);
+* :mod:`repro.inference` — HPU running-parameter inference;
+* :mod:`repro.core` — the H-Tuning problem and algorithms EA/RA/HA;
+* :mod:`repro.crowddb` — crowd-powered DB operators + tuned engine;
+* :mod:`repro.workloads` — the paper's workloads and stress families;
+* :mod:`repro.experiments` — per-figure experiment harness.
+
+Quickstart::
+
+    from repro import HTuningProblem, TaskSpec, Tuner
+    from repro.market import LinearPricing
+
+    pricing = LinearPricing(slope=1.0, intercept=1.0)
+    tasks = [TaskSpec(i, repetitions=5, pricing=pricing,
+                      processing_rate=2.0) for i in range(100)]
+    allocation = Tuner().tune(HTuningProblem(tasks, budget=2500))
+"""
+
+from .core import (
+    Allocation,
+    HTuningProblem,
+    Scenario,
+    TaskGroup,
+    TaskSpec,
+    Tuner,
+    even_allocation,
+    heterogeneous_algorithm,
+    repetition_algorithm,
+)
+from .errors import (
+    BudgetError,
+    InfeasibleAllocationError,
+    InferenceError,
+    ModelError,
+    PlanError,
+    ReproError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "BudgetError",
+    "HTuningProblem",
+    "InfeasibleAllocationError",
+    "InferenceError",
+    "ModelError",
+    "PlanError",
+    "ReproError",
+    "Scenario",
+    "SimulationError",
+    "TaskGroup",
+    "TaskSpec",
+    "Tuner",
+    "__version__",
+    "even_allocation",
+    "heterogeneous_algorithm",
+    "repetition_algorithm",
+]

@@ -1,0 +1,230 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro list                 # list available experiments
+    python -m repro table1               # motivation examples
+    python -m repro fig2 --scenario homo --case a
+    python -m repro fig3 | fig4 | fig5ab | fig5c
+    python -m repro all                  # everything (slow)
+
+Each command prints the same rows the corresponding figure/table plots
+(the benchmarks add timing and shape assertions on top of these).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .experiments import (
+    fig2_experiment,
+    fig3_experiment,
+    fig4_experiment,
+    fig5ab_experiment,
+    fig5c_experiment,
+    format_kv,
+    format_series,
+    format_table,
+    motivation_example_1,
+    motivation_example_2,
+)
+from .workloads import PAPER_BUDGETS
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    ex1 = motivation_example_1()
+    ex2 = motivation_example_2()
+    print(
+        format_kv(
+            {
+                "even ($3/$3)": ex1.even_latency,
+                "load-sensitive ($2/$4)": ex1.load_sensitive_latency,
+                "improvement": f"{ex1.improvement:.1%}",
+            },
+            title="Motivation Example 1",
+        )
+    )
+    print()
+    print(
+        format_kv(
+            {
+                "even ($3/$3)": ex2.even_latency,
+                "balanced ($4/$2)": ex2.load_sensitive_latency,
+                "improvement": f"{ex2.improvement:.1%}",
+            },
+            title="Motivation Example 2",
+        )
+    )
+
+
+def _cmd_fig2(args: argparse.Namespace) -> None:
+    result = fig2_experiment(
+        args.scenario,
+        case=args.case,
+        budgets=PAPER_BUDGETS,
+        n_tasks=args.tasks,
+        scoring=args.scoring,
+        n_samples=args.samples,
+        seed=args.seed,
+    )
+    print(
+        format_series(
+            "budget",
+            result.budgets,
+            result.series,
+            title=f"Fig 2 {args.scenario}({args.case})",
+        )
+    )
+
+
+def _cmd_fig3(args: argparse.Namespace) -> None:
+    result = fig3_experiment(n_arrivals=args.arrivals, seed=args.seed)
+    rows = [
+        (i + 1, e / 60.0, p1 / 60.0, p2 / 60.0)
+        for i, (e, p1, p2) in enumerate(
+            zip(
+                result.arrival_epochs,
+                result.phase1_latencies,
+                result.phase2_latencies,
+            )
+        )
+    ]
+    print(
+        format_table(
+            ["order", "epoch/min", "phase1/min", "phase2/min"],
+            rows,
+            title=f"Fig 3 (R² = {result.linearity_r2:.3f})",
+        )
+    )
+
+
+def _cmd_fig4(args: argparse.Namespace) -> None:
+    result = fig4_experiment(seed=args.seed)
+    rows = [
+        (f"${p / 100:.2f}", result.inferred_rates[p])
+        for p in result.prices
+    ]
+    print(
+        format_table(
+            ["reward", "inferred rate"],
+            rows,
+            title=f"Fig 4 (fit slope {result.fit.slope:.2e}, "
+            f"R² {result.fit.r_squared:.2f})",
+        )
+    )
+
+
+def _cmd_fig5ab(args: argparse.Namespace) -> None:
+    result = fig5ab_experiment(seed=args.seed)
+    rows = []
+    for votes in result.vote_counts:
+        for price in result.prices:
+            rows.append(
+                (
+                    f"{votes}v",
+                    f"${price / 100:.2f}",
+                    result.mean_phase1[(votes, price)] / 60.0,
+                    result.mean_phase2[(votes, price)],
+                )
+            )
+    print(
+        format_table(
+            ["difficulty", "reward", "phase1/min", "phase2/s"],
+            rows,
+            title="Fig 5(a)/(b)",
+        )
+    )
+
+
+def _cmd_fig5c(args: argparse.Namespace) -> None:
+    result = fig5c_experiment(seed=args.seed)
+    rows = []
+    for bi, budget in enumerate(result.budgets):
+        rows.append(
+            (
+                f"${budget / 100:.0f}",
+                *(result.series[("opt", t)][bi] / 60.0 for t in range(3)),
+                *(result.series[("heu", t)][bi] / 60.0 for t in range(3)),
+            )
+        )
+    print(
+        format_table(
+            ["budget", "OPT t1", "OPT t2", "OPT t3", "HEU t1", "HEU t2",
+             "HEU t3"],
+            rows,
+            title="Fig 5(c) — latencies in minutes",
+        )
+    )
+
+
+_COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
+    "table1": _cmd_table1,
+    "fig2": _cmd_fig2,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig5ab": _cmd_fig5ab,
+    "fig5c": _cmd_fig5c,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate experiments from 'Tuning Crowdsourced "
+        "Human Computation' (ICDE 2017).",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("all", help="run every experiment")
+    sub.add_parser("table1", help="motivation examples (Table 1 / Fig 1)")
+    fig2 = sub.add_parser("fig2", help="synthetic budget sweeps")
+    fig2.add_argument(
+        "--scenario", choices=["homo", "repe", "heter"], default="homo"
+    )
+    fig2.add_argument("--case", choices=list("abcdef"), default="a")
+    fig2.add_argument("--tasks", type=int, default=100)
+    fig2.add_argument("--samples", type=int, default=1000)
+    fig2.add_argument(
+        "--scoring", choices=["mc", "numeric"], default="mc"
+    )
+    fig3 = sub.add_parser("fig3", help="worker arrival moments")
+    fig3.add_argument("--arrivals", type=int, default=20)
+    sub.add_parser("fig4", help="reward vs latency")
+    sub.add_parser("fig5ab", help="difficulty vs latency")
+    sub.add_parser("fig5c", help="OPT vs heuristic")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in sorted(_COMMANDS):
+            print(name)
+        return 0
+    if args.command == "all":
+        defaults = build_parser()
+        for name in ("table1", "fig3", "fig4", "fig5ab", "fig5c"):
+            print(f"===== {name} =====")
+            _COMMANDS[name](defaults.parse_args(["--seed", str(args.seed), name]))
+            print()
+        for scenario in ("homo", "repe", "heter"):
+            print(f"===== fig2 {scenario}(a) =====")
+            _COMMANDS["fig2"](
+                defaults.parse_args(
+                    ["--seed", str(args.seed), "fig2", "--scenario", scenario]
+                )
+            )
+            print()
+        return 0
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""The paper's primary contribution: H-Tuning problem + algorithms (§4).
+
+* :mod:`~repro.core.problem` — problem model (tasks, groups, budget,
+  allocations, scenario detection);
+* :mod:`~repro.core.latency` — expected-latency engine (group
+  surrogate, exact numeric job latency, Monte Carlo);
+* :mod:`~repro.core.even_allocation` — Algorithm 1 (EA, Scenario I);
+* :mod:`~repro.core.repetition` — Algorithm 2 (RA, Scenario II);
+* :mod:`~repro.core.heterogeneous` — Algorithm 3 (HA, Scenario III);
+* :mod:`~repro.core.objectives` — O1/O2, utopia point, closeness;
+* :mod:`~repro.core.baselines` — bias-α / task-even / rep-even /
+  uniform heuristics used as comparisons in §5;
+* :mod:`~repro.core.exhaustive` — exact reference optimizers;
+* :mod:`~repro.core.tuner` — scenario-aware facade.
+"""
+
+from .adaptive import AdaptiveTuner, MarketBelief, RoundOutcome
+from .deadline import (
+    DeadlineResult,
+    completion_probability,
+    latency_quantile,
+    min_cost_for_deadline,
+)
+from .quality import (
+    QualityPlan,
+    majority_correct_probability,
+    plan_repetitions,
+    repetitions_for_quality,
+)
+from .baselines import (
+    biased_allocation,
+    rep_even_allocation,
+    task_even_allocation,
+    uniform_price_heuristic,
+)
+from .even_allocation import even_allocation
+from .exhaustive import exact_group_dp, exhaustive_group_search
+from .heterogeneous import HAResult, heterogeneous_algorithm
+from .latency import (
+    erlang_max_constant,
+    expected_job_latency,
+    group_onhold_latency,
+    group_processing_latency,
+    sample_job_latencies,
+    simulate_job_latency,
+    surrogate_onhold_objective,
+)
+from .objectives import (
+    ObjectivePoint,
+    closeness,
+    objective_o1,
+    objective_o2,
+    utopia_point,
+)
+from .problem import Allocation, HTuningProblem, Scenario, TaskGroup, TaskSpec
+from .repetition import (
+    budget_indexed_dp,
+    greedy_marginal_allocation,
+    repetition_algorithm,
+)
+from .tuner import STRATEGIES, Tuner
+
+__all__ = [
+    "AdaptiveTuner",
+    "Allocation",
+    "DeadlineResult",
+    "MarketBelief",
+    "QualityPlan",
+    "RoundOutcome",
+    "completion_probability",
+    "latency_quantile",
+    "majority_correct_probability",
+    "min_cost_for_deadline",
+    "plan_repetitions",
+    "repetitions_for_quality",
+    "HAResult",
+    "HTuningProblem",
+    "ObjectivePoint",
+    "STRATEGIES",
+    "Scenario",
+    "TaskGroup",
+    "TaskSpec",
+    "Tuner",
+    "biased_allocation",
+    "budget_indexed_dp",
+    "closeness",
+    "erlang_max_constant",
+    "even_allocation",
+    "exact_group_dp",
+    "exhaustive_group_search",
+    "expected_job_latency",
+    "greedy_marginal_allocation",
+    "group_onhold_latency",
+    "group_processing_latency",
+    "heterogeneous_algorithm",
+    "objective_o1",
+    "objective_o2",
+    "rep_even_allocation",
+    "repetition_algorithm",
+    "sample_job_latencies",
+    "simulate_job_latency",
+    "surrogate_onhold_objective",
+    "task_even_allocation",
+    "uniform_price_heuristic",
+    "utopia_point",
+]

@@ -1,0 +1,264 @@
+"""Adaptive (online) re-tuning under market drift.
+
+The paper's §3.3 proposes inferring the HPU running parameters "in
+real time" so the tuner always works with fresh rates; this module
+operationalizes that idea for multi-round jobs:
+
+1. allocate the current round's budget with the current market belief;
+2. run the round; observe the realized on-hold latencies;
+3. update the belief — an exponentially-weighted rate estimate per
+   price point, refit through the Linearity Hypothesis;
+4. repeat with the remaining budget.
+
+:class:`AdaptiveTuner` wraps the whole loop; it is the comparison
+point for the *static* tuner under the non-stationary markets of
+:mod:`repro.market.dynamics` (extension bench E2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from ..inference.linearity import fit_linearity
+from ..market.pricing import LinearPricing, PricingModel
+from ..market.simulator import AtomicTaskOrder, JobResult
+from ..market.task import TaskType
+from ..stats.rng import RandomState, ensure_rng
+from .problem import Allocation, HTuningProblem, TaskSpec
+from .tuner import Tuner
+
+__all__ = ["MarketBelief", "AdaptiveTuner", "RoundOutcome"]
+
+
+class MarketBelief:
+    """Running estimate of the λ_o(c) curve from observed acceptances.
+
+    Per observed price, maintains an exponentially-weighted mean of the
+    acceptance *rate* implied by each on-hold measurement (1/latency is
+    biased for single observations, so we average durations and invert
+    — the MLE for exponential data).  ``decay`` < 1 forgets old rounds,
+    tracking drift.
+    """
+
+    def __init__(self, prior: PricingModel, decay: float = 0.6) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ModelError(f"decay must be in (0,1], got {decay}")
+        self.prior = prior
+        self.decay = float(decay)
+        # price -> (weighted duration sum, weight)
+        self._duration_sums: dict[int, float] = {}
+        self._weights: dict[int, float] = {}
+
+    def decay_all(self) -> None:
+        """Age *every* price bucket by one round.
+
+        Must decay all buckets, not just re-observed ones: a stale
+        bucket at a price the tuner no longer offers would otherwise
+        keep full weight forever and poison the linearity fit after a
+        market regime shift.
+        """
+        for price in self._weights:
+            self._weights[price] *= self.decay
+            self._duration_sums[price] *= self.decay
+
+    def observe(self, price: int, onhold_latencies: Sequence[float]) -> None:
+        """Fold one round's measurements at *price* into the belief."""
+        latencies = [float(x) for x in onhold_latencies]
+        if any(x < 0 for x in latencies):
+            raise ModelError("on-hold latencies must be >= 0")
+        if not latencies:
+            return
+        price = int(price)
+        self._duration_sums[price] = (
+            self._duration_sums.get(price, 0.0) + sum(latencies)
+        )
+        self._weights[price] = self._weights.get(price, 0.0) + len(latencies)
+
+    def observed_prices(self) -> list[int]:
+        return sorted(self._weights)
+
+    def rate_at(self, price: int) -> Optional[float]:
+        """Current rate estimate at *price*, or None if unobserved."""
+        w = self._weights.get(int(price), 0.0)
+        if w <= 0:
+            return None
+        mean_duration = self._duration_sums[int(price)] / w
+        if mean_duration <= 0:
+            return None
+        return 1.0 / mean_duration
+
+    def current_model(self) -> PricingModel:
+        """Best current λ_o(c) estimate.
+
+        * no observations → the prior;
+        * one observed price → the prior rescaled proportionally
+          through the observed (price, rate) point — tuned allocations
+          are often price-uniform (EA), so this single-point update is
+          what lets the belief move at all, and the shifted prices it
+          induces produce the second point on the next round;
+        * two or more distinct prices → Linearity-Hypothesis fit.
+        """
+        from ..market.pricing import CallablePricing
+
+        prices = [p for p in self.observed_prices() if self.rate_at(p)]
+        if not prices:
+            return self.prior
+        if len(set(prices)) == 1:
+            anchor = prices[0]
+            observed = self.rate_at(anchor)
+            prior_at_anchor = self.prior(anchor)
+            if observed is None or prior_at_anchor <= 0:
+                return self.prior
+            factor = observed / prior_at_anchor
+            prior = self.prior
+            return CallablePricing(
+                lambda c, _f=factor, _p=prior: _f * _p(c),
+                name=f"scaled-prior(x{factor:.3g})",
+            )
+        rates = [self.rate_at(p) for p in prices]
+        weights = [self._weights[p] for p in prices]
+        try:
+            fit = fit_linearity(
+                [float(p) for p in prices], rates, weights=weights
+            )
+            return fit.to_pricing_model()
+        except Exception:
+            return self.prior
+
+
+@dataclass
+class RoundOutcome:
+    """One adaptive round's record."""
+
+    round_index: int
+    allocation: Allocation
+    job: JobResult
+    model_used: PricingModel
+    spent: int
+
+    @property
+    def latency(self) -> float:
+        return self.job.latency
+
+
+class AdaptiveTuner:
+    """Round-by-round tuner that re-estimates the market as it spends.
+
+    Parameters
+    ----------
+    task_type:
+        The (single) task type of the rounds.
+    prior:
+        Initial belief about λ_o(c).
+    total_budget:
+        Budget across all rounds (units).
+    decay:
+        Belief forgetting factor (1.0 = never forget).
+    """
+
+    def __init__(
+        self,
+        task_type: TaskType,
+        prior: PricingModel,
+        total_budget: int,
+        decay: float = 0.6,
+        seed: RandomState = None,
+    ) -> None:
+        if int(total_budget) != total_budget or total_budget < 1:
+            raise ModelError(
+                f"total_budget must be a positive integer, got {total_budget}"
+            )
+        self.task_type = task_type
+        self.belief = MarketBelief(prior, decay=decay)
+        self.total_budget = int(total_budget)
+        self.remaining_budget = int(total_budget)
+        self._rng = ensure_rng(seed)
+        self.history: list[RoundOutcome] = []
+
+    def plan_round(
+        self, n_tasks: int, repetitions: int, rounds_left: int
+    ) -> tuple[HTuningProblem, Allocation]:
+        """Allocate this round's share of the remaining budget."""
+        if n_tasks < 1 or repetitions < 1 or rounds_left < 1:
+            raise ModelError("n_tasks, repetitions, rounds_left must be >= 1")
+        round_budget = self.remaining_budget // rounds_left
+        floor = n_tasks * repetitions
+        round_budget = max(round_budget, floor)
+        if round_budget > self.remaining_budget:
+            raise ModelError(
+                f"remaining budget {self.remaining_budget} cannot fund a "
+                f"round needing at least {floor}"
+            )
+        model = self.belief.current_model()
+        tasks = [
+            TaskSpec(
+                task_id=i,
+                repetitions=repetitions,
+                pricing=model,
+                processing_rate=self.task_type.processing_rate,
+                type_name=self.task_type.name,
+            )
+            for i in range(n_tasks)
+        ]
+        problem = HTuningProblem(tasks, round_budget)
+        allocation = Tuner(seed=self._rng).tune(problem)
+        return problem, allocation
+
+    def run_round(
+        self,
+        simulator,
+        n_tasks: int,
+        repetitions: int,
+        rounds_left: int,
+    ) -> RoundOutcome:
+        """Plan, execute on *simulator*, observe, and update the belief.
+
+        *simulator* must expose ``run_job(orders, recorder=None)``
+        (either market engine qualifies).
+        """
+        from ..market.trace import TraceRecorder
+
+        problem, allocation = self.plan_round(n_tasks, repetitions, rounds_left)
+        model = self.belief.current_model()
+        orders = [
+            AtomicTaskOrder(
+                task_type=self.task_type,
+                prices=tuple(allocation[t.task_id]),
+                atomic_task_id=t.task_id,
+            )
+            for t in problem.tasks
+        ]
+        recorder = TraceRecorder()
+        job = simulator.run_job(orders, recorder=recorder)
+        # Age the belief by one round, then fold in the fresh evidence.
+        self.belief.decay_all()
+        # Observe per-price on-hold latencies.
+        by_price: dict[int, list[float]] = {}
+        for record in recorder.records:
+            by_price.setdefault(record.price, []).append(record.onhold_latency)
+        for price, latencies in by_price.items():
+            self.belief.observe(price, latencies)
+        self.remaining_budget -= job.total_paid
+        outcome = RoundOutcome(
+            round_index=len(self.history),
+            allocation=allocation,
+            job=job,
+            model_used=model,
+            spent=job.total_paid,
+        )
+        self.history.append(outcome)
+        return outcome
+
+    @property
+    def total_latency(self) -> float:
+        """Sum of round latencies (rounds run sequentially)."""
+        return sum(o.latency for o in self.history)
+
+    @property
+    def total_spent(self) -> int:
+        return sum(o.spent for o in self.history)

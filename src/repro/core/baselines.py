@@ -1,0 +1,191 @@
+"""Baseline allocation strategies the paper compares against (§5.1.1).
+
+* :func:`biased_allocation` — Scenario I comparison: a random half of
+  the tasks ("the prior group") takes a fraction α ∈ (½, 1) of the
+  budget, the other half gets 1−α; within a task the budget is spread
+  evenly over repetitions.  α = 0.67 is the paper's ``bias_1`` and
+  α = 0.75 its ``bias_2`` (α = ½ degenerates to EA).
+* :func:`task_even_allocation` — Scenario II/III baseline ``te``:
+  every *task* receives the same total payment, split evenly across
+  its repetitions (so high-repetition tasks pay less per repetition).
+* :func:`rep_even_allocation` — baseline ``re``: every *repetition*
+  of every task receives the same payment (so high-repetition tasks
+  absorb more total budget).
+* :func:`uniform_price_heuristic` — the AMT experiment's heuristic
+  (Fig. 5(c)): each *type* receives the same payment per repetition.
+
+All baselines return integer allocations that never exceed the budget
+and give each repetition at least one unit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import InfeasibleAllocationError, ModelError
+from ..stats.rng import RandomState, ensure_rng
+from .problem import Allocation, HTuningProblem
+
+__all__ = [
+    "biased_allocation",
+    "task_even_allocation",
+    "rep_even_allocation",
+    "uniform_price_heuristic",
+]
+
+
+def _split_evenly(total: int, parts: int) -> list[int]:
+    """Split *total* units into *parts* integers differing by <= 1."""
+    if parts < 1:
+        raise ModelError(f"parts must be >= 1, got {parts}")
+    base = total // parts
+    extra = total % parts
+    return [base + 1 if i < extra else base for i in range(parts)]
+
+
+def _check_feasible(problem: HTuningProblem) -> None:
+    if problem.budget < problem.total_repetitions:
+        raise InfeasibleAllocationError(
+            problem.budget, problem.total_repetitions
+        )
+
+
+def biased_allocation(
+    problem: HTuningProblem,
+    alpha: float,
+    rng: RandomState = None,
+) -> Allocation:
+    """The paper's ``bias_α`` baseline for Scenario I.
+
+    A random half of the tasks shares ``α·B``; the rest shares
+    ``(1−α)·B``.  If the disfavored half cannot afford one unit per
+    repetition, its shortfall is clawed back from the favored half so
+    the allocation stays feasible (this can only make the baseline
+    *better*, keeping the comparison conservative).
+    """
+    if not 0.5 <= alpha < 1.0:
+        raise ModelError(f"alpha must be in [0.5, 1), got {alpha}")
+    _check_feasible(problem)
+    gen = ensure_rng(rng)
+    tasks = list(problem.tasks)
+    order = gen.permutation(len(tasks))
+    half = len(tasks) // 2
+    prior = [tasks[int(i)] for i in order[:half]]
+    rest = [tasks[int(i)] for i in order[half:]]
+    if not prior:  # single-task problems: everything to that task
+        prior, rest = rest, []
+
+    budget = problem.budget
+    if rest:
+        prior_budget = int(math.floor(alpha * budget))
+        rest_budget = budget - prior_budget
+    else:
+        prior_budget = budget
+        rest_budget = 0
+
+    def allocate_side(side, side_budget):
+        reps_total = sum(t.repetitions for t in side)
+        if reps_total == 0:
+            return {}, side_budget
+        if side_budget < reps_total:
+            return None, side_budget  # infeasible; caller rebalances
+        per_rep = _split_evenly(side_budget, reps_total)
+        out = {}
+        cursor = 0
+        for t in side:
+            out[t.task_id] = per_rep[cursor : cursor + t.repetitions]
+            cursor += t.repetitions
+        return out, 0
+
+    rest_alloc, _ = allocate_side(rest, rest_budget)
+    if rest_alloc is None:
+        # Claw back: give `rest` its minimum, the prior half the rest.
+        rest_min = sum(t.repetitions for t in rest)
+        rest_alloc = {t.task_id: [1] * t.repetitions for t in rest}
+        prior_budget = budget - rest_min
+    prior_alloc, _ = allocate_side(prior, prior_budget)
+    if prior_alloc is None:
+        # Symmetric claw-back: the prior half cannot afford its minimum
+        # (tiny budgets); give it the minimum and re-split the rest.
+        prior_min = sum(t.repetitions for t in prior)
+        prior_alloc = {t.task_id: [1] * t.repetitions for t in prior}
+        rest_alloc, _ = allocate_side(rest, budget - prior_min)
+        if rest_alloc is None:
+            rest_alloc = {t.task_id: [1] * t.repetitions for t in rest}
+
+    prices = {**prior_alloc, **rest_alloc}
+    allocation = Allocation(prices)
+    problem.validate_allocation(allocation)
+    return allocation
+
+
+def task_even_allocation(problem: HTuningProblem) -> Allocation:
+    """Baseline ``te``: identical total payment per task.
+
+    Each task receives ``⌊B/N⌋`` units (leftovers to the first
+    ``B mod N`` tasks), split evenly over its repetitions.  A task
+    whose share cannot cover its repetitions triggers a rebalance that
+    tops it up to one unit per repetition.
+    """
+    _check_feasible(problem)
+    n = problem.num_tasks
+    shares = _split_evenly(problem.budget, n)
+    tasks = list(problem.tasks)
+    # First pass: make every task feasible.
+    deficits = 0
+    for i, t in enumerate(tasks):
+        if shares[i] < t.repetitions:
+            deficits += t.repetitions - shares[i]
+            shares[i] = t.repetitions
+    # Claw the deficit back from the richest tasks.
+    while deficits > 0:
+        rich = max(
+            range(n), key=lambda i: shares[i] - tasks[i].repetitions
+        )
+        surplus = shares[rich] - tasks[rich].repetitions
+        if surplus <= 0:
+            raise InfeasibleAllocationError(
+                problem.budget, problem.total_repetitions
+            )
+        take = min(surplus, deficits)
+        shares[rich] -= take
+        deficits -= take
+    prices = {
+        t.task_id: _split_evenly(shares[i], t.repetitions)
+        for i, t in enumerate(tasks)
+    }
+    allocation = Allocation(prices)
+    problem.validate_allocation(allocation)
+    return allocation
+
+
+def rep_even_allocation(problem: HTuningProblem) -> Allocation:
+    """Baseline ``re``: identical payment per repetition everywhere.
+
+    Every repetition gets ``⌊B/Σreps⌋`` units; the remainder goes one
+    unit at a time to repetitions in task order.  (For Scenario I this
+    coincides with EA up to remainder placement.)
+    """
+    _check_feasible(problem)
+    total_reps = problem.total_repetitions
+    per_rep = _split_evenly(problem.budget, total_reps)
+    prices: dict[int, list[int]] = {}
+    cursor = 0
+    for t in problem.tasks:
+        prices[t.task_id] = per_rep[cursor : cursor + t.repetitions]
+        cursor += t.repetitions
+    allocation = Allocation(prices)
+    problem.validate_allocation(allocation)
+    return allocation
+
+
+def uniform_price_heuristic(problem: HTuningProblem) -> Allocation:
+    """Fig. 5(c)'s heuristic: every *type* gets the same per-repetition
+    price, the largest integer price affordable for all repetitions."""
+    _check_feasible(problem)
+    total_reps = problem.total_repetitions
+    price = problem.budget // total_reps
+    prices = {t.task_id: [price] * t.repetitions for t in problem.tasks}
+    allocation = Allocation(prices)
+    problem.validate_allocation(allocation)
+    return allocation

@@ -1,0 +1,129 @@
+"""Algorithm 1 — Even Allocation (EA) for Scenario I (paper §4.2).
+
+Theorem 1: for identical tasks with identical repetition counts,
+splitting the budget evenly across every repetition of every task
+minimizes the expected phase-1 latency (and hence the overall latency,
+since payments cannot change phase 2).
+
+The remainder handling follows the paper's Algorithm 1 exactly:
+
+* ``δ = ⌊B / (m·N)⌋`` units go to every repetition;
+* ``γ = ⌊(B mod m·N) / N⌋`` extra units go to γ randomly chosen
+  repetitions of **each** task;
+* ``σ = (B mod m·N) mod N`` final units go to one not-yet-raised
+  repetition of σ randomly chosen tasks.
+
+The randomness only decides *which* repetitions receive the remainder
+— every valid choice has the same expected latency by symmetry — so a
+seed makes it reproducible.
+"""
+
+from __future__ import annotations
+
+from ..errors import InfeasibleAllocationError, ModelError
+from ..stats.rng import RandomState, ensure_rng
+from .problem import Allocation, HTuningProblem, Scenario
+
+__all__ = ["even_allocation"]
+
+
+def even_allocation(
+    problem: HTuningProblem,
+    rng: RandomState = None,
+    strict_scenario: bool = True,
+) -> Allocation:
+    """Run Algorithm 1 (EA) on *problem*.
+
+    Parameters
+    ----------
+    problem:
+        The H-Tuning instance.  Must be Scenario I (identical type and
+        repetitions) unless ``strict_scenario=False``, in which case
+        the budget is still spread evenly over all repetitions —
+        useful as a baseline for Scenarios II/III.
+    rng:
+        Seeds the remainder placement.
+    strict_scenario:
+        Raise when the instance is not Scenario I.
+
+    Returns
+    -------
+    Allocation
+        Spends exactly ``B - (B mod 1)`` = all of ``B`` when
+        ``B >= m·N``, never less than 1 unit per repetition.
+
+    Raises
+    ------
+    InfeasibleAllocationError
+        If ``B < m·N`` (Algorithm 1, line 2: "budget is not enough").
+    ModelError
+        If ``strict_scenario`` and the instance is not Scenario I.
+    """
+    if strict_scenario and problem.scenario() is not Scenario.HOMOGENEITY:
+        raise ModelError(
+            f"EA expects Scenario I (homogeneity); instance is "
+            f"{problem.scenario().value}. Pass strict_scenario=False to use EA "
+            "as a baseline anyway."
+        )
+    gen = ensure_rng(rng)
+    n_tasks = problem.num_tasks
+    total_reps = problem.total_repetitions
+    budget = problem.budget
+    if budget < total_reps:
+        raise InfeasibleAllocationError(budget, total_reps)
+
+    delta = budget // total_reps
+    remainder = budget % total_reps
+    gamma = remainder // n_tasks
+    sigma = remainder % n_tasks
+
+    prices: dict[int, list[int]] = {
+        t.task_id: [delta] * t.repetitions for t in problem.tasks
+    }
+
+    # γ extra units to γ random repetitions of each task.
+    raised: dict[int, set[int]] = {t.task_id: set() for t in problem.tasks}
+    if gamma > 0:
+        for task in problem.tasks:
+            if gamma > task.repetitions:
+                # Cannot happen in Scenario I (gamma < total_reps / N = m),
+                # but guard for the relaxed baseline use.
+                chosen = range(task.repetitions)
+            else:
+                chosen = gen.choice(task.repetitions, size=gamma, replace=False)
+            for idx in chosen:
+                prices[task.task_id][int(idx)] += 1
+                raised[task.task_id].add(int(idx))
+
+    # σ final units: one not-yet-raised repetition of σ random tasks.
+    if sigma > 0:
+        task_ids = [t.task_id for t in problem.tasks]
+        chosen_tasks = gen.choice(len(task_ids), size=sigma, replace=False)
+        reps_by_id = {t.task_id: t.repetitions for t in problem.tasks}
+        for idx in chosen_tasks:
+            task_id = task_ids[int(idx)]
+            candidates = [
+                r for r in range(reps_by_id[task_id]) if r not in raised[task_id]
+            ]
+            if not candidates:  # relaxed-use guard; Scenario I always has one
+                candidates = list(range(reps_by_id[task_id]))
+            rep = int(gen.choice(len(candidates)))
+            prices[task_id][candidates[rep]] += 1
+
+    # In the relaxed (baseline) use on non-uniform repetition counts the
+    # γ/σ placement can leave a few units unspent; spread them round-robin.
+    leftover = budget - sum(sum(p) for p in prices.values())
+    if leftover > 0:
+        flat = [
+            (t.task_id, r) for t in problem.tasks for r in range(t.repetitions)
+        ]
+        for i in range(leftover):
+            task_id, rep = flat[i % len(flat)]
+            prices[task_id][rep] += 1
+
+    allocation = Allocation(prices)
+    problem.validate_allocation(allocation)
+    assert allocation.total_cost == budget, (
+        f"EA must spend the whole budget: spent {allocation.total_cost} of {budget}"
+    )
+    return allocation

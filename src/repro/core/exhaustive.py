@@ -1,0 +1,130 @@
+"""Reference optimizers for validating the paper's algorithms.
+
+Two exact solvers, both restricted to *group-uniform* allocations
+(the space the paper's algorithms search):
+
+* :func:`exact_group_dp` — exact dynamic program over (group, budget)
+  for any separable group objective ``Σ_i cost(g_i, p_i)``; optimal
+  regardless of convexity.  Used in tests to certify that Algorithm 2's
+  greedy-marginal DP attains the optimum under convex costs, and by
+  the ablation bench to quantify the (zero) gap.
+* :func:`exhaustive_group_search` — brute force over all price vectors
+  for tiny instances; optimal for *any* objective including the
+  non-separable closeness of Algorithm 3.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Mapping
+
+from ..errors import InfeasibleAllocationError, ModelError
+from .problem import Allocation, HTuningProblem, TaskGroup
+
+__all__ = ["exact_group_dp", "exhaustive_group_search"]
+
+
+def exact_group_dp(
+    problem: HTuningProblem,
+    group_cost_fn: Callable[[TaskGroup, int], float],
+) -> dict[tuple, int]:
+    """Exact minimizer of ``Σ_i group_cost_fn(g_i, p_i)`` within budget.
+
+    Classic knapsack-style DP: process groups one at a time; state is
+    the budget spent so far.  ``O(n · B · B/u_min)`` time — intended
+    for validation, not production sweeps.
+    """
+    groups = problem.groups()
+    budget = problem.budget
+    start_cost = sum(g.unit_cost for g in groups)
+    if budget < start_cost:
+        raise InfeasibleAllocationError(budget, start_cost)
+
+    INF = math.inf
+    # best[x] = minimal objective using exactly the first i groups and
+    # spending at most x; choices[i][x] = price chosen for group i.
+    best = [0.0] + [INF] * budget
+    best[0] = 0.0
+    # Represent states sparsely: after processing i groups, best cost
+    # for each spend level.
+    table = {0: 0.0}
+    back: list[dict[int, int]] = []
+    for g in groups:
+        u = g.unit_cost
+        max_price = budget // u
+        new_table: dict[int, float] = {}
+        choice: dict[int, int] = {}
+        for spent, cost in table.items():
+            for price in range(1, max_price + 1):
+                ns = spent + price * u
+                if ns > budget:
+                    break
+                nc = cost + group_cost_fn(g, price)
+                if nc < new_table.get(ns, INF) - 1e-15:
+                    new_table[ns] = nc
+                    choice[ns] = price
+        if not new_table:
+            raise InfeasibleAllocationError(budget, start_cost)
+        table = new_table
+        back.append(choice)
+
+    # Best terminal state.
+    end_spent = min(table, key=lambda s: (table[s], s))
+    # Walk back to recover prices.
+    prices: dict[tuple, int] = {}
+    spent = end_spent
+    for g, choice in zip(reversed(groups), reversed(back)):
+        price = choice[spent]
+        prices[g.key] = price
+        spent -= price * g.unit_cost
+    if spent != 0:
+        raise ModelError("DP backtrack failed to reach the zero state")
+    return prices
+
+
+def exhaustive_group_search(
+    problem: HTuningProblem,
+    objective_fn: Callable[[HTuningProblem, Mapping[tuple, int]], float],
+    max_states: int = 2_000_000,
+) -> tuple[dict[tuple, int], float]:
+    """Brute-force the best group-uniform price vector.
+
+    ``objective_fn(problem, group_prices)`` may be arbitrary (e.g. the
+    closeness of Algorithm 3 or the exact numeric job latency).
+    Guards against combinatorial blowup via *max_states*.
+
+    Returns ``(prices, objective_value)``.
+    """
+    groups = problem.groups()
+    budget = problem.budget
+    start_cost = sum(g.unit_cost for g in groups)
+    if budget < start_cost:
+        raise InfeasibleAllocationError(budget, start_cost)
+
+    ranges = []
+    states = 1
+    for g in groups:
+        max_price = (budget - (start_cost - g.unit_cost)) // g.unit_cost
+        ranges.append(range(1, max_price + 1))
+        states *= len(ranges[-1])
+        if states > max_states:
+            raise ModelError(
+                f"exhaustive search would enumerate > {max_states} states; "
+                "shrink the instance or use exact_group_dp"
+            )
+
+    best_prices: dict[tuple, int] | None = None
+    best_value = math.inf
+    for combo in itertools.product(*ranges):
+        spend = sum(p * g.unit_cost for p, g in zip(combo, groups))
+        if spend > budget:
+            continue
+        prices = {g.key: p for g, p in zip(groups, combo)}
+        value = objective_fn(problem, prices)
+        if value < best_value - 1e-15:
+            best_value = value
+            best_prices = prices
+    if best_prices is None:
+        raise InfeasibleAllocationError(budget, start_cost)
+    return best_prices, best_value

@@ -1,0 +1,144 @@
+"""Algorithm 3 — Heterogeneous Algorithm (HA) for Scenario III (§4.4).
+
+HA runs the same budget-indexed DP as Algorithm 2, but the quantity it
+drives down is the **closeness to the utopia point**
+``CL(P) = |O1(P) − O1*| + |O2(P) − O2*|`` instead of the raw phase-1
+surrogate.  Since feasible points dominate the utopia point
+coordinate-wise, minimizing CL is equivalent to minimizing
+``O1(P) + O2(P)``: the group phase-1 surrogate plus the
+most-difficult-group total latency.  The O2 term is the penalty that
+stops the optimizer from starving a group whose phase-2 latency
+already dominates the job (the paper's "most difficult task"
+discussion).
+
+As in Algorithm 2, the state at budget level ``x`` carries the price
+vector achieving ``CL(x)``; candidates at ``x`` are "spend nothing
+new" (state ``x−1``) or "complete one increment of group i" (state
+``x−u_i`` with ``p_i`` bumped).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import InfeasibleAllocationError, ModelError
+from .latency import group_onhold_latency, group_processing_latency
+from .objectives import ObjectivePoint, utopia_point
+from .problem import Allocation, HTuningProblem
+
+__all__ = ["heterogeneous_algorithm", "HAResult"]
+
+
+class HAResult:
+    """Rich result of Algorithm 3: allocation + objective diagnostics."""
+
+    def __init__(
+        self,
+        allocation: Allocation,
+        group_prices: dict[tuple, int],
+        utopia: ObjectivePoint,
+        achieved: ObjectivePoint,
+    ) -> None:
+        self.allocation = allocation
+        self.group_prices = group_prices
+        self.utopia = utopia
+        self.achieved = achieved
+
+    @property
+    def closeness(self) -> float:
+        return self.achieved.l1_distance(self.utopia)
+
+    def __repr__(self) -> str:
+        return (
+            f"HAResult(closeness={self.closeness:.4f}, "
+            f"achieved=({self.achieved.o1:.4f}, {self.achieved.o2:.4f}), "
+            f"utopia=({self.utopia.o1:.4f}, {self.utopia.o2:.4f}))"
+        )
+
+
+def heterogeneous_algorithm(
+    problem: HTuningProblem,
+    return_details: bool = False,
+):
+    """Run Algorithm 3 (HA) on *problem*.
+
+    Works on any instance (Scenario III is its target; on Scenario I/II
+    instances the O2 penalty is uniform across groups and HA degrades
+    gracefully toward RA's behaviour).
+
+    Parameters
+    ----------
+    problem:
+        The H-Tuning instance.
+    return_details:
+        When true, return an :class:`HAResult` carrying the utopia
+        point and achieved objective point; otherwise just the
+        :class:`~repro.core.problem.Allocation`.
+
+    Raises
+    ------
+    InfeasibleAllocationError
+        If the budget cannot give every repetition one unit.
+    """
+    groups = problem.groups()
+    unit_costs = tuple(g.unit_cost for g in groups)
+    start_cost = sum(unit_costs)
+    if problem.budget < start_cost:
+        raise InfeasibleAllocationError(problem.budget, start_cost)
+
+    utopia = utopia_point(problem)
+    n = len(groups)
+
+    # Phase-2 expectations are price-independent: cache them once.
+    phase2 = tuple(group_processing_latency(g) for g in groups)
+
+    # Memoized phase-1 ladders: ladder[i][p-1] = E[L1(g_i)] at price p.
+    ladders: list[list[float]] = [[group_onhold_latency(g, 1)] for g in groups]
+
+    def phase1(i: int, price: int) -> float:
+        ladder = ladders[i]
+        while len(ladder) < price:
+            ladder.append(group_onhold_latency(groups[i], len(ladder) + 1))
+        return ladder[price - 1]
+
+    def cl_of(prices: tuple[int, ...]) -> float:
+        p1 = [phase1(i, prices[i]) for i in range(n)]
+        o1 = sum(p1)
+        o2 = max(p1[i] + phase2[i] for i in range(n))
+        return abs(o1 - utopia.o1) + abs(o2 - utopia.o2)
+
+    residual = problem.budget - start_cost
+    base_prices = tuple([1] * n)
+    values: list[float] = [cl_of(base_prices)]
+    prices_at: list[tuple[int, ...]] = [base_prices]
+
+    for x in range(1, residual + 1):
+        best_value = values[x - 1]
+        best_prices = prices_at[x - 1]
+        for i in range(n):
+            u = unit_costs[i]
+            if u > x:
+                continue
+            prev = prices_at[x - u]
+            lst = list(prev)
+            lst[i] = prev[i] + 1
+            candidate_prices = tuple(lst)
+            candidate = cl_of(candidate_prices)
+            if candidate < best_value - 1e-15:
+                best_value = candidate
+                best_prices = candidate_prices
+        values.append(best_value)
+        prices_at.append(best_prices)
+
+    final = prices_at[residual]
+    group_prices = {g.key: final[i] for i, g in enumerate(groups)}
+    allocation = Allocation.from_group_prices(problem, group_prices)
+    problem.validate_allocation(allocation)
+    if not return_details:
+        return allocation
+    p1 = [phase1(i, final[i]) for i in range(n)]
+    achieved = ObjectivePoint(
+        o1=sum(p1),
+        o2=max(p1[i] + phase2[i] for i in range(n)),
+    )
+    return HAResult(allocation, group_prices, utopia, achieved)

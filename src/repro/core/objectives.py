@@ -1,0 +1,133 @@
+"""Scenario III objectives: O1, O2, utopia point and closeness (§4.4).
+
+Heterogeneous task sets break the Scenario II reasoning because phase-2
+latencies differ across groups; a "most difficult task" can dominate
+the job latency however the budget moves phase 1.  The paper therefore
+minimizes two objectives simultaneously:
+
+* ``O1 = Σ_i E[L1(g_i)]`` — the phase-1 group-sum surrogate (same as
+  Scenario II);
+* ``O2 = max_i (E[L1(g_i)] + E[L2(g_i)])`` — the expected latency of
+  the most difficult group, both phases included (Definition of O2).
+
+The compromise solution minimizes the **closeness**
+``CL = ‖OP − UP‖₁`` (Definition 6, "first order distance"), where the
+**utopia point** ``UP = (O1*, O2*)`` collects each objective's
+independent optimum under the budget (Definition 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import InfeasibleAllocationError, ModelError
+from .latency import group_onhold_latency, group_processing_latency
+from .problem import HTuningProblem, TaskGroup
+from .repetition import budget_indexed_dp
+
+__all__ = [
+    "objective_o1",
+    "objective_o2",
+    "ObjectivePoint",
+    "utopia_point",
+    "closeness",
+]
+
+
+def objective_o1(problem: HTuningProblem, group_prices: Mapping[tuple, int]) -> float:
+    """``O1 = Σ_i E[L1(g_i)]`` at the given group prices."""
+    return sum(
+        group_onhold_latency(g, group_prices[g.key]) for g in problem.groups()
+    )
+
+
+def objective_o2(problem: HTuningProblem, group_prices: Mapping[tuple, int]) -> float:
+    """``O2 = max_i (E[L1(g_i)] + E[L2(g_i)])`` at the given prices."""
+    return max(
+        group_onhold_latency(g, group_prices[g.key]) + group_processing_latency(g)
+        for g in problem.groups()
+    )
+
+
+@dataclass(frozen=True)
+class ObjectivePoint:
+    """A point in (O1, O2) objective space (Definition 5)."""
+
+    o1: float
+    o2: float
+
+    def l1_distance(self, other: "ObjectivePoint") -> float:
+        return abs(self.o1 - other.o1) + abs(self.o2 - other.o2)
+
+
+def _minimize_o2_prices(problem: HTuningProblem) -> dict[tuple, int]:
+    """Minimize the max-group total latency within budget.
+
+    Greedy minimax: every affordable unit of budget goes to the group
+    currently attaining the maximum (raising any other group's price
+    cannot lower the max).  Each step strictly lowers the argmax
+    group's latency, so the procedure reaches the minimax optimum for
+    decreasing per-group latencies.
+    """
+    groups = problem.groups()
+    start_cost = sum(g.unit_cost for g in groups)
+    if problem.budget < start_cost:
+        raise InfeasibleAllocationError(problem.budget, start_cost)
+    prices = {g.key: 1 for g in groups}
+    totals = {
+        g.key: group_onhold_latency(g, 1) + group_processing_latency(g)
+        for g in groups
+    }
+    residual = problem.budget - start_cost
+    while True:
+        # Group attaining the current max, among those still affordable.
+        affordable = [g for g in groups if g.unit_cost <= residual]
+        if not affordable:
+            break
+        worst = max(groups, key=lambda g: totals[g.key])
+        if worst.unit_cost > residual:
+            # Cannot improve the bottleneck group; any other spend
+            # leaves O2 unchanged, so stop.
+            break
+        prices[worst.key] += 1
+        totals[worst.key] = (
+            group_onhold_latency(worst, prices[worst.key])
+            + group_processing_latency(worst)
+        )
+        residual -= worst.unit_cost
+    return prices
+
+
+def utopia_point(problem: HTuningProblem) -> ObjectivePoint:
+    """``UP = (O1*, O2*)`` — each objective optimized independently.
+
+    O1* reuses Algorithm 2's DP (the O1 objective *is* the Scenario II
+    objective); O2* uses the greedy minimax allocation.
+    """
+    o1_prices = budget_indexed_dp(
+        problem.groups(), problem.budget, group_onhold_latency
+    )
+    o2_prices = _minimize_o2_prices(problem)
+    return ObjectivePoint(
+        o1=objective_o1(problem, o1_prices),
+        o2=objective_o2(problem, o2_prices),
+    )
+
+
+def closeness(
+    problem: HTuningProblem,
+    group_prices: Mapping[tuple, int],
+    utopia: ObjectivePoint,
+) -> float:
+    """``CL = ‖OP − UP‖₁`` (Definition 6).
+
+    Both objectives are bounded below by their utopia coordinates, so
+    the absolute values never flip sign for feasible allocations; we
+    keep the |·| form anyway to match the definition verbatim.
+    """
+    point = ObjectivePoint(
+        o1=objective_o1(problem, group_prices),
+        o2=objective_o2(problem, group_prices),
+    )
+    return point.l1_distance(utopia)

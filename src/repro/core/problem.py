@@ -1,0 +1,311 @@
+"""The H-Tuning problem model (paper §4.1).
+
+Definitions implemented here:
+
+* :class:`TaskSpec` — an atomic task: its difficulty type (on-hold
+  pricing curve + processing rate) and required repetition count.
+* :class:`TaskGroup` — tasks of identical type *and* repetitions
+  (the grouping both Algorithm 2 and Algorithm 3 operate on).
+* :class:`HTuningProblem` — a task set plus a discrete budget ``B``
+  (Definition 3); detects which of the paper's three scenarios the
+  instance falls into.
+* :class:`Allocation` — per-repetition integer unit payments, the
+  decision variable of every tuning strategy.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..errors import BudgetError, InfeasibleAllocationError, ModelError
+from ..market.pricing import PricingModel
+
+__all__ = ["Scenario", "TaskSpec", "TaskGroup", "HTuningProblem", "Allocation"]
+
+
+class Scenario(enum.Enum):
+    """The paper's three problem settings (§4.2–§4.4)."""
+
+    HOMOGENEITY = "I-homogeneity"
+    REPETITION = "II-repetition"
+    HETEROGENEOUS = "III-heterogeneous"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One atomic task of the H-Tuning instance.
+
+    Parameters
+    ----------
+    task_id:
+        Unique identifier within the problem.
+    repetitions:
+        How many sequential answers this task must collect (>= 1).
+    pricing:
+        The task's λ_o(c) response curve.  Tasks of the same difficulty
+        share the same curve object (identity matters for grouping).
+    processing_rate:
+        λ_p, the price-independent processing clock rate.
+    type_name:
+        Difficulty label; tasks with equal labels are the same type.
+    """
+
+    task_id: int
+    repetitions: int
+    pricing: PricingModel
+    processing_rate: float
+    type_name: str = "default"
+
+    def __post_init__(self) -> None:
+        if int(self.repetitions) != self.repetitions or self.repetitions < 1:
+            raise ModelError(
+                f"repetitions must be a positive integer, got {self.repetitions}"
+            )
+        if not math.isfinite(self.processing_rate) or self.processing_rate <= 0:
+            raise ModelError(
+                f"processing_rate must be positive, got {self.processing_rate}"
+            )
+        if not isinstance(self.pricing, PricingModel):
+            raise ModelError(f"pricing must be a PricingModel, got {self.pricing!r}")
+
+    def onhold_rate(self, price: int) -> float:
+        """λ_o at integer unit *price*."""
+        return self.pricing(price)
+
+    @property
+    def group_key(self) -> tuple:
+        """Tasks sharing this key belong to the same group."""
+        return (self.type_name, self.repetitions, self.processing_rate)
+
+
+@dataclass(frozen=True)
+class TaskGroup:
+    """Tasks of identical (type, repetitions) — the DP's unit.
+
+    ``unit_cost`` is the budget needed to raise every repetition of
+    every member task by one payment unit; this is the ``u_i`` of
+    Algorithms 2 and 3.
+    """
+
+    key: tuple
+    tasks: tuple[TaskSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ModelError("a task group cannot be empty")
+        first = self.tasks[0]
+        for t in self.tasks:
+            if t.group_key != first.group_key:
+                raise ModelError(
+                    f"group members disagree on key: {t.group_key} vs "
+                    f"{first.group_key}"
+                )
+
+    @property
+    def size(self) -> int:
+        """n — number of member tasks."""
+        return len(self.tasks)
+
+    @property
+    def repetitions(self) -> int:
+        """k — repetitions per member task."""
+        return self.tasks[0].repetitions
+
+    @property
+    def type_name(self) -> str:
+        return self.tasks[0].type_name
+
+    @property
+    def processing_rate(self) -> float:
+        return self.tasks[0].processing_rate
+
+    @property
+    def pricing(self) -> PricingModel:
+        return self.tasks[0].pricing
+
+    @property
+    def unit_cost(self) -> int:
+        """u_i = n·k — budget units to add +1 to every repetition."""
+        return self.size * self.repetitions
+
+    def onhold_rate(self, price: int) -> float:
+        return self.tasks[0].onhold_rate(price)
+
+
+class Allocation:
+    """Per-repetition unit payments for every task in a problem.
+
+    Internally a mapping ``task_id -> tuple of integer prices`` (one
+    price per repetition).  Immutable once constructed; algorithms
+    build allocations through the ``from_*`` constructors.
+    """
+
+    def __init__(self, prices: Mapping[int, Sequence[int]]) -> None:
+        if not prices:
+            raise ModelError("an allocation cannot be empty")
+        normalized: dict[int, tuple[int, ...]] = {}
+        for task_id, reps in prices.items():
+            reps = tuple(int(p) for p in reps)
+            if not reps:
+                raise ModelError(f"task {task_id} has no repetition prices")
+            if any(p < 1 for p in reps):
+                raise ModelError(
+                    f"task {task_id} has a price below the 1-unit minimum: {reps}"
+                )
+            normalized[int(task_id)] = reps
+        self._prices = normalized
+
+    def __getitem__(self, task_id: int) -> tuple[int, ...]:
+        return self._prices[task_id]
+
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._prices
+
+    def __iter__(self):
+        return iter(self._prices)
+
+    def __len__(self) -> int:
+        return len(self._prices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Allocation):
+            return NotImplemented
+        return self._prices == other._prices
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{k}: {v}" for k, v in sorted(self._prices.items()))
+        return f"Allocation({{{items}}})"
+
+    def items(self):
+        return self._prices.items()
+
+    @property
+    def total_cost(self) -> int:
+        """Σ of all unit payments across tasks and repetitions."""
+        return sum(sum(reps) for reps in self._prices.values())
+
+    def task_cost(self, task_id: int) -> int:
+        return sum(self._prices[task_id])
+
+    def uniform_group_price(self, group: TaskGroup) -> Optional[int]:
+        """The single per-repetition price of *group*, if uniform.
+
+        Returns ``None`` when member repetitions have differing prices
+        (the optimal algorithms always produce uniform group prices;
+        baselines may not).
+        """
+        prices = {
+            p for task in group.tasks for p in self._prices[task.task_id]
+        }
+        if len(prices) == 1:
+            return next(iter(prices))
+        return None
+
+    @classmethod
+    def uniform(cls, problem: "HTuningProblem", price: int) -> "Allocation":
+        """Every repetition of every task gets *price* units."""
+        return cls(
+            {t.task_id: [price] * t.repetitions for t in problem.tasks}
+        )
+
+    @classmethod
+    def from_group_prices(
+        cls, problem: "HTuningProblem", group_prices: Mapping[tuple, int]
+    ) -> "Allocation":
+        """Build from per-group uniform repetition prices."""
+        prices: dict[int, list[int]] = {}
+        for group in problem.groups():
+            price = group_prices[group.key]
+            for task in group.tasks:
+                prices[task.task_id] = [price] * task.repetitions
+        return cls(prices)
+
+
+class HTuningProblem:
+    """Definition 3: a task set ``T`` and a discrete budget ``B``.
+
+    The instance validates feasibility eagerly: the paper's minimum is
+    one payment unit per repetition (Algorithm 1, line 2), so any
+    budget below the total repetition count raises
+    :class:`~repro.errors.InfeasibleAllocationError`.
+    """
+
+    def __init__(self, tasks: Iterable[TaskSpec], budget: int) -> None:
+        self.tasks: tuple[TaskSpec, ...] = tuple(tasks)
+        if not self.tasks:
+            raise ModelError("an H-Tuning problem needs at least one task")
+        ids = [t.task_id for t in self.tasks]
+        if len(set(ids)) != len(ids):
+            raise ModelError("task_ids must be unique")
+        if int(budget) != budget:
+            raise BudgetError(f"budget must be an integer, got {budget}")
+        self.budget = int(budget)
+        minimum = self.min_feasible_budget
+        if self.budget < minimum:
+            raise InfeasibleAllocationError(self.budget, minimum)
+        self._groups: Optional[tuple[TaskGroup, ...]] = None
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def total_repetitions(self) -> int:
+        return sum(t.repetitions for t in self.tasks)
+
+    @property
+    def min_feasible_budget(self) -> int:
+        """One unit per repetition — the smallest legal spend."""
+        return self.total_repetitions
+
+    def groups(self) -> tuple[TaskGroup, ...]:
+        """Partition tasks into (type, repetitions) groups.
+
+        Order is deterministic: by first appearance in the task list.
+        """
+        if self._groups is None:
+            by_key: dict[tuple, list[TaskSpec]] = {}
+            order: list[tuple] = []
+            for task in self.tasks:
+                key = task.group_key
+                if key not in by_key:
+                    by_key[key] = []
+                    order.append(key)
+                by_key[key].append(task)
+            self._groups = tuple(
+                TaskGroup(key=key, tasks=tuple(by_key[key])) for key in order
+            )
+        return self._groups
+
+    def scenario(self) -> Scenario:
+        """Classify the instance into the paper's Scenario I/II/III."""
+        types = {(t.type_name, t.processing_rate) for t in self.tasks}
+        reps = {t.repetitions for t in self.tasks}
+        if len(types) == 1 and len(reps) == 1:
+            return Scenario.HOMOGENEITY
+        if len(types) == 1:
+            return Scenario.REPETITION
+        return Scenario.HETEROGENEOUS
+
+    def validate_allocation(self, allocation: Allocation) -> None:
+        """Check *allocation* covers exactly this task set within budget."""
+        alloc_ids = set(allocation)
+        problem_ids = {t.task_id for t in self.tasks}
+        if alloc_ids != problem_ids:
+            raise ModelError(
+                f"allocation task ids {sorted(alloc_ids)} do not match problem "
+                f"task ids {sorted(problem_ids)}"
+            )
+        for task in self.tasks:
+            if len(allocation[task.task_id]) != task.repetitions:
+                raise ModelError(
+                    f"task {task.task_id} needs {task.repetitions} repetition "
+                    f"prices, allocation has {len(allocation[task.task_id])}"
+                )
+        if allocation.total_cost > self.budget:
+            raise BudgetError(
+                f"allocation spends {allocation.total_cost} > budget {self.budget}"
+            )

@@ -1,0 +1,120 @@
+"""Quality-aware repetition planning.
+
+HPU characteristic (ii): answers are error-prone.  The paper takes the
+repetition counts as *given* by the query planner; this extension
+closes the loop by deriving them from a target answer quality, so a
+requester can specify "each vote must be correct with probability
+>= 0.99" and get back the cheapest odd repetition count that a
+majority vote needs under the workers' accuracy — which then feeds the
+H-Tuning problem as usual.
+
+Math: with ``r`` iid Bernoulli(accuracy) votes and majority
+aggregation, the verdict is correct with probability
+``P = Σ_{k > r/2} C(r,k) a^k (1−a)^{r−k}`` (ties cannot happen for odd
+``r``); this is increasing in both ``a`` and (for ``a > 1/2``) odd
+``r``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ModelError, PlanError
+from ..market.task import TaskType
+
+__all__ = [
+    "majority_correct_probability",
+    "repetitions_for_quality",
+    "QualityPlan",
+    "plan_repetitions",
+]
+
+
+def majority_correct_probability(repetitions: int, accuracy: float) -> float:
+    """``P(majority of r votes is correct)`` for iid workers.
+
+    Even ``r`` counts a tie as failure (conservative: a tie forces a
+    tie-break that is right only half the time under symmetric priors —
+    we charge the full tie mass to the error side).
+    """
+    if repetitions < 1 or int(repetitions) != repetitions:
+        raise ModelError(
+            f"repetitions must be a positive integer, got {repetitions}"
+        )
+    if not 0.0 < accuracy <= 1.0:
+        raise ModelError(f"accuracy must be in (0,1], got {accuracy}")
+    r = int(repetitions)
+    needed = r // 2 + 1
+    total = 0.0
+    for k in range(needed, r + 1):
+        total += math.comb(r, k) * accuracy**k * (1 - accuracy) ** (r - k)
+    return total
+
+
+def repetitions_for_quality(
+    accuracy: float, target: float, max_repetitions: int = 99
+) -> int:
+    """Smallest odd ``r`` with majority-correctness >= *target*.
+
+    Raises when the crowd cannot reach the target within
+    *max_repetitions* (e.g. accuracy 0.5 — an uninformative crowd never
+    gets better with more votes).
+    """
+    if not 0.0 < target < 1.0:
+        raise ModelError(f"target must be in (0,1), got {target}")
+    if not 0.0 < accuracy <= 1.0:
+        raise ModelError(f"accuracy must be in (0,1], got {accuracy}")
+    if accuracy <= 0.5 and target > accuracy:
+        raise PlanError(
+            f"a crowd with accuracy {accuracy} <= 0.5 cannot reach "
+            f"majority quality {target} at any repetition count"
+        )
+    r = 1
+    while r <= max_repetitions:
+        if majority_correct_probability(r, accuracy) >= target:
+            return r
+        r += 2
+    raise PlanError(
+        f"accuracy {accuracy} cannot reach quality {target} within "
+        f"{max_repetitions} repetitions"
+    )
+
+
+@dataclass(frozen=True)
+class QualityPlan:
+    """Repetition counts per task type for a quality target."""
+
+    target: float
+    repetitions: dict[str, int]
+
+    def for_type(self, type_name: str) -> int:
+        if type_name not in self.repetitions:
+            raise PlanError(f"no plan entry for type {type_name!r}")
+        return self.repetitions[type_name]
+
+    @property
+    def total_votes_per_task(self) -> dict[str, int]:
+        return dict(self.repetitions)
+
+
+def plan_repetitions(
+    task_types: Sequence[TaskType], target: float
+) -> QualityPlan:
+    """Derive per-type repetition counts meeting *target* quality.
+
+    Harder types (lower accuracy) get more repetitions — this is
+    exactly the repetition heterogeneity Scenario II/III tunes, now
+    derived from first principles instead of assumed.
+    """
+    if not task_types:
+        raise ModelError("need at least one task type")
+    names = [t.name for t in task_types]
+    if len(set(names)) != len(names):
+        raise ModelError("task type names must be unique")
+    repetitions = {
+        t.name: repetitions_for_quality(t.accuracy, target)
+        for t in task_types
+    }
+    return QualityPlan(target=target, repetitions=repetitions)

@@ -1,0 +1,171 @@
+"""Algorithm 2 — Repetition Algorithm (RA) for Scenario II (paper §4.3).
+
+Tasks share one difficulty type but need different repetition counts.
+Tasks are grouped by repetitions; the objective is the group-sum
+surrogate  ``min Σ_i E[L1(g_i)]``  s.t. ``Σ_i b_i <= B``  where
+``E[L1(g_i)] = M(n_i, k_i) / λ_o(p_i)`` is the expected within-group
+maximum at uniform per-repetition price ``p_i``.
+
+The paper's dynamic program (Algorithm 2), implemented verbatim:
+
+* every group starts at ``p_i = 1`` (cost ``u_i = n_i · k_i`` each);
+* the remaining budget ``B' = B − Σ u_i`` is processed one unit at a
+  time; the state at budget level ``x`` carries the objective value
+  ``E0(x)`` *and* the price vector ``p(x)`` that achieved it;
+* ``E0(x) = min( E0(x−1),
+                 min_i { E0(x−u_i) − [E_i(p_i(x−u_i)) − E_i(p_i(x−u_i)+1)] | u_i <= x } )``
+
+The per-state price vectors make this a genuine DP (unlike a pure
+greedy, states reached through different group-increment orders
+compete), and under the convex decreasing group latencies of the
+linear pricing hypothesis it attains the separable optimum — tests
+certify this against :func:`repro.core.exhaustive.exact_group_dp`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import InfeasibleAllocationError, ModelError
+from .latency import group_onhold_latency
+from .problem import Allocation, HTuningProblem, Scenario, TaskGroup
+
+__all__ = ["repetition_algorithm", "budget_indexed_dp", "greedy_marginal_allocation"]
+
+
+def _check_scenario(problem: HTuningProblem, strict: bool) -> None:
+    if strict and problem.scenario() is Scenario.HETEROGENEOUS:
+        raise ModelError(
+            "RA expects Scenario I/II (single difficulty type); instance is "
+            "III-heterogeneous. Use heterogeneous_algorithm, or pass "
+            "strict_scenario=False to optimize the phase-1 surrogate anyway."
+        )
+
+
+def budget_indexed_dp(
+    groups: tuple[TaskGroup, ...],
+    budget: int,
+    group_cost_fn: Callable[[TaskGroup, int], float],
+) -> dict[tuple, int]:
+    """Algorithm 2's budget-indexed DP, generic in the group objective.
+
+    ``group_cost_fn(group, price)`` must be decreasing in *price*.
+    Returns the per-group uniform repetition price vector of the best
+    terminal state.
+
+    Implementation notes: the state at budget ``x`` is
+    ``(E0(x), prices(x))``; price vectors are tuples shared
+    structurally between states, so memory stays ``O(B'·n)``.
+    """
+    if not groups:
+        raise ModelError("need at least one group")
+    unit_costs = tuple(g.unit_cost for g in groups)
+    start_cost = sum(unit_costs)
+    if budget < start_cost:
+        raise InfeasibleAllocationError(budget, start_cost)
+
+    n = len(groups)
+    residual = budget - start_cost
+
+    # Memoized per-group cost ladders: cost_cache[i][p-1] = E_i(p).
+    cost_cache: list[list[float]] = [[group_cost_fn(g, 1)] for g in groups]
+
+    def cost(i: int, price: int) -> float:
+        ladder = cost_cache[i]
+        while len(ladder) < price:
+            ladder.append(group_cost_fn(groups[i], len(ladder) + 1))
+        return ladder[price - 1]
+
+    base_prices = tuple([1] * n)
+    base_value = sum(cost(i, 1) for i in range(n))
+    values: list[float] = [base_value]
+    prices_at: list[tuple[int, ...]] = [base_prices]
+
+    for x in range(1, residual + 1):
+        best_value = values[x - 1]
+        best_prices = prices_at[x - 1]
+        for i in range(n):
+            u = unit_costs[i]
+            if u > x:
+                continue
+            prev_prices = prices_at[x - u]
+            p = prev_prices[i]
+            candidate = values[x - u] - (cost(i, p) - cost(i, p + 1))
+            if candidate < best_value - 1e-15:
+                best_value = candidate
+                lst = list(prev_prices)
+                lst[i] = p + 1
+                best_prices = tuple(lst)
+        values.append(best_value)
+        prices_at.append(best_prices)
+
+    final = prices_at[residual]
+    return {g.key: final[i] for i, g in enumerate(groups)}
+
+
+def greedy_marginal_allocation(
+    groups: tuple[TaskGroup, ...],
+    budget: int,
+    group_cost_fn: Callable[[TaskGroup, int], float],
+) -> dict[tuple, int]:
+    """Single-path greedy variant (best marginal gain per increment).
+
+    Faster than the full DP (``O(ΣΔp · n)`` instead of ``O(B'·n)``)
+    and optimal when all unit costs are equal; kept as the fast path
+    for Scenario I-like instances and as an ablation reference.
+    """
+    if not groups:
+        raise ModelError("need at least one group")
+    unit_costs = [g.unit_cost for g in groups]
+    start_cost = sum(unit_costs)
+    if budget < start_cost:
+        raise InfeasibleAllocationError(budget, start_cost)
+
+    prices = {g.key: 1 for g in groups}
+    residual = budget - start_cost
+    current = {g.key: group_cost_fn(g, 1) for g in groups}
+    spent = 0
+    while spent < residual:
+        best_gain = 0.0
+        best_group: Optional[TaskGroup] = None
+        best_next = 0.0
+        remaining = residual - spent
+        for g, u in zip(groups, unit_costs):
+            if u > remaining:
+                continue
+            nxt = group_cost_fn(g, prices[g.key] + 1)
+            gain = (current[g.key] - nxt) / u
+            if best_group is None or gain > best_gain + 1e-15:
+                best_gain = gain
+                best_group = g
+                best_next = nxt
+        if best_group is None or best_gain <= 0.0:
+            break
+        prices[best_group.key] += 1
+        current[best_group.key] = best_next
+        spent += best_group.unit_cost
+    return prices
+
+
+def repetition_algorithm(
+    problem: HTuningProblem,
+    strict_scenario: bool = True,
+) -> Allocation:
+    """Run Algorithm 2 (RA) on *problem*.
+
+    Returns an allocation with a uniform per-repetition price inside
+    each repetition group, minimizing ``Σ_i E[L1(g_i)]`` within budget.
+
+    Raises
+    ------
+    InfeasibleAllocationError
+        If the budget cannot give every repetition one unit.
+    ModelError
+        If ``strict_scenario`` and the instance is Scenario III.
+    """
+    _check_scenario(problem, strict_scenario)
+    groups = problem.groups()
+    prices = budget_indexed_dp(groups, problem.budget, group_onhold_latency)
+    allocation = Allocation.from_group_prices(problem, prices)
+    problem.validate_allocation(allocation)
+    return allocation

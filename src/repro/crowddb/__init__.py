@@ -1,0 +1,51 @@
+"""Crowd-powered database substrate (paper §1's motivating systems).
+
+* :mod:`~repro.crowddb.aggregate` — question payloads + answer
+  aggregation under error-prone workers;
+* :mod:`~repro.crowddb.operators` — sort, filter, max, count/threshold;
+* :mod:`~repro.crowddb.planner` — operator plans → H-Tuning instances
+  → market orders;
+* :mod:`~repro.crowddb.engine` — end-to-end tuned query execution.
+"""
+
+from .aggregate import (
+    ComparisonQuestion,
+    CountQuestion,
+    PredicateQuestion,
+    aggregate_numeric,
+    majority_confidence,
+    majority_vote,
+)
+from .engine import CrowdQueryEngine, QueryOutcome
+from .operators import (
+    CategoryQuestion,
+    CrowdCount,
+    CrowdFilter,
+    CrowdGroupBy,
+    CrowdMax,
+    CrowdSort,
+    CrowdThresholdFilter,
+    CrowdTopK,
+)
+from .planner import CrowdQuery, PlannedQuestion
+
+__all__ = [
+    "CategoryQuestion",
+    "ComparisonQuestion",
+    "CountQuestion",
+    "CrowdCount",
+    "CrowdFilter",
+    "CrowdGroupBy",
+    "CrowdMax",
+    "CrowdQuery",
+    "CrowdQueryEngine",
+    "CrowdSort",
+    "CrowdTopK",
+    "CrowdThresholdFilter",
+    "PlannedQuestion",
+    "PredicateQuestion",
+    "QueryOutcome",
+    "aggregate_numeric",
+    "majority_confidence",
+    "majority_vote",
+]

@@ -1,0 +1,173 @@
+"""Answer aggregation for error-prone crowd workers.
+
+HPU characteristic (ii): results are error-prone with some probability.
+The crowd-DB operators therefore ask each atomic question several times
+(the "repetitions" that Scenarios II/III tune) and aggregate:
+
+* :func:`majority_vote` — the standard binary/categorical rule;
+* :func:`majority_confidence` — posterior probability that the
+  majority label is the truth under iid Bernoulli(accuracy) workers;
+* :func:`aggregate_numeric` — robust mean for estimation questions
+  (the dot-counting tasks of the AMT experiment, §5.2.1).
+
+Payload classes double as the simulator's answer generators: the
+market calls ``payload.sample_answer(rng, accuracy)`` per repetition.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import PlanError
+
+__all__ = [
+    "ComparisonQuestion",
+    "PredicateQuestion",
+    "CountQuestion",
+    "majority_vote",
+    "majority_confidence",
+    "aggregate_numeric",
+]
+
+_question_uid = itertools.count()
+
+
+@dataclass(frozen=True)
+class ComparisonQuestion:
+    """"Is *left* smaller than *right*?" — the pairwise sort/max vote.
+
+    ``left_key``/``right_key`` are the latent ground-truth magnitudes;
+    workers answer ``left_key < right_key`` with probability
+    *accuracy*, else the opposite.
+    """
+
+    left: Any
+    right: Any
+    left_key: float
+    right_key: float
+    qid: int = field(default_factory=lambda: next(_question_uid))
+
+    def __post_init__(self) -> None:
+        if self.left_key == self.right_key:
+            raise PlanError(
+                f"comparison requires distinct keys, got {self.left_key} for both "
+                f"{self.left!r} and {self.right!r}"
+            )
+
+    @property
+    def truth(self) -> bool:
+        return self.left_key < self.right_key
+
+    def sample_answer(self, rng: np.random.Generator, accuracy: float) -> bool:
+        correct = rng.random() < accuracy
+        return self.truth if correct else not self.truth
+
+
+@dataclass(frozen=True)
+class PredicateQuestion:
+    """"Does *item* satisfy the predicate?" — the filter's yes/no vote."""
+
+    item: Any
+    truth: bool
+    qid: int = field(default_factory=lambda: next(_question_uid))
+
+    def sample_answer(self, rng: np.random.Generator, accuracy: float) -> bool:
+        correct = rng.random() < accuracy
+        return self.truth if correct else not self.truth
+
+
+@dataclass(frozen=True)
+class CountQuestion:
+    """"How many dots are on this image?" — the AMT estimation task.
+
+    Workers report the true count corrupted by relative Gaussian noise
+    whose spread shrinks with accuracy: std = (1 − accuracy + floor) ·
+    truth; answers are clipped at zero and rounded.
+    """
+
+    item: Any
+    true_count: int
+    noise_floor: float = 0.05
+    qid: int = field(default_factory=lambda: next(_question_uid))
+
+    def __post_init__(self) -> None:
+        if self.true_count < 0:
+            raise PlanError(f"true_count must be >= 0, got {self.true_count}")
+        if self.noise_floor < 0:
+            raise PlanError(f"noise_floor must be >= 0, got {self.noise_floor}")
+
+    def sample_answer(self, rng: np.random.Generator, accuracy: float) -> int:
+        spread = (1.0 - accuracy + self.noise_floor) * max(self.true_count, 1)
+        value = rng.normal(self.true_count, spread)
+        return int(max(0, round(value)))
+
+
+def majority_vote(answers: Sequence[Hashable]) -> Hashable:
+    """Most frequent answer; deterministic tie-break by sorted repr.
+
+    Raises :class:`~repro.errors.PlanError` on an empty answer list —
+    silent defaults would mask lost tasks.
+    """
+    if not answers:
+        raise PlanError("cannot take a majority of zero answers")
+    counts = Counter(answers)
+    best = max(counts.values())
+    winners = sorted((a for a, c in counts.items() if c == best), key=repr)
+    return winners[0]
+
+
+def majority_confidence(
+    answers: Sequence[bool], accuracy: float, prior: float = 0.5
+) -> float:
+    """Posterior ``P(majority answer is true)`` for binary questions.
+
+    Workers are iid Bernoulli(*accuracy*); *prior* is the prior
+    probability of the majority label.  With ``a`` votes for the
+    majority label and ``b`` against:
+
+        P ∝ prior · acc^a (1−acc)^b  vs  (1−prior) · acc^b (1−acc)^a
+    """
+    if not answers:
+        raise PlanError("cannot score zero answers")
+    if not 0.5 <= accuracy < 1.0:
+        # accuracy 1.0 would be certainty; 0.5 is an uninformative crowd.
+        if accuracy == 1.0:
+            return 1.0
+        raise PlanError(f"accuracy must be in [0.5, 1], got {accuracy}")
+    if not 0.0 < prior < 1.0:
+        raise PlanError(f"prior must be in (0,1), got {prior}")
+    label = majority_vote(answers)
+    a = sum(1 for x in answers if x == label)
+    b = len(answers) - a
+    log_for = math.log(prior) + a * math.log(accuracy) + b * math.log1p(-accuracy)
+    log_against = (
+        math.log1p(-prior) + b * math.log(accuracy) + a * math.log1p(-accuracy)
+    )
+    m = max(log_for, log_against)
+    return math.exp(log_for - m) / (math.exp(log_for - m) + math.exp(log_against - m))
+
+
+def aggregate_numeric(
+    answers: Sequence[float], trim: float = 0.1
+) -> float:
+    """Trimmed mean of numeric crowd estimates.
+
+    *trim* is the fraction discarded from each tail (0 = plain mean);
+    robust to the occasional wildly-wrong count.
+    """
+    if not answers:
+        raise PlanError("cannot aggregate zero numeric answers")
+    if not 0.0 <= trim < 0.5:
+        raise PlanError(f"trim must be in [0, 0.5), got {trim}")
+    values = np.sort(np.asarray(answers, dtype=float))
+    k = int(len(values) * trim)
+    kept = values[k : len(values) - k] if k > 0 else values
+    if kept.size == 0:
+        kept = values
+    return float(kept.mean())

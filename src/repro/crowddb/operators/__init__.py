@@ -1,0 +1,19 @@
+"""Crowd-powered database operators (the paper's motivating apps)."""
+
+from .count import CrowdCount, CrowdThresholdFilter
+from .filter import CrowdFilter
+from .groupby import CategoryQuestion, CrowdGroupBy
+from .max_ import CrowdMax
+from .sort import CrowdSort
+from .topk import CrowdTopK
+
+__all__ = [
+    "CategoryQuestion",
+    "CrowdCount",
+    "CrowdFilter",
+    "CrowdGroupBy",
+    "CrowdMax",
+    "CrowdSort",
+    "CrowdTopK",
+    "CrowdThresholdFilter",
+]

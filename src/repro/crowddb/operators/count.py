@@ -1,0 +1,108 @@
+"""Crowd-powered counting / estimation — the AMT experiment's task.
+
+§5.2.1: workers see images and estimate the number of dots, then
+threshold-filter.  :class:`CrowdCount` reproduces the estimation part
+(repeated numeric judgments, trimmed-mean aggregation);
+:class:`CrowdThresholdFilter` composes it with the filter semantics
+("filter out the ones who have dots less than a given threshold").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from ...errors import PlanError
+from ...market.task import TaskType
+from ..aggregate import CountQuestion, aggregate_numeric
+from ..planner import PlannedQuestion
+
+__all__ = ["CrowdCount", "CrowdThresholdFilter"]
+
+
+@dataclass
+class CrowdCount:
+    """Estimate a numeric magnitude per item via repeated judgments."""
+
+    items: Sequence[Any]
+    true_counts: Sequence[int]
+    task_type: TaskType
+    repetitions: int = 5
+    trim: float = 0.1
+
+    def __post_init__(self) -> None:
+        if len(self.items) != len(self.true_counts):
+            raise PlanError(
+                f"{len(self.items)} items but {len(self.true_counts)} counts"
+            )
+        if not self.items:
+            raise PlanError("counting needs at least one item")
+        if self.repetitions < 1:
+            raise PlanError(f"repetitions must be >= 1, got {self.repetitions}")
+        self._plan: Optional[list[PlannedQuestion]] = None
+
+    def plan(self) -> list[PlannedQuestion]:
+        if self._plan is not None:
+            return self._plan
+        planned = [
+            PlannedQuestion(
+                CountQuestion(item=item, true_count=int(count)),
+                self.task_type,
+                self.repetitions,
+            )
+            for item, count in zip(self.items, self.true_counts)
+        ]
+        self._plan = planned
+        return planned
+
+    def collect(self, answers: dict[int, list[Any]]) -> dict[Any, float]:
+        """Trimmed-mean estimate per item (keyed by the item object)."""
+        planned = self.plan()
+        out = {}
+        for i, question in enumerate(planned):
+            votes = answers.get(i)
+            if not votes:
+                raise PlanError(f"no answers collected for item {i}")
+            out[question.question.item] = aggregate_numeric(
+                [float(v) for v in votes], trim=self.trim
+            )
+        return out
+
+
+@dataclass
+class CrowdThresholdFilter:
+    """The AMT experiment's end-to-end task: estimate then threshold.
+
+    Items whose crowd-estimated count is >= *threshold* pass.
+    """
+
+    items: Sequence[Any]
+    true_counts: Sequence[int]
+    threshold: float
+    task_type: TaskType
+    repetitions: int = 5
+    trim: float = 0.1
+
+    def __post_init__(self) -> None:
+        self._counter = CrowdCount(
+            items=self.items,
+            true_counts=self.true_counts,
+            task_type=self.task_type,
+            repetitions=self.repetitions,
+            trim=self.trim,
+        )
+
+    def plan(self) -> list[PlannedQuestion]:
+        return self._counter.plan()
+
+    def collect(self, answers: dict[int, list[Any]]) -> list[Any]:
+        """Items passing the threshold, in input order."""
+        estimates = self._counter.collect(answers)
+        return [item for item in self.items if estimates[item] >= self.threshold]
+
+    def ground_truth(self) -> list[Any]:
+        return [
+            item
+            for item, count in zip(self.items, self.true_counts)
+            if count >= self.threshold
+        ]

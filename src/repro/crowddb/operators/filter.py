@@ -1,0 +1,111 @@
+"""Crowd-powered filter (CrowdScreen [7]; Motivation Example 2).
+
+Each item gets a yes/no predicate question repeated ``repetitions``
+times; items whose majority vote is "yes" pass the filter.  An
+optional adaptive mode gives ambiguous items (those the requester
+marks as hard) more repetitions — the repetition heterogeneity that
+Scenario II tunes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from ...errors import PlanError
+from ...market.task import TaskType
+from ..aggregate import PredicateQuestion, majority_confidence, majority_vote
+from ..planner import PlannedQuestion
+
+__all__ = ["CrowdFilter"]
+
+
+@dataclass
+class CrowdFilter:
+    """Filter *items* by a latent predicate via yes/no crowd votes.
+
+    Parameters
+    ----------
+    items:
+        Candidate objects.
+    truths:
+        Latent ground-truth predicate value per item.
+    task_type:
+        Market task type of one vote (e.g. "yes-no-vote").
+    repetitions:
+        Base vote count per item.
+    hard_items:
+        Indices of items the planner considers ambiguous; they get
+        ``hard_extra`` additional votes.
+    hard_extra:
+        Extra votes for hard items.
+    """
+
+    items: Sequence[Any]
+    truths: Sequence[bool]
+    task_type: TaskType
+    repetitions: int = 3
+    hard_items: Sequence[int] = ()
+    hard_extra: int = 2
+
+    def __post_init__(self) -> None:
+        if len(self.items) != len(self.truths):
+            raise PlanError(
+                f"{len(self.items)} items but {len(self.truths)} truths"
+            )
+        if not self.items:
+            raise PlanError("filtering needs at least one item")
+        if self.repetitions < 1:
+            raise PlanError(f"repetitions must be >= 1, got {self.repetitions}")
+        if self.hard_extra < 0:
+            raise PlanError(f"hard_extra must be >= 0, got {self.hard_extra}")
+        bad = [i for i in self.hard_items if not 0 <= i < len(self.items)]
+        if bad:
+            raise PlanError(f"hard_items indices out of range: {bad}")
+        self._plan: Optional[list[PlannedQuestion]] = None
+
+    def plan(self) -> list[PlannedQuestion]:
+        """One predicate question per item (cached)."""
+        if self._plan is not None:
+            return self._plan
+        hard = set(self.hard_items)
+        planned = []
+        for i, (item, truth) in enumerate(zip(self.items, self.truths)):
+            reps = self.repetitions + (self.hard_extra if i in hard else 0)
+            q = PredicateQuestion(item=item, truth=bool(truth))
+            planned.append(PlannedQuestion(q, self.task_type, reps))
+        self._plan = planned
+        return planned
+
+    def collect(self, answers: dict[int, list[Any]]) -> list[Any]:
+        """Items whose majority vote is yes, in input order."""
+        planned = self.plan()
+        passed = []
+        for i, question in enumerate(planned):
+            votes = answers.get(i)
+            if not votes:
+                raise PlanError(f"no answers collected for item {i}")
+            if majority_vote(votes):
+                passed.append(question.question.item)
+        return passed
+
+    def collect_with_confidence(
+        self, answers: dict[int, list[Any]]
+    ) -> list[tuple[Any, bool, float]]:
+        """Per-item (item, verdict, posterior confidence) triples."""
+        planned = self.plan()
+        out = []
+        for i, question in enumerate(planned):
+            votes = answers.get(i)
+            if not votes:
+                raise PlanError(f"no answers collected for item {i}")
+            verdict = bool(majority_vote(votes))
+            conf = majority_confidence(
+                [bool(v) for v in votes], self.task_type.accuracy
+            )
+            out.append((question.question.item, verdict, conf))
+        return out
+
+    def ground_truth(self) -> list[Any]:
+        """Items that truly satisfy the predicate."""
+        return [item for item, t in zip(self.items, self.truths) if t]

@@ -1,0 +1,154 @@
+"""Crowd-powered group-by ([10] in the paper: Davidson et al., ICDT 2013).
+
+Items carry a latent categorical label only humans can judge ("which
+animal is in this photo?").  The planner asks a multiple-choice
+question per item, repeated for reliability; plurality aggregation
+assigns each item to a group.  One parallel batch → a Scenario I/II
+H-Tuning instance (repetitions may vary per item via ``hard_items``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional, Sequence
+
+import numpy as np
+
+from ...errors import PlanError
+from ...market.task import TaskType
+from ..aggregate import majority_vote
+from ..planner import PlannedQuestion
+
+__all__ = ["CategoryQuestion", "CrowdGroupBy"]
+
+_qid = itertools.count()
+
+
+@dataclass(frozen=True)
+class CategoryQuestion:
+    """"Which category does *item* belong to?" — a k-way vote.
+
+    A worker answers the true category with probability *accuracy*;
+    errors are uniform over the remaining categories.
+    """
+
+    item: Any
+    true_category: Hashable
+    categories: tuple
+    qid: int = field(default_factory=lambda: next(_qid))
+
+    def __post_init__(self) -> None:
+        if len(self.categories) < 2:
+            raise PlanError("need at least two categories")
+        if len(set(self.categories)) != len(self.categories):
+            raise PlanError("categories must be distinct")
+        if self.true_category not in self.categories:
+            raise PlanError(
+                f"true category {self.true_category!r} not among "
+                f"{self.categories}"
+            )
+
+    def sample_answer(self, rng: np.random.Generator, accuracy: float):
+        if rng.random() < accuracy:
+            return self.true_category
+        others = [c for c in self.categories if c != self.true_category]
+        return others[int(rng.integers(0, len(others)))]
+
+
+@dataclass
+class CrowdGroupBy:
+    """Partition *items* into latent categories via k-way crowd votes.
+
+    Parameters
+    ----------
+    items / labels:
+        Objects and their latent category labels.
+    categories:
+        The label vocabulary shown to workers.
+    task_type:
+        Market task type of one categorization vote.
+    repetitions:
+        Votes per item (plurality wins).
+    hard_items / hard_extra:
+        Ambiguous items get extra votes (repetition heterogeneity).
+    """
+
+    items: Sequence[Any]
+    labels: Sequence[Hashable]
+    categories: Sequence[Hashable]
+    task_type: TaskType
+    repetitions: int = 3
+    hard_items: Sequence[int] = ()
+    hard_extra: int = 2
+
+    def __post_init__(self) -> None:
+        if len(self.items) != len(self.labels):
+            raise PlanError(
+                f"{len(self.items)} items but {len(self.labels)} labels"
+            )
+        if not self.items:
+            raise PlanError("group-by needs at least one item")
+        cats = tuple(self.categories)
+        if len(set(cats)) != len(cats) or len(cats) < 2:
+            raise PlanError("categories must be >= 2 distinct values")
+        missing = {l for l in self.labels if l not in cats}
+        if missing:
+            raise PlanError(f"labels outside the vocabulary: {missing}")
+        if self.repetitions < 1:
+            raise PlanError(f"repetitions must be >= 1, got {self.repetitions}")
+        bad = [i for i in self.hard_items if not 0 <= i < len(self.items)]
+        if bad:
+            raise PlanError(f"hard_items indices out of range: {bad}")
+        self._categories = cats
+        self._plan: Optional[list[PlannedQuestion]] = None
+
+    def plan(self) -> list[PlannedQuestion]:
+        """One categorization question per item (cached)."""
+        if self._plan is not None:
+            return self._plan
+        hard = set(self.hard_items)
+        planned = []
+        for i, (item, label) in enumerate(zip(self.items, self.labels)):
+            reps = self.repetitions + (self.hard_extra if i in hard else 0)
+            q = CategoryQuestion(
+                item=item, true_category=label, categories=self._categories
+            )
+            planned.append(PlannedQuestion(q, self.task_type, reps))
+        self._plan = planned
+        return planned
+
+    def collect(self, answers: dict[int, list[Any]]) -> dict[Hashable, list[Any]]:
+        """Plurality-vote grouping: category -> items (input order).
+
+        Every vocabulary category appears as a key, possibly empty.
+        """
+        planned = self.plan()
+        groups: dict[Hashable, list[Any]] = {c: [] for c in self._categories}
+        for i, question in enumerate(planned):
+            votes = answers.get(i)
+            if not votes:
+                raise PlanError(f"no answers collected for item {i}")
+            verdict = majority_vote(votes)
+            groups[verdict].append(question.question.item)
+        return groups
+
+    def ground_truth(self) -> dict[Hashable, list[Any]]:
+        groups: dict[Hashable, list[Any]] = {c: [] for c in self._categories}
+        for item, label in zip(self.items, self.labels):
+            groups[label].append(item)
+        return groups
+
+    def accuracy_against_truth(
+        self, answers: dict[int, list[Any]]
+    ) -> float:
+        """Fraction of items assigned to their true category."""
+        planned = self.plan()
+        correct = 0
+        for i, question in enumerate(planned):
+            votes = answers.get(i)
+            if not votes:
+                raise PlanError(f"no answers collected for item {i}")
+            if majority_vote(votes) == question.question.true_category:
+                correct += 1
+        return correct / len(planned)

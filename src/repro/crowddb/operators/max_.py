@@ -1,0 +1,130 @@
+"""Crowd-powered max discovery ([8, 9] in the paper).
+
+Single-elimination tournament: items are paired, each pair resolved by
+repeated comparison votes, winners advance.  ``ceil(log2 n)`` rounds;
+all comparisons inside a round are independent, so every round is one
+parallel batch — a multi-phase job in the paper's sense (a *job* is
+"accomplished by invoking tasks in parallel in one or more phases").
+
+Because later rounds cannot be planned before earlier rounds resolve,
+the engine executes round by round, re-tuning the remaining budget
+each round (the per-round split is configurable).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from ...errors import PlanError
+from ...market.task import TaskType
+from ..aggregate import ComparisonQuestion, majority_vote
+from ..planner import PlannedQuestion
+
+__all__ = ["CrowdMax"]
+
+
+@dataclass
+class CrowdMax:
+    """Find the max-key item via a comparison tournament.
+
+    Parameters
+    ----------
+    items / keys:
+        Candidates and their latent magnitudes.
+    task_type:
+        Market task type of a comparison vote.
+    repetitions:
+        Votes per match.
+    """
+
+    items: Sequence[Any]
+    keys: Sequence[float]
+    task_type: TaskType
+    repetitions: int = 3
+
+    def __post_init__(self) -> None:
+        if len(self.items) != len(self.keys):
+            raise PlanError(f"{len(self.items)} items but {len(self.keys)} keys")
+        if not self.items:
+            raise PlanError("max discovery needs at least one item")
+        if len(set(self.keys)) != len(self.keys):
+            raise PlanError("keys must be distinct")
+        if self.repetitions < 1:
+            raise PlanError(f"repetitions must be >= 1, got {self.repetitions}")
+        # Tournament state: indices still alive.
+        self._alive: list[int] = list(range(len(self.items)))
+        self._round_pairs: list[tuple[int, int]] = []
+        self._bye: Optional[int] = None
+
+    @property
+    def num_rounds(self) -> int:
+        """Total rounds a full tournament needs."""
+        return max(1, math.ceil(math.log2(max(len(self.items), 1))))
+
+    @property
+    def finished(self) -> bool:
+        return len(self._alive) == 1
+
+    @property
+    def winner(self) -> Any:
+        if not self.finished:
+            raise PlanError("tournament still has contenders")
+        return self.items[self._alive[0]]
+
+    @property
+    def result(self) -> Any:
+        """Alias of :attr:`winner` (uniform multi-round operator API)."""
+        return self.winner
+
+    def plan_round(self) -> list[PlannedQuestion]:
+        """Plan the next round's matches.
+
+        Pairs the currently alive items in order; an odd item out gets
+        a bye.  Raises when the tournament is already decided.
+        """
+        if self.finished:
+            raise PlanError("tournament finished; no round to plan")
+        alive = self._alive
+        self._round_pairs = []
+        self._bye = None
+        planned = []
+        i = 0
+        while i + 1 < len(alive):
+            a, b = alive[i], alive[i + 1]
+            self._round_pairs.append((a, b))
+            q = ComparisonQuestion(
+                left=self.items[a],
+                right=self.items[b],
+                left_key=float(self.keys[a]),
+                right_key=float(self.keys[b]),
+            )
+            planned.append(PlannedQuestion(q, self.task_type, self.repetitions))
+            i += 2
+        if i < len(alive):
+            self._bye = alive[i]
+        return planned
+
+    def collect_round(self, answers: dict[int, list[Any]]) -> list[Any]:
+        """Resolve the planned round; returns the advancing items."""
+        if not self._round_pairs and self._bye is None:
+            raise PlanError("no round planned")
+        survivors: list[int] = []
+        for qi, (a, b) in enumerate(self._round_pairs):
+            votes = answers.get(qi)
+            if not votes:
+                raise PlanError(f"no answers for match {qi}")
+            verdict = majority_vote(votes)  # True: left < right
+            survivors.append(b if verdict else a)
+        if self._bye is not None:
+            survivors.append(self._bye)
+        self._alive = survivors
+        self._round_pairs = []
+        self._bye = None
+        return [self.items[i] for i in survivors]
+
+    def ground_truth(self) -> Any:
+        """The true maximum-key item."""
+        best = max(range(len(self.items)), key=lambda i: self.keys[i])
+        return self.items[best]

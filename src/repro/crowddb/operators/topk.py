@@ -1,0 +1,158 @@
+"""Crowd-powered top-k ([10] in the paper: Davidson et al., ICDT 2013).
+
+Two-phase plan:
+
+1. **Pruning round** — items are grouped into buckets of size
+   ``2k``; within each bucket, all pairs are compared and the k
+   highest-scoring items survive (one parallel batch).
+2. **Final round** — all survivors are compared pairwise and the top k
+   by Copeland score are returned, ordered.
+
+Both rounds are parallel batches of comparison votes, so each feeds
+the tuner as one H-Tuning instance (Scenario I within a round).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ...errors import PlanError
+from ...market.task import TaskType
+from ..aggregate import ComparisonQuestion, majority_vote
+from ..planner import PlannedQuestion
+
+__all__ = ["CrowdTopK"]
+
+
+@dataclass
+class CrowdTopK:
+    """Find the k largest-key items via bucketed pairwise voting.
+
+    Parameters
+    ----------
+    items / keys:
+        Candidates and their latent magnitudes (keys distinct).
+    k:
+        How many winners to return (1 <= k <= len(items)).
+    task_type:
+        Market task type of one comparison vote.
+    repetitions:
+        Votes per comparison.
+    """
+
+    items: Sequence[Any]
+    keys: Sequence[float]
+    k: int
+    task_type: TaskType
+    repetitions: int = 3
+
+    def __post_init__(self) -> None:
+        if len(self.items) != len(self.keys):
+            raise PlanError(f"{len(self.items)} items but {len(self.keys)} keys")
+        if not self.items:
+            raise PlanError("top-k needs at least one item")
+        if len(set(self.keys)) != len(self.keys):
+            raise PlanError("keys must be distinct")
+        if not 1 <= self.k <= len(self.items):
+            raise PlanError(
+                f"k must be in [1, {len(self.items)}], got {self.k}"
+            )
+        if self.repetitions < 1:
+            raise PlanError(f"repetitions must be >= 1, got {self.repetitions}")
+        self._alive: list[int] = list(range(len(self.items)))
+        self._phase = "prune" if len(self.items) > 2 * self.k else "final"
+        self._round_questions: list[tuple[int, int]] = []
+        self._buckets: list[list[int]] = []
+
+    # -- phases --------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._phase == "done"
+
+    @property
+    def result(self) -> list[Any]:
+        if not self.finished:
+            raise PlanError("top-k not finished")
+        return [self.items[i] for i in self._alive]
+
+    def plan_round(self) -> list[PlannedQuestion]:
+        """Plan the next parallel batch of comparisons."""
+        if self.finished:
+            raise PlanError("top-k already finished")
+        self._round_questions = []
+        planned: list[PlannedQuestion] = []
+        if self._phase == "prune":
+            self._buckets = [
+                self._alive[i : i + 2 * self.k]
+                for i in range(0, len(self._alive), 2 * self.k)
+            ]
+            for bucket in self._buckets:
+                for a_pos in range(len(bucket)):
+                    for b_pos in range(a_pos + 1, len(bucket)):
+                        a, b = bucket[a_pos], bucket[b_pos]
+                        self._round_questions.append((a, b))
+                        planned.append(self._question(a, b))
+        else:  # final
+            for a_pos in range(len(self._alive)):
+                for b_pos in range(a_pos + 1, len(self._alive)):
+                    a, b = self._alive[a_pos], self._alive[b_pos]
+                    self._round_questions.append((a, b))
+                    planned.append(self._question(a, b))
+        if not planned:
+            # Degenerate: nothing to compare (|alive| <= 1) — finish.
+            self._phase = "done"
+            raise PlanError("nothing to compare; top-k already decided")
+        return planned
+
+    def _question(self, a: int, b: int) -> PlannedQuestion:
+        q = ComparisonQuestion(
+            left=self.items[a],
+            right=self.items[b],
+            left_key=float(self.keys[a]),
+            right_key=float(self.keys[b]),
+        )
+        return PlannedQuestion(q, self.task_type, self.repetitions)
+
+    def collect_round(self, answers: dict[int, list[Any]]) -> list[Any]:
+        """Resolve the planned round; returns the still-alive items."""
+        if not self._round_questions:
+            raise PlanError("no round planned")
+        wins: dict[int, float] = {i: 0.0 for i in self._alive}
+        for qi, (a, b) in enumerate(self._round_questions):
+            votes = answers.get(qi)
+            if not votes:
+                raise PlanError(f"no answers for comparison {qi}")
+            verdict = majority_vote(votes)  # True: left < right
+            if verdict:
+                wins[b] += 1.0
+            else:
+                wins[a] += 1.0
+        if self._phase == "prune":
+            survivors: list[int] = []
+            for bucket in self._buckets:
+                keep = min(self.k, len(bucket))
+                ranked = sorted(bucket, key=lambda i: -wins[i])
+                survivors.extend(ranked[:keep])
+            self._alive = survivors
+            self._phase = (
+                "final" if len(self._alive) > self.k else "done"
+            )
+        else:
+            ranked = sorted(self._alive, key=lambda i: -wins[i])
+            self._alive = ranked[: self.k]
+            self._phase = "done"
+        self._round_questions = []
+        self._buckets = []
+        return [self.items[i] for i in self._alive]
+
+    def ground_truth(self) -> list[Any]:
+        """The true top-k, descending by key."""
+        order = sorted(
+            range(len(self.items)), key=lambda i: -float(self.keys[i])
+        )
+        return [self.items[i] for i in order[: self.k]]

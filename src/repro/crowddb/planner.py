@@ -1,0 +1,111 @@
+"""Query planner: crowd operators → H-Tuning instances → market orders.
+
+This is the glue of Motivation Examples 1 and 2: a database query is
+decomposed into atomic voting tasks with repetition requirements (the
+"next votes" style planning the paper cites), the tuner allocates the
+budget over them, and the resulting priced tasks are published.
+
+:class:`CrowdQuery` is the intermediate representation:
+
+    operator  --plan-->  [PlannedQuestion]  --to_problem-->  HTuningProblem
+                                            --to_orders--->  [AtomicTaskOrder]
+
+One planned question = one atomic task; its repetitions become the
+task's repetition requirement, its :class:`~repro.market.task.TaskType`
+supplies λ_p, and the pricing registry supplies λ_o(c) per type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+from ..core.problem import Allocation, HTuningProblem, TaskSpec
+from ..errors import PlanError
+from ..market.pricing import PricingModel
+from ..market.simulator import AtomicTaskOrder
+from ..market.task import TaskType
+
+__all__ = ["PlannedQuestion", "CrowdQuery"]
+
+
+@dataclass(frozen=True)
+class PlannedQuestion:
+    """One atomic task in a crowd query plan."""
+
+    question: Any  # payload exposing sample_answer(rng, accuracy)
+    task_type: TaskType
+    repetitions: int
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1 or int(self.repetitions) != self.repetitions:
+            raise PlanError(
+                f"repetitions must be a positive integer, got {self.repetitions}"
+            )
+        if not hasattr(self.question, "sample_answer"):
+            raise PlanError(
+                f"question payload {self.question!r} lacks sample_answer()"
+            )
+
+
+class CrowdQuery:
+    """A planned crowd query: questions + pricing registry + budget."""
+
+    def __init__(
+        self,
+        questions: Sequence[PlannedQuestion],
+        pricing: Mapping[str, PricingModel],
+        budget: int,
+    ) -> None:
+        if not questions:
+            raise PlanError("a crowd query needs at least one question")
+        self.questions = list(questions)
+        self.pricing = dict(pricing)
+        missing = {
+            q.task_type.name for q in self.questions
+        } - set(self.pricing)
+        if missing:
+            raise PlanError(
+                f"no pricing model registered for task types: {sorted(missing)}"
+            )
+        self.budget = int(budget)
+
+    def to_problem(self) -> HTuningProblem:
+        """Build the H-Tuning instance for this query.
+
+        Task ids are the question indices, so allocations map back to
+        questions positionally.
+        """
+        specs = [
+            TaskSpec(
+                task_id=i,
+                repetitions=q.repetitions,
+                pricing=self.pricing[q.task_type.name],
+                processing_rate=q.task_type.processing_rate,
+                type_name=q.task_type.name,
+            )
+            for i, q in enumerate(self.questions)
+        ]
+        return HTuningProblem(specs, self.budget)
+
+    def to_orders(self, allocation: Allocation) -> list[AtomicTaskOrder]:
+        """Turn an allocation into market orders, one per question."""
+        orders = []
+        for i, q in enumerate(self.questions):
+            if i not in allocation:
+                raise PlanError(f"allocation missing task id {i}")
+            prices = allocation[i]
+            if len(prices) != q.repetitions:
+                raise PlanError(
+                    f"question {i} needs {q.repetitions} prices, "
+                    f"allocation provides {len(prices)}"
+                )
+            orders.append(
+                AtomicTaskOrder(
+                    task_type=q.task_type,
+                    prices=tuple(prices),
+                    atomic_task_id=i,
+                    payload=q.question,
+                )
+            )
+        return orders

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch every library failure with a single ``except`` clause while
+still being able to distinguish the common failure categories.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "BudgetError",
+    "InfeasibleAllocationError",
+    "ModelError",
+    "InferenceError",
+    "SimulationError",
+    "PlanError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the ``repro`` library."""
+
+
+class BudgetError(ReproError, ValueError):
+    """Raised when a budget is malformed (non-integral, negative, ...)."""
+
+
+class InfeasibleAllocationError(BudgetError):
+    """Raised when the budget cannot cover the minimum feasible allocation.
+
+    The paper's algorithms require every repetition of every task to
+    receive at least one payment unit; a budget smaller than the total
+    number of repetitions is infeasible (Algorithm 1, line 2).
+    """
+
+    def __init__(self, budget: int, minimum_required: int) -> None:
+        self.budget = int(budget)
+        self.minimum_required = int(minimum_required)
+        super().__init__(
+            f"budget {self.budget} cannot cover the minimum of one unit per "
+            f"repetition (need at least {self.minimum_required})"
+        )
+
+
+class ModelError(ReproError, ValueError):
+    """Raised for invalid stochastic-model parameters (e.g. rate <= 0)."""
+
+
+class InferenceError(ReproError, RuntimeError):
+    """Raised when parameter inference cannot produce an estimate."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """Raised for inconsistent simulator state or invalid event usage."""
+
+
+class PlanError(ReproError, ValueError):
+    """Raised when a crowd-DB query plan is malformed or unexecutable."""

@@ -1,0 +1,57 @@
+"""Experiment harness regenerating every table/figure of the paper."""
+
+from .figures import (
+    FIG2_STRATEGIES,
+    Fig3Result,
+    Fig4Result,
+    Fig5abResult,
+    Fig5cResult,
+    MotivationResult,
+    fig2_experiment,
+    fig3_experiment,
+    fig4_experiment,
+    fig5ab_experiment,
+    fig5c_experiment,
+    motivation_example_1,
+    motivation_example_2,
+)
+from .pareto import (
+    BudgetLatencyFrontier,
+    FrontierPoint,
+    budget_latency_frontier,
+    min_budget_for_latency,
+)
+from .reporting import format_kv, format_series, format_table
+from .runner import (
+    SweepResult,
+    evaluate_allocation,
+    evaluate_allocation_with_ci,
+    run_budget_sweep,
+)
+
+__all__ = [
+    "BudgetLatencyFrontier",
+    "FIG2_STRATEGIES",
+    "FrontierPoint",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig5abResult",
+    "Fig5cResult",
+    "MotivationResult",
+    "SweepResult",
+    "evaluate_allocation",
+    "evaluate_allocation_with_ci",
+    "fig2_experiment",
+    "fig3_experiment",
+    "fig4_experiment",
+    "fig5ab_experiment",
+    "fig5c_experiment",
+    "budget_latency_frontier",
+    "format_kv",
+    "format_series",
+    "format_table",
+    "min_budget_for_latency",
+    "motivation_example_1",
+    "motivation_example_2",
+    "run_budget_sweep",
+]

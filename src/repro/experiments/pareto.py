@@ -1,0 +1,149 @@
+"""Budget–latency trade-off exploration.
+
+The H-Tuning problem fixes the budget and minimizes latency; a
+requester deciding *how much* to spend needs the whole frontier.
+:func:`budget_latency_frontier` sweeps budgets, tunes each, and scores
+the expected job latency, producing the curve a practitioner reads off
+before committing money — plus the "knee" heuristic (max curvature
+point) that marks where extra spend stops paying.
+
+This also doubles as the bridge between the paper and its
+deadline-constrained relative [29]: inverting the frontier answers
+"what is the cheapest budget whose tuned latency meets deadline D?"
+(:func:`min_budget_for_latency`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.latency import expected_job_latency
+from ..core.problem import HTuningProblem
+from ..core.tuner import Tuner
+from ..errors import ModelError
+from ..stats.rng import RandomState
+
+__all__ = ["FrontierPoint", "BudgetLatencyFrontier", "budget_latency_frontier",
+           "min_budget_for_latency"]
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One (budget, tuned expected latency) point."""
+
+    budget: int
+    latency: float
+    strategy: str
+
+
+@dataclass(frozen=True)
+class BudgetLatencyFrontier:
+    """A swept budget–latency curve."""
+
+    points: tuple[FrontierPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ModelError("frontier needs at least one point")
+
+    @property
+    def budgets(self) -> tuple[int, ...]:
+        return tuple(p.budget for p in self.points)
+
+    @property
+    def latencies(self) -> tuple[float, ...]:
+        return tuple(p.latency for p in self.points)
+
+    def is_monotone(self, tolerance: float = 1e-9) -> bool:
+        """Latency should never increase with budget."""
+        lats = self.latencies
+        return all(a >= b - tolerance for a, b in zip(lats, lats[1:]))
+
+    def knee(self) -> FrontierPoint:
+        """Heuristic diminishing-returns point (max distance to the
+        chord between the endpoints, the classic 'kneedle' shape)."""
+        if len(self.points) < 3:
+            return self.points[-1]
+        x = np.asarray(self.budgets, dtype=float)
+        y = np.asarray(self.latencies, dtype=float)
+        x_n = (x - x[0]) / max(x[-1] - x[0], 1e-12)
+        y_n = (y - y[-1]) / max(y[0] - y[-1], 1e-12)
+        # Max vertical distance below the chord between the endpoints.
+        chord = y_n[0] + (y_n[-1] - y_n[0]) * x_n
+        idx = int(np.argmax(chord - y_n))
+        return self.points[idx]
+
+
+def budget_latency_frontier(
+    workload_factory: Callable[[int], HTuningProblem],
+    budgets: Sequence[int],
+    tuner: Optional[Tuner] = None,
+    include_processing: bool = True,
+) -> BudgetLatencyFrontier:
+    """Tune each budget and score the exact expected job latency."""
+    if not budgets:
+        raise ModelError("need at least one budget")
+    budgets = sorted(int(b) for b in budgets)
+    tuner = tuner or Tuner(seed=0)
+    points = []
+    for budget in budgets:
+        problem = workload_factory(budget)
+        allocation = tuner.tune(problem)
+        latency = expected_job_latency(
+            problem, allocation, include_processing=include_processing
+        )
+        points.append(
+            FrontierPoint(
+                budget=budget,
+                latency=latency,
+                strategy=tuner.resolve_strategy(problem),
+            )
+        )
+    return BudgetLatencyFrontier(points=tuple(points))
+
+
+def min_budget_for_latency(
+    workload_factory: Callable[[int], HTuningProblem],
+    target_latency: float,
+    budget_lo: int,
+    budget_hi: int,
+    tuner: Optional[Tuner] = None,
+    include_processing: bool = True,
+) -> Optional[int]:
+    """Cheapest budget in [lo, hi] whose tuned latency <= target.
+
+    Binary search — valid because the tuned latency is non-increasing
+    in the budget (more money never hurts an optimal tuner; certified
+    by tests).  Returns ``None`` when even *budget_hi* misses the
+    target.
+    """
+    if target_latency <= 0:
+        raise ModelError(f"target_latency must be positive, got {target_latency}")
+    if budget_lo > budget_hi:
+        raise ModelError("budget_lo must be <= budget_hi")
+    tuner = tuner or Tuner(seed=0)
+
+    def latency_at(budget: int) -> float:
+        problem = workload_factory(budget)
+        allocation = tuner.tune(problem)
+        return expected_job_latency(
+            problem, allocation, include_processing=include_processing
+        )
+
+    if latency_at(budget_hi) > target_latency:
+        return None
+    lo, hi = budget_lo, budget_hi
+    while lo < hi:
+        mid = (lo + hi) // 2
+        try:
+            ok = latency_at(mid) <= target_latency
+        except Exception:
+            ok = False  # infeasible mid (below the one-unit floor)
+        if ok:
+            hi = mid
+        else:
+            lo = mid + 1
+    return hi

@@ -1,0 +1,68 @@
+"""Textual reporting of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep the formatting consistent and dependency-free
+(plain ASCII, no plotting libraries needed offline).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render an ASCII table with aligned columns."""
+    str_rows = []
+    for row in rows:
+        str_rows.append(
+            [
+                float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Render named series against a shared x-axis as a table."""
+    names = sorted(series)
+    headers = [x_label, *names]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append((x, *(float(series[n][i]) for n in names)))
+    return format_table(headers, rows, title=title)
+
+
+def format_kv(pairs: Mapping[str, object], title: str = "") -> str:
+    """Render key/value diagnostics."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        lines.append(f"{key.ljust(width)} : {value}")
+    return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Experiment runner: evaluate allocation strategies over budget sweeps.
+
+The Fig. 2 experiments all have the same shape — for each budget in a
+sweep, build the workload, run each strategy, and score the resulting
+allocation's expected job latency.  Two scoring backends:
+
+* ``"mc"`` — Monte-Carlo sampling from the aggregate model (what the
+  paper's simulation does), with a seed per (budget, strategy) cell so
+  curves are smooth and reproducible;
+* ``"numeric"`` — the exact numeric expectation
+  (:func:`repro.core.latency.expected_job_latency`); noise-free, used
+  by tests to check orderings without Monte-Carlo tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.latency import expected_job_latency, simulate_job_latency
+from ..core.problem import Allocation, HTuningProblem
+from ..core.tuner import STRATEGIES
+from ..errors import ModelError
+from ..stats.rng import RandomState, ensure_rng
+
+__all__ = [
+    "SweepResult",
+    "run_budget_sweep",
+    "evaluate_allocation",
+    "evaluate_allocation_with_ci",
+]
+
+
+@dataclass
+class SweepResult:
+    """Latency series per strategy over a budget sweep."""
+
+    budgets: tuple[int, ...]
+    series: dict[str, tuple[float, ...]]
+    scoring: str
+    label: str = ""
+
+    def best_strategy_at(self, budget: int) -> str:
+        """Strategy with the lowest latency at *budget*."""
+        idx = self.budgets.index(budget)
+        return min(self.series, key=lambda s: self.series[s][idx])
+
+    def dominates(self, winner: str, loser: str, slack: float = 0.0) -> bool:
+        """True if *winner*'s curve is <= *loser*'s at every budget
+        (within additive *slack*, to absorb Monte-Carlo noise)."""
+        w = self.series[winner]
+        l = self.series[loser]
+        return all(wv <= lv + slack for wv, lv in zip(w, l))
+
+    def as_rows(self) -> list[tuple]:
+        """Rows (budget, latency-per-strategy...) for reporting."""
+        names = sorted(self.series)
+        rows = []
+        for i, b in enumerate(self.budgets):
+            rows.append((b, *(self.series[n][i] for n in names)))
+        return rows
+
+
+def evaluate_allocation(
+    problem: HTuningProblem,
+    allocation: Allocation,
+    scoring: str = "mc",
+    n_samples: int = 2000,
+    rng: RandomState = None,
+    include_processing: bool = True,
+) -> float:
+    """Score one allocation's expected job latency."""
+    if scoring == "mc":
+        return simulate_job_latency(
+            problem,
+            allocation,
+            n_samples=n_samples,
+            rng=rng,
+            include_processing=include_processing,
+        )
+    if scoring == "numeric":
+        return expected_job_latency(
+            problem, allocation, include_processing=include_processing
+        )
+    raise ModelError(f"unknown scoring {scoring!r}; expected 'mc' or 'numeric'")
+
+
+def evaluate_allocation_with_ci(
+    problem: HTuningProblem,
+    allocation: Allocation,
+    n_samples: int = 2000,
+    rng: RandomState = None,
+    include_processing: bool = True,
+    confidence: float = 0.95,
+) -> tuple[float, float, float]:
+    """Monte-Carlo latency estimate with a normal-approximation CI.
+
+    Returns ``(mean, ci_low, ci_high)``.  The CLT applies comfortably
+    at the default sample counts (job latencies are light-tailed
+    maxima of phase-type sums).
+    """
+    from scipy import stats as sps
+
+    from ..core.latency import sample_job_latencies
+
+    if not 0.0 < confidence < 1.0:
+        raise ModelError(f"confidence must be in (0,1), got {confidence}")
+    draws = sample_job_latencies(
+        problem, allocation, n_samples, rng, include_processing
+    )
+    mean = float(draws.mean())
+    sem = float(draws.std(ddof=1) / np.sqrt(len(draws)))
+    z = float(sps.norm.ppf(0.5 + confidence / 2.0))
+    return mean, mean - z * sem, mean + z * sem
+
+
+def run_budget_sweep(
+    workload_factory: Callable[[int], HTuningProblem],
+    budgets: Sequence[int],
+    strategies: Sequence[str],
+    scoring: str = "mc",
+    n_samples: int = 2000,
+    seed: RandomState = 0,
+    include_processing: bool = True,
+    label: str = "",
+) -> SweepResult:
+    """Run *strategies* over *budgets* and collect latency curves.
+
+    Parameters
+    ----------
+    workload_factory:
+        ``budget -> HTuningProblem`` (e.g. a partial of the Fig. 2
+        workload factories).
+    strategies:
+        Names from :data:`repro.core.tuner.STRATEGIES`.
+    scoring / n_samples:
+        Latency scoring backend; ``n_samples`` only applies to ``mc``.
+    seed:
+        Base seed; each (budget, strategy) cell gets a derived
+        substream so curves are independent yet reproducible.
+    """
+    unknown = [s for s in strategies if s not in STRATEGIES]
+    if unknown:
+        raise ModelError(f"unknown strategies: {unknown}")
+    if not budgets:
+        raise ModelError("budget sweep needs at least one budget")
+    base = ensure_rng(seed)
+    cell_seed = base.integers(0, 2**62)
+    series: dict[str, list[float]] = {s: [] for s in strategies}
+    for bi, budget in enumerate(budgets):
+        problem = workload_factory(int(budget))
+        for si, name in enumerate(strategies):
+            strat_rng = np.random.default_rng(
+                int(cell_seed) + 1_000_003 * bi + 7919 * si
+            )
+            allocation = STRATEGIES[name](problem, strat_rng)
+            latency = evaluate_allocation(
+                problem,
+                allocation,
+                scoring=scoring,
+                n_samples=n_samples,
+                rng=strat_rng,
+                include_processing=include_processing,
+            )
+            series[name].append(latency)
+    return SweepResult(
+        budgets=tuple(int(b) for b in budgets),
+        series={k: tuple(v) for k, v in series.items()},
+        scoring=scoring,
+        label=label,
+    )

@@ -1,0 +1,28 @@
+"""Running-parameter inference for the HPU model (paper §3.3).
+
+* :mod:`~repro.inference.mle` — fixed-period and random-period rate
+  MLEs with exact confidence intervals and bias correction;
+* :mod:`~repro.inference.probe` — probe programs that publish sample
+  tasks against a market and drive the estimators;
+* :mod:`~repro.inference.linearity` — Linearity-Hypothesis fitting,
+  producing calibrated pricing models for the tuner.
+"""
+
+from .linearity import LinearityFit, fit_linearity, paper_amt_rates
+from .mle import (
+    RateEstimate,
+    estimate_rate_fixed_period,
+    estimate_rate_random_period,
+)
+from .probe import ProbeSession, RateProbe
+
+__all__ = [
+    "LinearityFit",
+    "ProbeSession",
+    "RateEstimate",
+    "RateProbe",
+    "estimate_rate_fixed_period",
+    "estimate_rate_random_period",
+    "fit_linearity",
+    "paper_amt_rates",
+]

@@ -1,0 +1,170 @@
+"""Linearity-Hypothesis fitting and diagnostics (paper §3.3.2, Fig. 4).
+
+Hypothesis 1: within the operating price range, ``λ_o(c) = k·c + b``.
+The paper supports this empirically with four AMT rate estimates
+(λ = 0.0038, 0.0062, 0.0121, 0.0131 s⁻¹ at rewards $0.05–$0.12).
+
+:func:`fit_linearity` performs weighted least squares on
+``(price, λ̂)`` pairs (weights default to the estimates' Fisher
+information ``T0²/N ≈ N/λ̂²``-style precision proxies when
+:class:`~repro.inference.mle.RateEstimate` objects are given) and
+reports R², residuals, and a calibrated
+:class:`~repro.market.pricing.LinearPricing` model ready to hand to
+the tuner.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import InferenceError
+from ..market.pricing import LinearPricing
+from .mle import RateEstimate
+
+__all__ = ["LinearityFit", "fit_linearity", "paper_amt_rates"]
+
+
+@dataclass(frozen=True)
+class LinearityFit:
+    """Result of fitting λ_o(c) = slope·c + intercept."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    residuals: tuple[float, ...]
+    prices: tuple[float, ...]
+    rates: tuple[float, ...]
+
+    def predict(self, price: float) -> float:
+        return self.slope * price + self.intercept
+
+    def to_pricing_model(self) -> LinearPricing:
+        """Calibrated pricing curve for the tuner.
+
+        A negative fitted intercept would make low prices produce
+        negative rates, which the HPU model forbids; in that case the
+        curve is refit through the origin (least squares with
+        ``intercept = 0``), which stays closest to the probed points
+        while remaining valid at every positive price.  A non-positive
+        curve (negative slope and intercept) is rejected outright.
+        """
+        slope = self.slope
+        intercept = self.intercept
+        if intercept < 0.0:
+            prices = np.asarray(self.prices)
+            rates = np.asarray(self.rates)
+            denom = float((prices**2).sum())
+            slope = float((prices * rates).sum() / denom) if denom > 0 else 0.0
+            intercept = 0.0
+        slope = max(slope, 0.0)
+        if slope == 0.0 and intercept <= 0.0:
+            raise InferenceError(
+                "fitted curve is non-positive everywhere; cannot build a "
+                "pricing model (probe more price points)"
+            )
+        return LinearPricing(slope=slope, intercept=intercept)
+
+    @property
+    def supports_hypothesis(self) -> bool:
+        """Loose empirical check mirroring the paper's reading of
+        Fig. 4: positive trend and R² above 0.8."""
+        return self.slope > 0 and self.r_squared >= 0.8
+
+
+def fit_linearity(
+    prices: Sequence[float],
+    rates: Sequence[float] | Sequence[RateEstimate],
+    weights: Optional[Sequence[float]] = None,
+) -> LinearityFit:
+    """Weighted least-squares fit of the Linearity Hypothesis.
+
+    Parameters
+    ----------
+    prices:
+        Probed price points (at least two distinct values).
+    rates:
+        Rate estimates — floats or :class:`RateEstimate` objects (the
+        latter contribute precision weights automatically from their
+        observation counts).
+    weights:
+        Optional explicit weights (override automatic ones).
+    """
+    prices_arr = np.asarray([float(p) for p in prices], dtype=float)
+    if prices_arr.size < 2:
+        raise InferenceError("need at least two price points to fit a line")
+    if np.unique(prices_arr).size < 2:
+        raise InferenceError("need at least two *distinct* price points")
+
+    rate_values = []
+    auto_weights = []
+    for r in rates:
+        if isinstance(r, RateEstimate):
+            rate_values.append(r.rate)
+            # Poisson-count precision: Var(λ̂) ≈ λ/T0 = λ̂/T0 ⇒ weight T0/λ̂.
+            if r.rate > 0:
+                auto_weights.append(r.elapsed / r.rate)
+            else:
+                auto_weights.append(r.elapsed)
+        else:
+            rate_values.append(float(r))
+            auto_weights.append(1.0)
+    rates_arr = np.asarray(rate_values, dtype=float)
+    if rates_arr.size != prices_arr.size:
+        raise InferenceError(
+            f"{prices_arr.size} prices but {rates_arr.size} rate estimates"
+        )
+    if np.any(rates_arr < 0):
+        raise InferenceError("rates must be non-negative")
+
+    if weights is not None:
+        w = np.asarray([float(x) for x in weights], dtype=float)
+        if w.size != prices_arr.size:
+            raise InferenceError("weights length mismatch")
+        if np.any(w <= 0):
+            raise InferenceError("weights must be positive")
+    else:
+        w = np.asarray(auto_weights, dtype=float)
+        if np.any(w <= 0):
+            w = np.ones_like(prices_arr)
+
+    # Weighted least squares: minimize Σ w (λ − (k c + b))².
+    sw = w.sum()
+    mx = float((w * prices_arr).sum() / sw)
+    my = float((w * rates_arr).sum() / sw)
+    sxx = float((w * (prices_arr - mx) ** 2).sum())
+    if sxx <= 0:
+        raise InferenceError("degenerate design: zero price variance")
+    sxy = float((w * (prices_arr - mx) * (rates_arr - my)).sum())
+    slope = sxy / sxx
+    intercept = my - slope * mx
+
+    fitted = slope * prices_arr + intercept
+    residuals = rates_arr - fitted
+    ss_res = float((w * residuals**2).sum())
+    ss_tot = float((w * (rates_arr - my) ** 2).sum())
+    r_squared = 1.0 if ss_tot == 0 else max(0.0, 1.0 - ss_res / ss_tot)
+
+    return LinearityFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=float(r_squared),
+        residuals=tuple(float(r) for r in residuals),
+        prices=tuple(float(p) for p in prices_arr),
+        rates=tuple(float(r) for r in rates_arr),
+    )
+
+
+def paper_amt_rates() -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """The paper's Fig. 4 calibration points.
+
+    Rewards $0.05, $0.08, $0.10, $0.12 (expressed in cents = payment
+    units) with inferred on-hold rates λ (s⁻¹).  Returned as
+    ``(prices_in_units, rates)`` for use with :func:`fit_linearity`.
+    """
+    prices = (5.0, 8.0, 10.0, 12.0)
+    rates = (0.0038, 0.0062, 0.0121, 0.0131)
+    return prices, rates

@@ -1,0 +1,99 @@
+"""Crowd-market simulator — the library's AMT substitute (paper §3, §5.2).
+
+Layers, bottom-up:
+
+* :mod:`~repro.market.events` — deterministic discrete-event queue;
+* :mod:`~repro.market.task` — task lifecycle and measurements;
+* :mod:`~repro.market.worker` — Poisson worker stream + choice models;
+* :mod:`~repro.market.pricing` — λ_o(c) response curves (all six curves
+  of the paper's Fig. 2);
+* :mod:`~repro.market.simulator` — aggregate and agent engines;
+* :mod:`~repro.market.trace` — per-task measurements and summaries;
+* :mod:`~repro.market.platform` — requester-facing facade.
+"""
+
+from .dynamics import (
+    ConstantRate,
+    NonstationaryWorkerPool,
+    PiecewiseRate,
+    RateProfile,
+    SinusoidalRate,
+    sample_arrival_times,
+)
+from .events import Event, EventKind, EventQueue
+from .persistence import (
+    TRACE_COLUMNS,
+    read_records_csv,
+    recorder_from_csv,
+    write_records_csv,
+)
+from .platform import CrowdPlatform, PublishRequest
+from .pricing import (
+    PAPER_FIG2_MODELS,
+    CallablePricing,
+    LinearPricing,
+    LogPricing,
+    PricingModel,
+    QuadraticPricing,
+    fig2_model,
+)
+from .retainer import RetainerCostModel, RetainerSimulator
+from .simulator import (
+    AgentSimulator,
+    AggregateSimulator,
+    AtomicTaskOrder,
+    JobResult,
+    MarketModel,
+)
+from .task import PublishedTask, TaskState, TaskType
+from .trace import LatencySummary, TaskRecord, TraceRecorder
+from .worker import (
+    ChoiceModel,
+    GreedyPriceChoice,
+    PriceProportionalChoice,
+    SoftmaxChoice,
+    WorkerPool,
+)
+
+__all__ = [
+    "AgentSimulator",
+    "AggregateSimulator",
+    "AtomicTaskOrder",
+    "CallablePricing",
+    "ChoiceModel",
+    "ConstantRate",
+    "CrowdPlatform",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "GreedyPriceChoice",
+    "JobResult",
+    "LatencySummary",
+    "LinearPricing",
+    "LogPricing",
+    "MarketModel",
+    "NonstationaryWorkerPool",
+    "PAPER_FIG2_MODELS",
+    "PriceProportionalChoice",
+    "PricingModel",
+    "PiecewiseRate",
+    "RateProfile",
+    "PublishRequest",
+    "PublishedTask",
+    "RetainerCostModel",
+    "RetainerSimulator",
+    "QuadraticPricing",
+    "SinusoidalRate",
+    "SoftmaxChoice",
+    "TRACE_COLUMNS",
+    "TaskRecord",
+    "TaskState",
+    "TaskType",
+    "TraceRecorder",
+    "WorkerPool",
+    "fig2_model",
+    "read_records_csv",
+    "recorder_from_csv",
+    "sample_arrival_times",
+    "write_records_csv",
+]

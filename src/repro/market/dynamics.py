@@ -1,0 +1,209 @@
+"""Time-varying market dynamics (paper §3, "Worker" definition).
+
+The paper notes that AMT worker activity "observes fluctuation along
+both a daily and a weekly basis" but argues a constant-rate model
+suffices for micro-task batches, *provided the parameters are inferred
+close to run time*.  This module makes that argument testable: it
+provides non-stationary arrival processes so experiments can quantify
+how badly a stationary-model tuner degrades under drift and how much
+adaptive re-tuning (:mod:`repro.core.adaptive`) recovers.
+
+Rate profiles are intensity functions ``λ(t)``; sampling uses Lewis &
+Shedler thinning, which is exact for any bounded intensity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from ..stats.rng import RandomState, ensure_rng
+from .worker import ChoiceModel, PriceProportionalChoice, WorkerPool
+
+__all__ = [
+    "RateProfile",
+    "ConstantRate",
+    "SinusoidalRate",
+    "PiecewiseRate",
+    "sample_arrival_times",
+    "NonstationaryWorkerPool",
+]
+
+
+class RateProfile:
+    """An arrival intensity λ(t) with a known upper bound."""
+
+    def rate(self, t: float) -> float:
+        """Intensity at time *t* (must be >= 0)."""
+        raise NotImplementedError
+
+    def max_rate(self) -> float:
+        """A bound ``λ_max >= λ(t)`` for all t (thinning envelope)."""
+        raise NotImplementedError
+
+    def mean_rate(self, horizon: float, samples: int = 1024) -> float:
+        """Average intensity over [0, horizon] (numeric)."""
+        if horizon <= 0:
+            raise ModelError(f"horizon must be positive, got {horizon}")
+        ts = np.linspace(0.0, horizon, samples)
+        return float(np.mean([self.rate(float(t)) for t in ts]))
+
+
+@dataclass(frozen=True)
+class ConstantRate(RateProfile):
+    """The paper's stationary model: λ(t) = value."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.value) or self.value <= 0:
+            raise ModelError(f"rate must be positive, got {self.value}")
+
+    def rate(self, t: float) -> float:
+        return self.value
+
+    def max_rate(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class SinusoidalRate(RateProfile):
+    """Daily-cycle fluctuation: λ(t) = base·(1 + amplitude·sin(2πt/period + phase)).
+
+    ``amplitude`` in [0, 1) keeps the intensity strictly positive.
+    """
+
+    base: float
+    amplitude: float
+    period: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ModelError(f"base rate must be positive, got {self.base}")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ModelError(
+                f"amplitude must be in [0, 1), got {self.amplitude}"
+            )
+        if self.period <= 0:
+            raise ModelError(f"period must be positive, got {self.period}")
+
+    def rate(self, t: float) -> float:
+        return self.base * (
+            1.0 + self.amplitude * math.sin(2.0 * math.pi * t / self.period + self.phase)
+        )
+
+    def max_rate(self) -> float:
+        return self.base * (1.0 + self.amplitude)
+
+
+class PiecewiseRate(RateProfile):
+    """Step-function intensity: rate r_i on [t_i, t_{i+1}).
+
+    The last segment extends to infinity.  Models regime shifts like
+    "the US workforce wakes up at t = 100".
+    """
+
+    def __init__(self, breakpoints: Sequence[float], rates: Sequence[float]) -> None:
+        breakpoints = [float(b) for b in breakpoints]
+        rates = [float(r) for r in rates]
+        if len(rates) != len(breakpoints) + 1:
+            raise ModelError(
+                f"need len(rates) == len(breakpoints)+1, got {len(rates)} rates "
+                f"and {len(breakpoints)} breakpoints"
+            )
+        if any(b2 <= b1 for b1, b2 in zip(breakpoints, breakpoints[1:])):
+            raise ModelError("breakpoints must be strictly increasing")
+        if any(b < 0 for b in breakpoints):
+            raise ModelError("breakpoints must be >= 0")
+        if any(r <= 0 or not math.isfinite(r) for r in rates):
+            raise ModelError(f"all rates must be positive, got {rates}")
+        self.breakpoints = breakpoints
+        self.rates = rates
+
+    def rate(self, t: float) -> float:
+        idx = 0
+        for b in self.breakpoints:
+            if t < b:
+                break
+            idx += 1
+        return self.rates[idx]
+
+    def max_rate(self) -> float:
+        return max(self.rates)
+
+
+def sample_arrival_times(
+    profile: RateProfile,
+    horizon: float,
+    rng: RandomState = None,
+    start: float = 0.0,
+) -> list[float]:
+    """Exact non-homogeneous Poisson arrivals on [start, start+horizon].
+
+    Lewis–Shedler thinning: candidate arrivals from a homogeneous
+    Poisson(λ_max) stream are kept with probability λ(t)/λ_max.
+    """
+    if horizon <= 0:
+        raise ModelError(f"horizon must be positive, got {horizon}")
+    gen = ensure_rng(rng)
+    lam_max = profile.max_rate()
+    if lam_max <= 0 or not math.isfinite(lam_max):
+        raise ModelError(f"profile max_rate must be positive finite, got {lam_max}")
+    times: list[float] = []
+    t = float(start)
+    end = start + horizon
+    while True:
+        t += float(gen.exponential(1.0 / lam_max))
+        if t > end:
+            break
+        if gen.random() <= profile.rate(t) / lam_max:
+            times.append(t)
+    return times
+
+
+class NonstationaryWorkerPool(WorkerPool):
+    """Worker pool whose Poisson stream follows a :class:`RateProfile`.
+
+    Drop-in replacement for :class:`~repro.market.worker.WorkerPool` in
+    the agent simulator: ``next_arrival_delay`` performs per-arrival
+    thinning against the envelope rate, conditioned on the pool's own
+    running clock (the simulator consumes delays sequentially, so the
+    internal clock tracks simulation time exactly as long as a single
+    simulator owns the pool).
+    """
+
+    def __init__(
+        self,
+        profile: RateProfile,
+        choice_model: ChoiceModel | None = None,
+        accuracy_jitter: float = 0.0,
+    ) -> None:
+        super().__init__(
+            arrival_rate=profile.max_rate(),
+            choice_model=choice_model or PriceProportionalChoice(),
+            accuracy_jitter=accuracy_jitter,
+        )
+        self.profile = profile
+        self._clock = 0.0
+
+    def reset_clock(self, now: float = 0.0) -> None:
+        """Re-anchor the pool's internal clock (new simulation run)."""
+        if now < 0:
+            raise ModelError(f"clock must be >= 0, got {now}")
+        self._clock = float(now)
+
+    def next_arrival_delay(self, rng: RandomState = None) -> float:
+        gen = ensure_rng(rng)
+        lam_max = self.profile.max_rate()
+        t = self._clock
+        while True:
+            t += float(gen.exponential(1.0 / lam_max))
+            if gen.random() <= self.profile.rate(t) / lam_max:
+                delay = t - self._clock
+                self._clock = t
+                return delay

@@ -1,0 +1,95 @@
+"""Discrete-event machinery for the crowd-market simulator.
+
+A tiny, dependency-free event queue: events are ``(time, seq, Event)``
+triples in a heap; ``seq`` breaks ties deterministically in insertion
+order so simulations are exactly reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import SimulationError
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(enum.Enum):
+    """Kinds of events the simulators schedule."""
+
+    TASK_PUBLISHED = "task_published"
+    TASK_ACCEPTED = "task_accepted"
+    TASK_COMPLETED = "task_completed"
+    WORKER_ARRIVED = "worker_arrived"
+    WORKER_FINISHED = "worker_finished"
+    PROBE_TICK = "probe_tick"
+
+
+@dataclass(frozen=True, order=False)
+class Event:
+    """A scheduled simulator event.
+
+    ``payload`` is interpreted by the engine that scheduled the event
+    (typically a :class:`~repro.market.task.PublishedTask` or a worker
+    id); the queue itself never inspects it.
+    """
+
+    time: float
+    kind: EventKind
+    payload: Any = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.time) or self.time < 0:
+            raise SimulationError(f"event time must be finite and >= 0, got {self.time}")
+
+
+class EventQueue:
+    """Min-heap of events ordered by (time, insertion sequence)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def now(self) -> float:
+        """Time of the most recently popped event (0 before any pop)."""
+        return self._now
+
+    def push(self, event: Event) -> None:
+        """Schedule *event*; it must not be in the engine's past."""
+        if event.time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {event.time} before current time {self._now}"
+            )
+        heapq.heappush(self._heap, (event.time, next(self._seq), event))
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing ``now``."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        time, _seq, event = heapq.heappop(self._heap)
+        self._now = time
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def clear(self) -> None:
+        """Drop all pending events (keeps the clock)."""
+        self._heap.clear()

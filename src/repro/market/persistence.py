@@ -1,0 +1,118 @@
+"""Trace persistence: CSV export/import of task records.
+
+The paper's AMT experiments are offline analyses of collected logs;
+this module gives the simulator the same workflow — run once, save the
+trace, re-analyze later (or feed a real platform's log into the same
+analysis/figure code).  Plain CSV, no dependencies, stable columns.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Iterable, Union
+
+from ..errors import SimulationError
+from .trace import TaskRecord, TraceRecorder
+
+__all__ = ["TRACE_COLUMNS", "write_records_csv", "read_records_csv",
+           "recorder_from_csv"]
+
+#: Column order of the CSV schema (version 1).
+TRACE_COLUMNS: tuple[str, ...] = (
+    "uid",
+    "atomic_task_id",
+    "repetition_index",
+    "type_name",
+    "price",
+    "published_at",
+    "accepted_at",
+    "completed_at",
+)
+
+PathLike = Union[str, pathlib.Path]
+
+
+def write_records_csv(
+    records: Iterable[TaskRecord], path: PathLike
+) -> int:
+    """Write *records* to *path*; returns the number of rows written."""
+    records = list(records)
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(TRACE_COLUMNS)
+        for r in records:
+            writer.writerow(
+                [
+                    r.uid,
+                    r.atomic_task_id,
+                    r.repetition_index,
+                    r.type_name,
+                    r.price,
+                    repr(r.published_at),
+                    repr(r.accepted_at),
+                    repr(r.completed_at),
+                ]
+            )
+    return len(records)
+
+
+def read_records_csv(path: PathLike) -> list[TaskRecord]:
+    """Read task records back from a CSV written by
+    :func:`write_records_csv` (or any file with the same schema)."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise SimulationError(f"trace file not found: {path}")
+    records: list[TaskRecord] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SimulationError(f"trace file is empty: {path}") from None
+        if tuple(header) != TRACE_COLUMNS:
+            raise SimulationError(
+                f"unexpected trace schema {header}; expected "
+                f"{list(TRACE_COLUMNS)}"
+            )
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(TRACE_COLUMNS):
+                raise SimulationError(
+                    f"{path}:{line_no}: expected {len(TRACE_COLUMNS)} "
+                    f"columns, got {len(row)}"
+                )
+            try:
+                record = TaskRecord(
+                    uid=int(row[0]),
+                    atomic_task_id=int(row[1]),
+                    repetition_index=int(row[2]),
+                    type_name=row[3],
+                    price=int(row[4]),
+                    published_at=float(row[5]),
+                    accepted_at=float(row[6]),
+                    completed_at=float(row[7]),
+                )
+            except ValueError as exc:
+                raise SimulationError(
+                    f"{path}:{line_no}: malformed value ({exc})"
+                ) from exc
+            if not (
+                record.published_at
+                <= record.accepted_at
+                <= record.completed_at
+            ):
+                raise SimulationError(
+                    f"{path}:{line_no}: inconsistent timestamps"
+                )
+            records.append(record)
+    return records
+
+
+def recorder_from_csv(path: PathLike) -> TraceRecorder:
+    """Load a trace file into a fresh :class:`TraceRecorder` so the
+    summary/query API works on persisted data."""
+    recorder = TraceRecorder()
+    recorder.records = read_records_csv(path)
+    return recorder

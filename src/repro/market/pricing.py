@@ -1,0 +1,160 @@
+"""Price → on-hold clock-rate response models (paper §3.3.2 and §5.1).
+
+The on-hold rate λ_o is the joint acceptance rate ``λ · p(c)``: the
+market's worker-arrival rate times the probability an arriving worker
+picks the task at price ``c``.  The paper's **Linearity Hypothesis**
+says λ_o(c) = k·c + b within normal price ranges; its synthetic
+evaluation (Fig. 2) uses four linear curves and two nonlinear ones to
+probe robustness.  All six are provided here, plus a calibrated model
+fit from probe observations (see :mod:`repro.inference.linearity`).
+
+Prices are *discrete unit payments* (AMT granularity $0.01): models
+accept any positive float but the tuning algorithms only evaluate them
+at integers >= 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ModelError
+
+__all__ = [
+    "PricingModel",
+    "LinearPricing",
+    "QuadraticPricing",
+    "LogPricing",
+    "CallablePricing",
+    "PAPER_FIG2_MODELS",
+    "fig2_model",
+]
+
+
+class PricingModel:
+    """Base class: maps a unit price to the on-hold rate λ_o(c)."""
+
+    #: short identifier used in experiment reports
+    name: str = "pricing"
+
+    def rate(self, price: float) -> float:
+        """On-hold clock rate λ_o at unit price *price* (must be > 0)."""
+        raise NotImplementedError
+
+    def __call__(self, price: float) -> float:
+        value = self.rate(self._check_price(price))
+        if not math.isfinite(value) or value <= 0:
+            raise ModelError(
+                f"{self.name}: rate at price {price} is {value}; the HPU model "
+                "requires a positive finite on-hold rate"
+            )
+        return float(value)
+
+    @staticmethod
+    def _check_price(price: float) -> float:
+        price = float(price)
+        if not math.isfinite(price) or price <= 0:
+            raise ModelError(f"price must be a positive finite number, got {price}")
+        return price
+
+    def is_linear(self) -> bool:
+        """Whether this model satisfies the Linearity Hypothesis exactly."""
+        return False
+
+
+@dataclass(frozen=True)
+class LinearPricing(PricingModel):
+    """λ_o(c) = slope·c + intercept — Hypothesis 1 of the paper."""
+
+    slope: float
+    intercept: float = 0.0
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"linear({self.slope:g}p+{self.intercept:g})"
+
+    def __post_init__(self) -> None:
+        if self.slope < 0:
+            raise ModelError(f"slope must be >= 0, got {self.slope}")
+        if self.slope == 0 and self.intercept <= 0:
+            raise ModelError("a flat pricing model needs a positive intercept")
+
+    def rate(self, price: float) -> float:
+        return self.slope * price + self.intercept
+
+    def is_linear(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class QuadraticPricing(PricingModel):
+    """λ_o(c) = intercept + coeff·c² — Fig. 2's nonlinear case (e)."""
+
+    coeff: float = 1.0
+    intercept: float = 1.0
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"quadratic({self.intercept:g}+{self.coeff:g}p^2)"
+
+    def __post_init__(self) -> None:
+        if self.coeff <= 0:
+            raise ModelError(f"coeff must be > 0, got {self.coeff}")
+
+    def rate(self, price: float) -> float:
+        return self.intercept + self.coeff * price * price
+
+
+@dataclass(frozen=True)
+class LogPricing(PricingModel):
+    """λ_o(c) = scale·log(1 + c) — Fig. 2's nonlinear case (f)."""
+
+    scale: float = 1.0
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"log({self.scale:g}*log(1+p))"
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ModelError(f"scale must be > 0, got {self.scale}")
+
+    def rate(self, price: float) -> float:
+        return self.scale * math.log1p(price)
+
+
+class CallablePricing(PricingModel):
+    """Adapter wrapping an arbitrary ``price -> rate`` function."""
+
+    def __init__(self, fn: Callable[[float], float], name: str = "custom") -> None:
+        if not callable(fn):
+            raise ModelError("fn must be callable")
+        self._fn = fn
+        self.name = name
+
+    def rate(self, price: float) -> float:
+        return float(self._fn(price))
+
+
+#: The six λ_o(c) response curves of the paper's Fig. 2, keyed by the
+#: subplot letter used in §5.1.1.
+PAPER_FIG2_MODELS: dict[str, PricingModel] = {
+    "a": LinearPricing(slope=1.0, intercept=1.0),    # λ = 1 + p
+    "b": LinearPricing(slope=10.0, intercept=1.0),   # λ = 10p + 1
+    "c": LinearPricing(slope=0.1, intercept=10.0),   # λ = 0.1p + 10
+    "d": LinearPricing(slope=3.0, intercept=3.0),    # λ = 3p + 3
+    "e": QuadraticPricing(coeff=1.0, intercept=1.0), # λ = 1 + p²
+    "f": LogPricing(scale=1.0),                      # λ = log(1 + p)
+}
+
+
+def fig2_model(case: str) -> PricingModel:
+    """Look up one of the paper's six Fig. 2 pricing curves by letter."""
+    try:
+        return PAPER_FIG2_MODELS[case.lower()]
+    except KeyError:
+        raise ModelError(
+            f"unknown Fig. 2 case {case!r}; expected one of "
+            f"{sorted(PAPER_FIG2_MODELS)}"
+        ) from None

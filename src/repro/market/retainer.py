@@ -1,0 +1,205 @@
+"""Retainer-model crowdsourcing (related work [26–28], paper §2).
+
+Bernstein et al.'s retainer model pre-pays a pool of workers to wait
+online, so tasks start within seconds instead of waiting for organic
+uptake.  The paper contrasts it with posted-price tuning: retainers
+buy *instantaneity* at a standing cost, H-Tuning buys *throughput* per
+dollar.  This module implements the retainer substrate so the
+comparison is runnable:
+
+* :class:`RetainerSimulator` — R pre-paid workers; a published
+  repetition is grabbed immediately by an idle worker (plus a small
+  reaction delay), otherwise it queues FIFO.  Processing is the same
+  ``Exp(λ_p)`` as the posted-price market (the work itself doesn't
+  change, only the recruitment does).
+* :class:`RetainerCostModel` — total cost = retainer wage × pool size
+  × wall-clock span + per-answer payment.
+
+The job description (:class:`~repro.market.simulator.AtomicTaskOrder`)
+and trace format are shared with the posted-price engines, so the same
+workload runs on both and the outputs are directly comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from ..errors import ModelError, SimulationError
+from ..stats.rng import RandomState, ensure_rng
+from .events import Event, EventKind, EventQueue
+from .simulator import AtomicTaskOrder, JobResult, _draw_answer
+from .task import PublishedTask
+from .trace import TraceRecorder
+
+__all__ = ["RetainerCostModel", "RetainerSimulator"]
+
+
+@dataclass(frozen=True)
+class RetainerCostModel:
+    """Pricing of a retainer pool.
+
+    Parameters
+    ----------
+    wage_per_time:
+        What one retained worker is paid per unit of wall-clock time
+        (paid whether idle or busy — that is the point of a retainer).
+    payment_per_answer:
+        Additional per-completed-repetition payment (units).
+    """
+
+    wage_per_time: float
+    payment_per_answer: int = 1
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.wage_per_time) or self.wage_per_time < 0:
+            raise ModelError(
+                f"wage_per_time must be >= 0, got {self.wage_per_time}"
+            )
+        if self.payment_per_answer < 0 or int(self.payment_per_answer) != (
+            self.payment_per_answer
+        ):
+            raise ModelError(
+                "payment_per_answer must be a non-negative integer, got "
+                f"{self.payment_per_answer}"
+            )
+
+    def total_cost(self, pool_size: int, span: float, answers: int) -> float:
+        """Cost of keeping *pool_size* workers for *span* time while
+        collecting *answers* repetitions."""
+        if pool_size < 1:
+            raise ModelError(f"pool_size must be >= 1, got {pool_size}")
+        if span < 0:
+            raise ModelError(f"span must be >= 0, got {span}")
+        return (
+            self.wage_per_time * pool_size * span
+            + self.payment_per_answer * answers
+        )
+
+
+class RetainerSimulator:
+    """Event-driven simulator of an R-worker retainer pool.
+
+    Parameters
+    ----------
+    pool_size:
+        Number of retained workers R.
+    reaction_mean:
+        Mean of the (exponential) alert-reaction delay before a
+        retained worker starts a task — the "crowds in two seconds"
+        latency of [26]; small relative to processing.
+    seed:
+        Reproducibility seed.
+    """
+
+    def __init__(
+        self,
+        pool_size: int,
+        reaction_mean: float = 0.01,
+        seed: RandomState = None,
+    ) -> None:
+        if pool_size < 1 or int(pool_size) != pool_size:
+            raise ModelError(f"pool_size must be a positive integer, got {pool_size}")
+        if reaction_mean < 0 or not math.isfinite(reaction_mean):
+            raise ModelError(f"reaction_mean must be >= 0, got {reaction_mean}")
+        self.pool_size = int(pool_size)
+        self.reaction_mean = float(reaction_mean)
+        self._rng = ensure_rng(seed)
+
+    def _reaction_delay(self) -> float:
+        if self.reaction_mean == 0:
+            return 0.0
+        return float(self._rng.exponential(self.reaction_mean))
+
+    def run_job(
+        self,
+        orders: Sequence[AtomicTaskOrder],
+        recorder: Optional[TraceRecorder] = None,
+        start_time: float = 0.0,
+    ) -> JobResult:
+        """Run *orders* on the retainer pool (repetitions sequential
+        per atomic task, atomic tasks parallel, R workers shared)."""
+        orders = list(orders)
+        if not orders:
+            raise SimulationError("job must contain at least one atomic task")
+        trace = recorder if recorder is not None else TraceRecorder()
+        queue = EventQueue()
+        waiting: list[PublishedTask] = []  # FIFO queue of open tasks
+        idle_workers = self.pool_size
+        order_by_id = {o.atomic_task_id: o for o in orders}
+        next_rep: dict[int, int] = {o.atomic_task_id: 0 for o in orders}
+        answers: dict[int, list[Any]] = {o.atomic_task_id: [] for o in orders}
+        per_atomic: dict[int, float] = {}
+        total_paid = 0
+        remaining = sum(o.repetitions for o in orders)
+
+        def publish(order: AtomicTaskOrder, now: float) -> None:
+            rep = next_rep[order.atomic_task_id]
+            task = PublishedTask(
+                task_type=order.task_type,
+                price=order.prices[rep],
+                atomic_task_id=order.atomic_task_id,
+                repetition_index=rep,
+                payload=order.payload,
+            )
+            task.mark_published(now)
+            next_rep[order.atomic_task_id] += 1
+            waiting.append(task)
+            trace.on_event(Event(now, EventKind.TASK_PUBLISHED, payload=task))
+
+        def dispatch(now: float) -> None:
+            nonlocal idle_workers
+            while idle_workers > 0 and waiting:
+                task = waiting.pop(0)
+                idle_workers -= 1
+                accept_at = now + self._reaction_delay()
+                task.mark_accepted(accept_at)
+                processing = float(
+                    self._rng.exponential(1.0 / task.task_type.processing_rate)
+                )
+                queue.push(
+                    Event(
+                        accept_at + processing,
+                        EventKind.TASK_COMPLETED,
+                        payload=task,
+                    )
+                )
+
+        for order in orders:
+            publish(order, float(start_time))
+        dispatch(float(start_time))
+
+        while remaining > 0:
+            if not queue:
+                raise SimulationError(
+                    "retainer queue drained before job completion"
+                )
+            event = queue.pop()
+            now = event.time
+            if event.kind is not EventKind.TASK_COMPLETED:
+                raise SimulationError(f"unexpected event {event.kind}")
+            task: PublishedTask = event.payload
+            order = order_by_id[task.atomic_task_id]
+            answer = _draw_answer(order, self._rng, task.task_type.accuracy)
+            task.mark_completed(now, answer=answer)
+            trace.on_event(event)
+            trace.on_task_done(task)
+            answers[task.atomic_task_id].append(answer)
+            total_paid += task.price
+            remaining -= 1
+            idle_workers += 1
+            if next_rep[task.atomic_task_id] < order.repetitions:
+                publish(order, now)
+            else:
+                per_atomic[task.atomic_task_id] = now
+            dispatch(now)
+
+        makespan = max(per_atomic.values()) - float(start_time)
+        return JobResult(
+            trace=trace,
+            makespan=makespan,
+            per_atomic_completion=per_atomic,
+            answers=answers,
+            total_paid=total_paid,
+        )

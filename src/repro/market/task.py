@@ -1,0 +1,177 @@
+"""Task objects as seen by the crowd market.
+
+A :class:`PublishedTask` is one *repetition* of one atomic task offered
+on the platform at a concrete unit price — the market-level "HPU
+instruction".  It moves through the lifecycle
+
+    OPEN --(worker accepts)--> IN_PROGRESS --(answer returned)--> DONE
+
+matching the paper's on-hold and processing phases.  The task carries
+its :class:`TaskType` (difficulty class), which determines the
+processing rate λ_p and the worker answer accuracy.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import ModelError, SimulationError
+
+__all__ = ["TaskState", "TaskType", "PublishedTask"]
+
+_task_uid = itertools.count()
+
+
+class TaskState(enum.Enum):
+    """Lifecycle states of a published task repetition."""
+
+    OPEN = "open"
+    IN_PROGRESS = "in_progress"
+    DONE = "done"
+    CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class TaskType:
+    """A difficulty class of atomic tasks (paper's "type").
+
+    Parameters
+    ----------
+    name:
+        Human-readable label, e.g. ``"sort-vote"`` or ``"yes-no-vote"``.
+    processing_rate:
+        λ_p — the price-independent clock rate of the processing phase.
+    accuracy:
+        Probability a worker's answer equals the latent truth.  The
+        paper's HPU characterization (ii) says results are error-prone;
+        1.0 reproduces an idealized errorless crowd.
+    attractiveness:
+        Relative base appeal of this type to arriving workers in the
+        agent-level simulator; harder tasks are typically less
+        attractive (Fig. 5(a)).
+    """
+
+    name: str
+    processing_rate: float
+    accuracy: float = 1.0
+    attractiveness: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("TaskType needs a non-empty name")
+        if not math.isfinite(self.processing_rate) or self.processing_rate <= 0:
+            raise ModelError(
+                f"processing_rate must be positive, got {self.processing_rate}"
+            )
+        if not 0.0 < self.accuracy <= 1.0:
+            raise ModelError(f"accuracy must be in (0, 1], got {self.accuracy}")
+        if self.attractiveness <= 0:
+            raise ModelError(
+                f"attractiveness must be positive, got {self.attractiveness}"
+            )
+
+
+@dataclass
+class PublishedTask:
+    """One task repetition live on the market.
+
+    Records the timestamps of each lifecycle transition so traces can
+    reconstruct the on-hold latency (``accepted_at - published_at``) and
+    the processing latency (``completed_at - accepted_at``).
+    """
+
+    task_type: TaskType
+    price: int
+    atomic_task_id: int
+    repetition_index: int
+    payload: Any = None
+    uid: int = field(default_factory=lambda: next(_task_uid))
+    state: TaskState = TaskState.OPEN
+    published_at: Optional[float] = None
+    accepted_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    worker_id: Optional[int] = None
+    answer: Any = None
+
+    def __post_init__(self) -> None:
+        if int(self.price) != self.price or self.price < 1:
+            raise ModelError(
+                f"price must be a positive integer unit payment, got {self.price}"
+            )
+        self.price = int(self.price)
+        if self.repetition_index < 0:
+            raise ModelError(
+                f"repetition_index must be >= 0, got {self.repetition_index}"
+            )
+
+    # -- lifecycle ---------------------------------------------------
+
+    def mark_published(self, now: float) -> None:
+        if self.published_at is not None:
+            raise SimulationError(f"task {self.uid} already published")
+        self.published_at = float(now)
+
+    def mark_accepted(self, now: float, worker_id: int | None = None) -> None:
+        if self.state is not TaskState.OPEN:
+            raise SimulationError(
+                f"task {self.uid} cannot be accepted from state {self.state}"
+            )
+        if self.published_at is None:
+            raise SimulationError(f"task {self.uid} accepted before publication")
+        if now < self.published_at:
+            raise SimulationError(
+                f"task {self.uid}: acceptance time {now} precedes publication "
+                f"{self.published_at}"
+            )
+        self.state = TaskState.IN_PROGRESS
+        self.accepted_at = float(now)
+        self.worker_id = worker_id
+
+    def mark_completed(self, now: float, answer: Any = None) -> None:
+        if self.state is not TaskState.IN_PROGRESS:
+            raise SimulationError(
+                f"task {self.uid} cannot complete from state {self.state}"
+            )
+        assert self.accepted_at is not None
+        if now < self.accepted_at:
+            raise SimulationError(
+                f"task {self.uid}: completion time {now} precedes acceptance "
+                f"{self.accepted_at}"
+            )
+        self.state = TaskState.DONE
+        self.completed_at = float(now)
+        self.answer = answer
+
+    def cancel(self) -> None:
+        if self.state is TaskState.DONE:
+            raise SimulationError(f"task {self.uid} already completed")
+        self.state = TaskState.CANCELLED
+
+    # -- measurements ------------------------------------------------
+
+    @property
+    def onhold_latency(self) -> float:
+        """Phase-1 latency; raises if the task was never accepted."""
+        if self.accepted_at is None or self.published_at is None:
+            raise SimulationError(f"task {self.uid} has no on-hold measurement yet")
+        return self.accepted_at - self.published_at
+
+    @property
+    def processing_latency(self) -> float:
+        """Phase-2 latency; raises if the task never completed."""
+        if self.completed_at is None or self.accepted_at is None:
+            raise SimulationError(f"task {self.uid} has no processing measurement yet")
+        return self.completed_at - self.accepted_at
+
+    @property
+    def overall_latency(self) -> float:
+        """Phase-1 + Phase-2 latency."""
+        return self.onhold_latency + self.processing_latency
+
+    @property
+    def is_done(self) -> bool:
+        return self.state is TaskState.DONE

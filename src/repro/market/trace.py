@@ -1,0 +1,137 @@
+"""Event traces and latency measurements recorded during simulation.
+
+The paper's AMT experiments (Figs. 3–5) are all reconstructions from
+per-task timestamps: arrival epochs, phase-1 and phase-2 latencies per
+price/difficulty.  :class:`TraceRecorder` captures the same raw
+material from the simulator so the experiment harness can rebuild every
+figure from a trace, exactly as the authors did from their AMT logs.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..errors import SimulationError
+from .events import Event, EventKind
+from .task import PublishedTask
+
+__all__ = ["TaskRecord", "TraceRecorder", "LatencySummary"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Immutable per-repetition measurement extracted from a task."""
+
+    uid: int
+    atomic_task_id: int
+    repetition_index: int
+    type_name: str
+    price: int
+    published_at: float
+    accepted_at: float
+    completed_at: float
+
+    @property
+    def onhold_latency(self) -> float:
+        return self.accepted_at - self.published_at
+
+    @property
+    def processing_latency(self) -> float:
+        return self.completed_at - self.accepted_at
+
+    @property
+    def overall_latency(self) -> float:
+        return self.completed_at - self.published_at
+
+    @classmethod
+    def from_task(cls, task: PublishedTask) -> "TaskRecord":
+        if not task.is_done:
+            raise SimulationError(f"task {task.uid} has not completed")
+        assert task.published_at is not None
+        assert task.accepted_at is not None
+        assert task.completed_at is not None
+        return cls(
+            uid=task.uid,
+            atomic_task_id=task.atomic_task_id,
+            repetition_index=task.repetition_index,
+            type_name=task.task_type.name,
+            price=task.price,
+            published_at=task.published_at,
+            accepted_at=task.accepted_at,
+            completed_at=task.completed_at,
+        )
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregate latency statistics over a set of task records."""
+
+    count: int
+    mean_onhold: float
+    mean_processing: float
+    mean_overall: float
+    max_overall: float
+
+    @classmethod
+    def from_records(cls, records: Iterable[TaskRecord]) -> "LatencySummary":
+        records = list(records)
+        if not records:
+            raise SimulationError("cannot summarize an empty record set")
+        return cls(
+            count=len(records),
+            mean_onhold=statistics.fmean(r.onhold_latency for r in records),
+            mean_processing=statistics.fmean(r.processing_latency for r in records),
+            mean_overall=statistics.fmean(r.overall_latency for r in records),
+            max_overall=max(r.overall_latency for r in records),
+        )
+
+
+class TraceRecorder:
+    """Collects events and completed-task records during a simulation."""
+
+    def __init__(self, keep_events: bool = False) -> None:
+        self.keep_events = keep_events
+        self.events: list[Event] = []
+        self.records: list[TaskRecord] = []
+        self.worker_arrival_times: list[float] = []
+
+    def on_event(self, event: Event) -> None:
+        """Engine hook: called for every processed event."""
+        if event.kind is EventKind.WORKER_ARRIVED:
+            self.worker_arrival_times.append(event.time)
+        if self.keep_events:
+            self.events.append(event)
+
+    def on_task_done(self, task: PublishedTask) -> None:
+        """Engine hook: called when a repetition completes."""
+        self.records.append(TaskRecord.from_task(task))
+
+    # -- queries used by the experiment harness ----------------------
+
+    def records_for_type(self, type_name: str) -> list[TaskRecord]:
+        return [r for r in self.records if r.type_name == type_name]
+
+    def records_for_price(self, price: int) -> list[TaskRecord]:
+        return [r for r in self.records if r.price == price]
+
+    def records_for_atomic_task(self, atomic_task_id: int) -> list[TaskRecord]:
+        return [r for r in self.records if r.atomic_task_id == atomic_task_id]
+
+    def job_completion_time(self) -> float:
+        """Completion time of the whole job = max completion timestamp."""
+        if not self.records:
+            raise SimulationError("no completed tasks recorded")
+        return max(r.completed_at for r in self.records)
+
+    def atomic_task_completion_time(self, atomic_task_id: int) -> float:
+        """Completion time of one atomic task (its last repetition)."""
+        records = self.records_for_atomic_task(atomic_task_id)
+        if not records:
+            raise SimulationError(f"no records for atomic task {atomic_task_id}")
+        return max(r.completed_at for r in records)
+
+    def summary(self, type_name: Optional[str] = None) -> LatencySummary:
+        records = self.records_for_type(type_name) if type_name else self.records
+        return LatencySummary.from_records(records)

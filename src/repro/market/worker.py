@@ -1,0 +1,178 @@
+"""Worker model for the agent-level market simulator (paper §3.1).
+
+Workers arrive by a Poisson process with market rate Λ.  An arriving
+worker inspects the open tasks and either picks one (utility-driven
+choice) or leaves.  The probability that a particular task at price
+``c`` is taken by an arriving worker is the paper's ``p(c)``; the joint
+acceptance rate is then λ_o = Λ·p(c), which is what the aggregate
+simulator and the tuning theory use directly.
+
+The default :class:`PriceProportionalChoice` makes ``p(c)``
+proportional to ``price · attractiveness`` with a leave option, so
+aggregated per-task acceptance remains (approximately) exponential with
+a price-increasing rate — the regime the Linearity Hypothesis covers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from ..stats.rng import RandomState, ensure_rng
+from .task import PublishedTask
+
+__all__ = [
+    "ChoiceModel",
+    "PriceProportionalChoice",
+    "SoftmaxChoice",
+    "GreedyPriceChoice",
+    "WorkerPool",
+]
+
+
+class ChoiceModel:
+    """Strategy interface: which open task does an arriving worker take?"""
+
+    def choose(
+        self,
+        open_tasks: Sequence[PublishedTask],
+        rng: np.random.Generator,
+    ) -> Optional[PublishedTask]:
+        """Return the chosen task or ``None`` if the worker walks away."""
+        raise NotImplementedError
+
+
+@dataclass
+class PriceProportionalChoice(ChoiceModel):
+    """Pick task i with probability ∝ price_i · attractiveness_i.
+
+    ``leave_weight`` is the pseudo-weight of the walk-away option: with
+    weight L and task weights w_i, the worker leaves with probability
+    ``L / (L + Σ w_i)``.  Larger prices therefore raise both the chance
+    the worker stays and the chance this particular task is the one
+    taken — the two effects the paper folds into p(c).
+    """
+
+    leave_weight: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.leave_weight < 0:
+            raise ModelError(f"leave_weight must be >= 0, got {self.leave_weight}")
+
+    def choose(self, open_tasks, rng):
+        if not open_tasks:
+            return None
+        weights = np.array(
+            [t.price * t.task_type.attractiveness for t in open_tasks], dtype=float
+        )
+        total = float(weights.sum()) + self.leave_weight
+        if total <= 0:
+            return None
+        u = rng.uniform(0.0, total)
+        if u >= weights.sum():
+            return None
+        idx = int(np.searchsorted(np.cumsum(weights), u, side="right"))
+        return open_tasks[min(idx, len(open_tasks) - 1)]
+
+
+@dataclass
+class SoftmaxChoice(ChoiceModel):
+    """Multinomial-logit choice over utility = β·log(price·attract.).
+
+    A standard discrete-choice model; ``leave_utility`` is the utility
+    of the outside option.
+    """
+
+    beta: float = 1.0
+    leave_utility: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0:
+            raise ModelError(f"beta must be > 0, got {self.beta}")
+
+    def choose(self, open_tasks, rng):
+        if not open_tasks:
+            return None
+        utils = np.array(
+            [
+                self.beta * math.log(t.price * t.task_type.attractiveness)
+                for t in open_tasks
+            ],
+            dtype=float,
+        )
+        utils = np.append(utils, self.leave_utility)
+        utils -= utils.max()
+        probs = np.exp(utils)
+        probs /= probs.sum()
+        idx = int(rng.choice(len(probs), p=probs))
+        if idx == len(open_tasks):
+            return None
+        return open_tasks[idx]
+
+
+@dataclass
+class GreedyPriceChoice(ChoiceModel):
+    """Always take the highest-paying open task (ties by publish order).
+
+    The utility-maximization extreme; useful as a stress test for the
+    tuning algorithms because it breaks the independence the aggregate
+    model assumes.
+    """
+
+    def choose(self, open_tasks, rng):
+        if not open_tasks:
+            return None
+        return max(open_tasks, key=lambda t: (t.price, -t.uid))
+
+
+class WorkerPool:
+    """Poisson stream of workers with a shared choice model.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Λ — expected number of worker arrivals per unit time.
+    choice_model:
+        How an arriving worker selects among open tasks.
+    accuracy_jitter:
+        Std-dev of a per-worker perturbation of the task-type accuracy
+        (clipped to (0, 1]); models worker-skill heterogeneity
+        reported in the demographics studies the paper cites.
+    """
+
+    def __init__(
+        self,
+        arrival_rate: float,
+        choice_model: ChoiceModel | None = None,
+        accuracy_jitter: float = 0.0,
+    ) -> None:
+        if not math.isfinite(arrival_rate) or arrival_rate <= 0:
+            raise ModelError(f"arrival_rate must be positive, got {arrival_rate}")
+        if accuracy_jitter < 0:
+            raise ModelError(f"accuracy_jitter must be >= 0, got {accuracy_jitter}")
+        self.arrival_rate = float(arrival_rate)
+        self.choice_model = choice_model or PriceProportionalChoice()
+        self.accuracy_jitter = float(accuracy_jitter)
+        self._next_worker_id = 0
+
+    def next_arrival_delay(self, rng: RandomState = None) -> float:
+        """Sample the time until the next worker arrives: Exp(Λ)."""
+        gen = ensure_rng(rng)
+        return float(gen.exponential(scale=1.0 / self.arrival_rate))
+
+    def new_worker_id(self) -> int:
+        wid = self._next_worker_id
+        self._next_worker_id += 1
+        return wid
+
+    def worker_accuracy(self, base_accuracy: float, rng: RandomState = None) -> float:
+        """Per-worker effective accuracy for a task type."""
+        if self.accuracy_jitter == 0.0:
+            return base_accuracy
+        gen = ensure_rng(rng)
+        acc = base_accuracy + gen.normal(0.0, self.accuracy_jitter)
+        return float(min(1.0, max(1e-6, acc)))

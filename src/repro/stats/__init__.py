@@ -1,0 +1,65 @@
+"""Probability substrate for the HPU latency model (paper §3).
+
+Public surface:
+
+* distributions — :class:`Exponential`, :class:`Erlang`,
+  :class:`Hypoexponential`, :class:`Deterministic`, :class:`MaximumOf`,
+  :class:`SumOf`, and :func:`two_phase_latency`;
+* order statistics — expected maxima/minima used by the tuning
+  objectives;
+* convolution — numeric pdf/cdf of sums of phases;
+* rng — seed normalization and substream spawning.
+"""
+
+from .convolution import convolve_cdf, convolve_densities, convolve_pdf, grid_for
+from .distributions import (
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    Hypoexponential,
+    MaximumOf,
+    SumOf,
+    two_phase_latency,
+)
+from .phase_type import (
+    hypoexponential_cdf,
+    hypoexponential_mean,
+    hypoexponential_sf,
+)
+from .order_statistics import (
+    expected_max_erlang_iid,
+    expected_max_exponential,
+    expected_max_exponential_iid,
+    expected_maximum_generic,
+    expected_min_exponential,
+    harmonic_number,
+)
+from .rng import RandomState, ensure_rng, spawn
+
+__all__ = [
+    "Deterministic",
+    "Distribution",
+    "Erlang",
+    "Exponential",
+    "Hypoexponential",
+    "MaximumOf",
+    "RandomState",
+    "SumOf",
+    "convolve_cdf",
+    "convolve_densities",
+    "convolve_pdf",
+    "ensure_rng",
+    "expected_max_erlang_iid",
+    "expected_max_exponential",
+    "expected_max_exponential_iid",
+    "expected_maximum_generic",
+    "expected_min_exponential",
+    "grid_for",
+    "harmonic_number",
+    "hypoexponential_cdf",
+    "hypoexponential_mean",
+    "hypoexponential_sf",
+    "spawn",
+    "two_phase_latency",
+]

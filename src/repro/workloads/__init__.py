@@ -1,0 +1,35 @@
+"""Workload factories: the paper's §5 settings and stress families."""
+
+from .amt import (
+    AMT_VOTE_ATTRACTIVENESS,
+    AMT_VOTE_PROCESSING_SECONDS,
+    amt_market,
+    amt_pricing_model,
+    amt_task_type,
+    amt_worker_pool,
+)
+from .generators import many_groups_problem, random_problem, skewed_repetition_problem
+from .scenarios import (
+    PAPER_BUDGETS,
+    heterogeneous_workload,
+    homogeneity_workload,
+    repetition_workload,
+    scenario_workload,
+)
+
+__all__ = [
+    "AMT_VOTE_ATTRACTIVENESS",
+    "AMT_VOTE_PROCESSING_SECONDS",
+    "PAPER_BUDGETS",
+    "amt_market",
+    "amt_pricing_model",
+    "amt_task_type",
+    "amt_worker_pool",
+    "heterogeneous_workload",
+    "homogeneity_workload",
+    "many_groups_problem",
+    "random_problem",
+    "repetition_workload",
+    "scenario_workload",
+    "skewed_repetition_problem",
+]

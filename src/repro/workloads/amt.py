@@ -1,0 +1,92 @@
+"""Synthetic AMT workload — the paper's live deployment, simulated (§5.2).
+
+The paper ran dot-counting image-filter tasks on Amazon Mechanical
+Turk.  We cannot run AMT offline, so this module builds a market whose
+parameters are *calibrated to the paper's reported measurements*:
+
+* rewards $0.05/$0.08/$0.10/$0.12 → on-hold rates 0.0038/0.0062/
+  0.0121/0.0131 s⁻¹ (Fig. 4) — we fit the Linearity Hypothesis through
+  those four points to get the market's λ_o(c);
+* processing latencies of a few minutes, growing with the number of
+  internal votes (Fig. 5(b)): 4-vote ≈ 90 s, 6-vote ≈ 150 s, 8-vote
+  ≈ 240 s mean processing time;
+* harder tasks are accepted more slowly (Fig. 5(a)): attractiveness
+  scales down with vote count.
+
+Prices are in cents, so "1 unit" = $0.01 exactly like AMT's minimum
+granularity; the $6–$10 budgets of Fig. 5(c) are 600–1000 units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..inference.linearity import fit_linearity, paper_amt_rates
+from ..market.pricing import LinearPricing, PricingModel
+from ..market.simulator import MarketModel
+from ..market.task import TaskType
+from ..market.worker import PriceProportionalChoice, WorkerPool
+
+__all__ = [
+    "amt_pricing_model",
+    "amt_task_type",
+    "amt_market",
+    "amt_worker_pool",
+    "AMT_VOTE_PROCESSING_SECONDS",
+    "AMT_VOTE_ATTRACTIVENESS",
+]
+
+#: Mean processing seconds by internal-vote count (Fig. 5(b) shape).
+AMT_VOTE_PROCESSING_SECONDS: dict[int, float] = {4: 90.0, 6: 150.0, 8: 240.0}
+
+#: Relative acceptance appeal by vote count (Fig. 5(a) shape: harder
+#: tasks come in more slowly).
+AMT_VOTE_ATTRACTIVENESS: dict[int, float] = {4: 1.0, 6: 0.75, 8: 0.55}
+
+
+def amt_pricing_model() -> LinearPricing:
+    """λ_o(c) fitted through the paper's four Fig. 4 measurements.
+
+    Price unit = 1 cent; rates in s⁻¹.
+    """
+    prices, rates = paper_amt_rates()
+    fit = fit_linearity(prices, rates)
+    return fit.to_pricing_model()
+
+
+def amt_task_type(votes: int = 4, accuracy: float = 0.9) -> TaskType:
+    """Dot-counting filter task with *votes* internal binary votes."""
+    if votes not in AMT_VOTE_PROCESSING_SECONDS:
+        raise KeyError(
+            f"votes must be one of {sorted(AMT_VOTE_PROCESSING_SECONDS)}, got {votes}"
+        )
+    return TaskType(
+        name=f"dot-filter-{votes}v",
+        processing_rate=1.0 / AMT_VOTE_PROCESSING_SECONDS[votes],
+        accuracy=accuracy,
+        attractiveness=AMT_VOTE_ATTRACTIVENESS[votes],
+    )
+
+
+def amt_market() -> MarketModel:
+    """Market calibrated to the paper's AMT measurements.
+
+    One base pricing curve; per-type attractiveness handles difficulty
+    (the default-curve scaling in :class:`MarketModel`).
+    """
+    return MarketModel(amt_pricing_model())
+
+
+def amt_worker_pool(arrival_rate: float | None = None) -> WorkerPool:
+    """Worker pool whose arrival rate matches the calibrated market.
+
+    By default Λ is set so that a single open task at $0.05 is accepted
+    at the paper's measured 0.0038 s⁻¹ when it is the only task on the
+    board (choice probability 1).
+    """
+    if arrival_rate is None:
+        arrival_rate = amt_pricing_model()(5)
+    return WorkerPool(
+        arrival_rate=arrival_rate,
+        choice_model=PriceProportionalChoice(leave_weight=0.0),
+    )

@@ -1,0 +1,151 @@
+"""Randomized workload generators for stress tests and ablations.
+
+Beyond the paper's fixed Fig. 2 settings, property-based tests and the
+ablation benches need instance families with controllable shape:
+random repetition profiles, random difficulty mixes, adversarial
+"one giant group" / "many tiny groups" extremes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.problem import HTuningProblem, TaskSpec
+from ..errors import ModelError
+from ..market.pricing import LinearPricing, PricingModel
+from ..stats.rng import RandomState, ensure_rng
+
+__all__ = [
+    "random_problem",
+    "skewed_repetition_problem",
+    "many_groups_problem",
+]
+
+
+def random_problem(
+    n_tasks: int,
+    budget_per_repetition: float = 10.0,
+    max_repetitions: int = 6,
+    n_types: int = 2,
+    seed: RandomState = None,
+    pricing_models: Optional[Sequence[PricingModel]] = None,
+) -> HTuningProblem:
+    """A random H-Tuning instance.
+
+    Repetitions uniform in [1, max_repetitions]; task types uniform
+    over *n_types* difficulty classes with λ_p log-uniform in [0.5, 4];
+    budget scaled to ``budget_per_repetition`` × total repetitions so
+    instances are comfortably feasible.
+    """
+    if n_tasks < 1:
+        raise ModelError(f"n_tasks must be >= 1, got {n_tasks}")
+    if max_repetitions < 1:
+        raise ModelError(f"max_repetitions must be >= 1, got {max_repetitions}")
+    if n_types < 1:
+        raise ModelError(f"n_types must be >= 1, got {n_types}")
+    if budget_per_repetition < 1.0:
+        raise ModelError(
+            f"budget_per_repetition must be >= 1, got {budget_per_repetition}"
+        )
+    gen = ensure_rng(seed)
+    if pricing_models is None:
+        pricing_models = [
+            LinearPricing(
+                slope=float(gen.uniform(0.5, 5.0)),
+                intercept=float(gen.uniform(0.5, 3.0)),
+            )
+            for _ in range(n_types)
+        ]
+    elif len(pricing_models) < n_types:
+        raise ModelError("need one pricing model per type")
+    proc_rates = np.exp(gen.uniform(np.log(0.5), np.log(4.0), size=n_types))
+    tasks = []
+    for i in range(n_tasks):
+        which = int(gen.integers(0, n_types))
+        reps = int(gen.integers(1, max_repetitions + 1))
+        tasks.append(
+            TaskSpec(
+                task_id=i,
+                repetitions=reps,
+                pricing=pricing_models[which],
+                processing_rate=float(proc_rates[which]),
+                type_name=f"type-{which}",
+            )
+        )
+    total_reps = sum(t.repetitions for t in tasks)
+    budget = int(budget_per_repetition * total_reps)
+    return HTuningProblem(tasks, budget)
+
+
+def skewed_repetition_problem(
+    n_tasks: int,
+    budget: int,
+    heavy_fraction: float = 0.1,
+    heavy_repetitions: int = 20,
+    light_repetitions: int = 2,
+    slope: float = 1.0,
+    intercept: float = 1.0,
+    processing_rate: float = 2.0,
+) -> HTuningProblem:
+    """Scenario II stressor: a few very repetition-heavy tasks.
+
+    The optimal allocation must starve the light group relative to a
+    rep-even split; this family exposes strategies that ignore group
+    structure.
+    """
+    if not 0.0 < heavy_fraction < 1.0:
+        raise ModelError(f"heavy_fraction must be in (0,1), got {heavy_fraction}")
+    pricing = LinearPricing(slope=slope, intercept=intercept)
+    n_heavy = max(1, int(n_tasks * heavy_fraction))
+    tasks = []
+    for i in range(n_tasks):
+        reps = heavy_repetitions if i < n_heavy else light_repetitions
+        tasks.append(
+            TaskSpec(
+                task_id=i,
+                repetitions=reps,
+                pricing=pricing,
+                processing_rate=processing_rate,
+                type_name="skewed",
+            )
+        )
+    return HTuningProblem(tasks, budget)
+
+
+def many_groups_problem(
+    n_groups: int,
+    tasks_per_group: int,
+    budget_per_repetition: float = 8.0,
+    seed: RandomState = None,
+) -> HTuningProblem:
+    """Scenario III stressor: many small groups of distinct difficulty.
+
+    Exercises the DP's O(nB′) loop with large n.
+    """
+    if n_groups < 1 or tasks_per_group < 1:
+        raise ModelError("n_groups and tasks_per_group must be >= 1")
+    gen = ensure_rng(seed)
+    tasks = []
+    tid = 0
+    for g in range(n_groups):
+        pricing = LinearPricing(
+            slope=float(gen.uniform(0.5, 4.0)),
+            intercept=float(gen.uniform(0.5, 2.0)),
+        )
+        reps = int(gen.integers(1, 6))
+        proc = float(gen.uniform(0.5, 4.0))
+        for _ in range(tasks_per_group):
+            tasks.append(
+                TaskSpec(
+                    task_id=tid,
+                    repetitions=reps,
+                    pricing=pricing,
+                    processing_rate=proc,
+                    type_name=f"group-{g}",
+                )
+            )
+            tid += 1
+    total_reps = sum(t.repetitions for t in tasks)
+    return HTuningProblem(tasks, int(budget_per_repetition * total_reps))

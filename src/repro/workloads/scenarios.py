@@ -1,0 +1,123 @@
+"""The paper's synthetic workloads (§5.1.1) as reusable factories.
+
+Fig. 2's grid: three scenarios × six λ_o(c) curves, 100 tasks, budgets
+1000–5000.
+
+* **Homogeneity** — 100 identical tasks × 5 repetitions, λ_p = 2.0.
+* **Repetition** — 50 tasks × 3 reps + 50 tasks × 5 reps, λ_p = 2.0.
+* **Heterogeneous** — 50 tasks × 3 reps (λ_p = 2.0) + 50 tasks × 5
+  reps (λ_p = 3.0).
+
+Each factory returns an :class:`~repro.core.problem.HTuningProblem`
+for a given budget and Fig. 2 pricing case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.problem import HTuningProblem, TaskSpec
+from ..errors import ModelError
+from ..market.pricing import PricingModel, fig2_model
+
+__all__ = [
+    "PAPER_BUDGETS",
+    "homogeneity_workload",
+    "repetition_workload",
+    "heterogeneous_workload",
+    "scenario_workload",
+]
+
+#: The budget sweep of Fig. 2 (x-axis).
+PAPER_BUDGETS: tuple[int, ...] = tuple(range(1000, 5001, 500))
+
+
+def homogeneity_workload(
+    budget: int,
+    case: str = "a",
+    n_tasks: int = 100,
+    repetitions: int = 5,
+    processing_rate: float = 2.0,
+) -> HTuningProblem:
+    """Scenario I instance: *n_tasks* identical tasks × *repetitions*."""
+    pricing = fig2_model(case)
+    tasks = [
+        TaskSpec(
+            task_id=i,
+            repetitions=repetitions,
+            pricing=pricing,
+            processing_rate=processing_rate,
+            type_name="homo",
+        )
+        for i in range(n_tasks)
+    ]
+    return HTuningProblem(tasks, budget)
+
+
+def repetition_workload(
+    budget: int,
+    case: str = "a",
+    n_tasks: int = 100,
+    repetition_split: tuple[int, int] = (3, 5),
+    processing_rate: float = 2.0,
+) -> HTuningProblem:
+    """Scenario II instance: half the tasks at each repetition count."""
+    if len(repetition_split) != 2:
+        raise ModelError("repetition_split must have two entries")
+    pricing = fig2_model(case)
+    half = n_tasks // 2
+    tasks = []
+    for i in range(n_tasks):
+        reps = repetition_split[0] if i < half else repetition_split[1]
+        tasks.append(
+            TaskSpec(
+                task_id=i,
+                repetitions=reps,
+                pricing=pricing,
+                processing_rate=processing_rate,
+                type_name="repe",
+            )
+        )
+    return HTuningProblem(tasks, budget)
+
+
+def heterogeneous_workload(
+    budget: int,
+    case: str = "a",
+    n_tasks: int = 100,
+    repetition_split: tuple[int, int] = (3, 5),
+    processing_rates: tuple[float, float] = (2.0, 3.0),
+) -> HTuningProblem:
+    """Scenario III instance: two groups differing in reps *and* λ_p."""
+    if len(repetition_split) != 2 or len(processing_rates) != 2:
+        raise ModelError("repetition_split and processing_rates need two entries")
+    pricing = fig2_model(case)
+    half = n_tasks // 2
+    tasks = []
+    for i in range(n_tasks):
+        which = 0 if i < half else 1
+        tasks.append(
+            TaskSpec(
+                task_id=i,
+                repetitions=repetition_split[which],
+                pricing=pricing,
+                processing_rate=processing_rates[which],
+                type_name=f"heter-{which}",
+            )
+        )
+    return HTuningProblem(tasks, budget)
+
+
+def scenario_workload(scenario: str, budget: int, case: str = "a", **kwargs):
+    """Dispatch by scenario name: 'homo' | 'repe' | 'heter'."""
+    factories = {
+        "homo": homogeneity_workload,
+        "repe": repetition_workload,
+        "heter": heterogeneous_workload,
+    }
+    if scenario not in factories:
+        raise ModelError(
+            f"unknown scenario {scenario!r}; expected one of {sorted(factories)}"
+        )
+    return factories[scenario](budget, case=case, **kwargs)

@@ -1,0 +1,93 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import HTuningProblem, TaskSpec
+from repro.market import LinearPricing, MarketModel, TaskType, WorkerPool
+
+
+@pytest.fixture
+def rng():
+    """A fixed-seed generator; per-test determinism."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def linear_pricing():
+    """The paper's Fig. 2 case (a): λ_o = 1 + p."""
+    return LinearPricing(slope=1.0, intercept=1.0)
+
+
+@pytest.fixture
+def steep_pricing():
+    """Fig. 2 case (b): λ_o = 10p + 1 (price-sensitive market)."""
+    return LinearPricing(slope=10.0, intercept=1.0)
+
+
+@pytest.fixture
+def flat_pricing():
+    """Fig. 2 case (c): λ_o = 0.1p + 10 (price-insensitive market)."""
+    return LinearPricing(slope=0.1, intercept=10.0)
+
+
+@pytest.fixture
+def easy_type():
+    return TaskType(name="easy", processing_rate=2.0, accuracy=0.9)
+
+
+@pytest.fixture
+def hard_type():
+    return TaskType(
+        name="hard", processing_rate=0.5, accuracy=0.8, attractiveness=0.6
+    )
+
+
+@pytest.fixture
+def market(linear_pricing):
+    return MarketModel(linear_pricing)
+
+
+@pytest.fixture
+def pool():
+    return WorkerPool(arrival_rate=5.0)
+
+
+@pytest.fixture
+def homo_problem(linear_pricing):
+    """Small Scenario I instance: 4 tasks × 3 reps, budget 60."""
+    tasks = [
+        TaskSpec(i, repetitions=3, pricing=linear_pricing, processing_rate=2.0)
+        for i in range(4)
+    ]
+    return HTuningProblem(tasks, budget=60)
+
+
+@pytest.fixture
+def repe_problem(linear_pricing):
+    """Small Scenario II instance: 2 reps groups {2, 4}, budget 60."""
+    tasks = [
+        TaskSpec(i, repetitions=2 if i < 3 else 4, pricing=linear_pricing,
+                 processing_rate=2.0)
+        for i in range(6)
+    ]
+    return HTuningProblem(tasks, budget=60)
+
+
+@pytest.fixture
+def heter_problem(linear_pricing, steep_pricing):
+    """Small Scenario III instance: two types, two reps profiles."""
+    tasks = []
+    for i in range(3):
+        tasks.append(
+            TaskSpec(i, repetitions=2, pricing=linear_pricing,
+                     processing_rate=2.0, type_name="sort")
+        )
+    for i in range(3, 6):
+        tasks.append(
+            TaskSpec(i, repetitions=3, pricing=steep_pricing,
+                     processing_rate=0.8, type_name="filter")
+        )
+    return HTuningProblem(tasks, budget=80)

@@ -1,0 +1,143 @@
+"""Unit tests for repro.core.adaptive (online re-tuning)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveTuner, MarketBelief
+from repro.errors import ModelError
+from repro.market import (
+    AggregateSimulator,
+    LinearPricing,
+    MarketModel,
+    TaskType,
+)
+
+
+@pytest.fixture
+def vote_type():
+    return TaskType("vote", processing_rate=2.0)
+
+
+@pytest.fixture
+def prior():
+    return LinearPricing(1.0, 1.0)
+
+
+class TestMarketBelief:
+    def test_prior_until_observations(self, prior):
+        belief = MarketBelief(prior)
+        assert belief.current_model() is prior
+
+    def test_single_price_rescales_prior(self, prior):
+        belief = MarketBelief(prior, decay=1.0)
+        # Prior says rate 4 at price 3; observed mean duration 0.125
+        # implies rate 8 — the scaled model doubles the prior everywhere.
+        belief.observe(3, [0.125] * 100)
+        model = belief.current_model()
+        assert model(3) == pytest.approx(8.0)
+        assert model(7) == pytest.approx(2 * prior(7))
+
+    def test_rate_estimate_is_inverse_mean(self, prior):
+        belief = MarketBelief(prior, decay=1.0)
+        belief.observe(4, [0.5, 0.5, 0.5])
+        assert belief.rate_at(4) == pytest.approx(2.0)
+
+    def test_unobserved_price_is_none(self, prior):
+        belief = MarketBelief(prior)
+        assert belief.rate_at(9) is None
+
+    def test_fit_after_two_prices(self, prior, rng):
+        belief = MarketBelief(prior, decay=1.0)
+        # True curve 2c + 0: mean latency 1/(2c)
+        for price in (2, 5):
+            samples = rng.exponential(1.0 / (2 * price), size=3000)
+            belief.observe(price, samples)
+        model = belief.current_model()
+        assert model(4) == pytest.approx(8.0, rel=0.1)
+
+    def test_decay_forgets_old_regime(self, prior):
+        belief = MarketBelief(prior, decay=0.3)
+        # Old regime: slow (rate 1 at price 4 → duration 1.0)
+        for _ in range(10):
+            belief.decay_all()
+            belief.observe(4, [1.0] * 10)
+        # New regime: fast (rate 10 → duration 0.1)
+        for _ in range(10):
+            belief.decay_all()
+            belief.observe(4, [0.1] * 10)
+        assert belief.rate_at(4) == pytest.approx(10.0, rel=0.1)
+
+    def test_decay_all_ages_every_bucket(self, prior):
+        belief = MarketBelief(prior, decay=0.5)
+        belief.observe(3, [1.0, 1.0])
+        belief.observe(7, [0.5])
+        belief.decay_all()
+        # Weights halved everywhere, estimates unchanged.
+        assert belief._weights[3] == pytest.approx(1.0)
+        assert belief._weights[7] == pytest.approx(0.5)
+        assert belief.rate_at(3) == pytest.approx(1.0)
+
+    def test_validation(self, prior):
+        with pytest.raises(ModelError):
+            MarketBelief(prior, decay=0.0)
+        belief = MarketBelief(prior)
+        with pytest.raises(ModelError):
+            belief.observe(3, [-1.0])
+
+    def test_empty_observation_noop(self, prior):
+        belief = MarketBelief(prior)
+        belief.observe(3, [])
+        assert belief.rate_at(3) is None
+
+
+class TestAdaptiveTuner:
+    def test_rounds_update_belief_and_budget(self, vote_type, prior):
+        market = MarketModel(LinearPricing(3.0, 1.0))  # true curve != prior
+        sim = AggregateSimulator(market, seed=0)
+        tuner = AdaptiveTuner(vote_type, prior, total_budget=600, seed=0)
+        for round_index in range(3):
+            outcome = tuner.run_round(
+                sim, n_tasks=10, repetitions=2, rounds_left=3 - round_index
+            )
+            assert outcome.latency > 0
+        assert len(tuner.history) == 3
+        assert tuner.total_spent <= 600
+        assert tuner.remaining_budget == 600 - tuner.total_spent
+        # Belief has left the prior behind.
+        assert tuner.belief.current_model() is not prior
+
+    def test_belief_converges_to_truth(self, vote_type, prior):
+        true_curve = LinearPricing(3.0, 1.0)
+        sim = AggregateSimulator(MarketModel(true_curve), seed=1)
+        tuner = AdaptiveTuner(
+            vote_type, prior, total_budget=4000, decay=1.0, seed=1
+        )
+        for round_index in range(8):
+            tuner.run_round(
+                sim, n_tasks=25, repetitions=2, rounds_left=8 - round_index
+            )
+        learned = tuner.belief.current_model()
+        # Compare learned and true rates at a mid price.
+        assert learned(5) == pytest.approx(true_curve(5), rel=0.3)
+
+    def test_plan_round_respects_floor(self, vote_type, prior):
+        tuner = AdaptiveTuner(vote_type, prior, total_budget=100, seed=0)
+        problem, allocation = tuner.plan_round(
+            n_tasks=5, repetitions=2, rounds_left=4
+        )
+        assert allocation.total_cost >= 10  # one unit per repetition
+        assert allocation.total_cost <= 100
+
+    def test_overcommitted_round_rejected(self, vote_type, prior):
+        tuner = AdaptiveTuner(vote_type, prior, total_budget=10, seed=0)
+        with pytest.raises(ModelError):
+            tuner.plan_round(n_tasks=20, repetitions=2, rounds_left=1)
+
+    def test_validation(self, vote_type, prior):
+        with pytest.raises(ModelError):
+            AdaptiveTuner(vote_type, prior, total_budget=0)
+        tuner = AdaptiveTuner(vote_type, prior, total_budget=100)
+        with pytest.raises(ModelError):
+            tuner.plan_round(n_tasks=0, repetitions=1, rounds_left=1)

@@ -1,0 +1,133 @@
+"""Unit tests for repro.core.baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HTuningProblem, TaskSpec
+from repro.core import (
+    biased_allocation,
+    rep_even_allocation,
+    task_even_allocation,
+    uniform_price_heuristic,
+)
+from repro.errors import ModelError
+from repro.market import LinearPricing
+
+
+@pytest.fixture
+def pricing():
+    return LinearPricing(1.0, 1.0)
+
+
+class TestBiasedAllocation:
+    def test_valid_and_within_budget(self, homo_problem):
+        alloc = biased_allocation(homo_problem, alpha=0.67, rng=0)
+        homo_problem.validate_allocation(alloc)
+
+    def test_alpha_half_close_to_even(self, homo_problem):
+        alloc = biased_allocation(homo_problem, alpha=0.5, rng=0)
+        costs = [alloc.task_cost(t.task_id) for t in homo_problem.tasks]
+        assert max(costs) - min(costs) <= 3
+
+    def test_prior_group_gets_more(self, pricing):
+        tasks = [TaskSpec(i, 2, pricing, 2.0) for i in range(10)]
+        problem = HTuningProblem(tasks, budget=200)
+        alloc = biased_allocation(problem, alpha=0.75, rng=0)
+        costs = sorted(alloc.task_cost(i) for i in range(10))
+        rich_half = sum(costs[5:])
+        poor_half = sum(costs[:5])
+        assert rich_half == pytest.approx(0.75 * 200, abs=6)
+        assert poor_half == pytest.approx(0.25 * 200, abs=6)
+
+    def test_alpha_validation(self, homo_problem):
+        with pytest.raises(ModelError):
+            biased_allocation(homo_problem, alpha=0.4)
+        with pytest.raises(ModelError):
+            biased_allocation(homo_problem, alpha=1.0)
+
+    def test_seeded_reproducibility(self, homo_problem):
+        a = biased_allocation(homo_problem, alpha=0.67, rng=3)
+        b = biased_allocation(homo_problem, alpha=0.67, rng=3)
+        assert a == b
+
+    def test_tight_budget_rebalanced(self, pricing):
+        # Budget barely above minimum: the disfavored half cannot
+        # afford its share under α=0.9; claw-back must keep feasibility.
+        tasks = [TaskSpec(i, 2, pricing, 2.0) for i in range(6)]
+        problem = HTuningProblem(tasks, budget=13)
+        alloc = biased_allocation(problem, alpha=0.9, rng=0)
+        problem.validate_allocation(alloc)
+
+    def test_single_task(self, pricing):
+        problem = HTuningProblem([TaskSpec(0, 2, pricing, 2.0)], budget=10)
+        alloc = biased_allocation(problem, alpha=0.67, rng=0)
+        problem.validate_allocation(alloc)
+
+
+class TestTaskEvenAllocation:
+    def test_equal_total_per_task(self, repe_problem):
+        alloc = task_even_allocation(repe_problem)
+        costs = [alloc.task_cost(t.task_id) for t in repe_problem.tasks]
+        assert max(costs) - min(costs) <= 1
+
+    def test_within_task_even_split(self, repe_problem):
+        alloc = task_even_allocation(repe_problem)
+        for task in repe_problem.tasks:
+            prices = alloc[task.task_id]
+            assert max(prices) - min(prices) <= 1
+
+    def test_validates(self, repe_problem):
+        repe_problem.validate_allocation(task_even_allocation(repe_problem))
+
+    def test_rebalances_infeasible_shares(self, pricing):
+        # One task with many repetitions, tight budget: its equal share
+        # cannot cover one unit per repetition.
+        tasks = [TaskSpec(0, 20, pricing, 2.0)] + [
+            TaskSpec(i, 1, pricing, 2.0) for i in range(1, 5)
+        ]
+        problem = HTuningProblem(tasks, budget=28)
+        alloc = task_even_allocation(problem)
+        problem.validate_allocation(alloc)
+        assert alloc.task_cost(0) >= 20
+
+
+class TestRepEvenAllocation:
+    def test_equal_price_per_repetition(self, repe_problem):
+        alloc = rep_even_allocation(repe_problem)
+        prices = {
+            p for t in repe_problem.tasks for p in alloc[t.task_id]
+        }
+        assert len(prices) <= 2  # base and base+1 (remainder)
+
+    def test_total_close_to_budget(self, repe_problem):
+        alloc = rep_even_allocation(repe_problem)
+        assert alloc.total_cost == repe_problem.budget
+
+    def test_high_rep_tasks_get_more_total(self, repe_problem):
+        alloc = rep_even_allocation(repe_problem)
+        two_rep = next(t for t in repe_problem.tasks if t.repetitions == 2)
+        four_rep = next(t for t in repe_problem.tasks if t.repetitions == 4)
+        assert alloc.task_cost(four_rep.task_id) > alloc.task_cost(
+            two_rep.task_id
+        )
+
+
+class TestUniformPriceHeuristic:
+    def test_single_price_everywhere(self, heter_problem):
+        alloc = uniform_price_heuristic(heter_problem)
+        prices = {
+            p for t in heter_problem.tasks for p in alloc[t.task_id]
+        }
+        assert len(prices) == 1
+
+    def test_largest_affordable_price(self, heter_problem):
+        alloc = uniform_price_heuristic(heter_problem)
+        (price,) = {
+            p for t in heter_problem.tasks for p in alloc[t.task_id]
+        }
+        total_reps = heter_problem.total_repetitions
+        assert price == heter_problem.budget // total_reps
+
+    def test_validates(self, heter_problem):
+        heter_problem.validate_allocation(uniform_price_heuristic(heter_problem))

@@ -1,0 +1,175 @@
+"""Unit tests for repro.core.deadline (the [29]-style dual problem)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import HTuningProblem, TaskSpec
+from repro.core import (
+    completion_probability,
+    latency_quantile,
+    min_cost_for_deadline,
+)
+from repro.core.latency import sample_job_latencies
+from repro.core.problem import Allocation
+from repro.errors import ModelError
+from repro.market import LinearPricing
+
+
+@pytest.fixture
+def pricing():
+    return LinearPricing(1.0, 1.0)
+
+
+def make_tasks(pricing, spec=((2, 2, 5.0), (3, 1, 3.0))):
+    """spec: ((reps, count, proc_rate), ...)."""
+    tasks = []
+    tid = 0
+    for gi, (reps, count, proc) in enumerate(spec):
+        for _ in range(count):
+            tasks.append(
+                TaskSpec(tid, reps, pricing, proc, type_name=f"g{gi}")
+            )
+            tid += 1
+    return tasks
+
+
+class TestCompletionProbability:
+    def test_matches_monte_carlo(self, pricing):
+        tasks = make_tasks(pricing)
+        problem = HTuningProblem(tasks, budget=1000)
+        prices = {g.key: 3 for g in problem.groups()}
+        deadline = 3.0
+        analytic = completion_probability(problem, prices, deadline)
+        alloc = Allocation.from_group_prices(problem, prices)
+        draws = sample_job_latencies(problem, alloc, 60_000, rng=0)
+        empirical = float(np.mean(draws <= deadline))
+        assert analytic == pytest.approx(empirical, abs=0.01)
+
+    def test_monotone_in_deadline(self, pricing):
+        tasks = make_tasks(pricing)
+        problem = HTuningProblem(tasks, budget=1000)
+        prices = {g.key: 2 for g in problem.groups()}
+        probs = [
+            completion_probability(problem, prices, d)
+            for d in (0.5, 1.0, 2.0, 5.0, 20.0)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(probs, probs[1:]))
+        assert probs[-1] > 0.95
+
+    def test_monotone_in_price(self, pricing):
+        tasks = make_tasks(pricing)
+        problem = HTuningProblem(tasks, budget=1000)
+        deadline = 2.0
+        values = []
+        for p in (1, 3, 6, 10):
+            prices = {g.key: p for g in problem.groups()}
+            values.append(completion_probability(problem, prices, deadline))
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_zero_deadline(self, pricing):
+        tasks = make_tasks(pricing)
+        problem = HTuningProblem(tasks, budget=1000)
+        prices = {g.key: 2 for g in problem.groups()}
+        assert completion_probability(problem, prices, 0.0) == 0.0
+
+    def test_rejects_negative_deadline(self, pricing):
+        tasks = make_tasks(pricing)
+        problem = HTuningProblem(tasks, budget=1000)
+        prices = {g.key: 2 for g in problem.groups()}
+        with pytest.raises(ModelError):
+            completion_probability(problem, prices, -1.0)
+
+
+class TestLatencyQuantile:
+    def test_roundtrip_with_completion_probability(self, pricing):
+        tasks = make_tasks(pricing)
+        problem = HTuningProblem(tasks, budget=1000)
+        prices = {g.key: 3 for g in problem.groups()}
+        q90 = latency_quantile(problem, prices, 0.9)
+        assert completion_probability(problem, prices, q90) == pytest.approx(
+            0.9, abs=1e-3
+        )
+
+    def test_higher_confidence_larger_quantile(self, pricing):
+        tasks = make_tasks(pricing)
+        problem = HTuningProblem(tasks, budget=1000)
+        prices = {g.key: 3 for g in problem.groups()}
+        assert latency_quantile(problem, prices, 0.95) > latency_quantile(
+            problem, prices, 0.5
+        )
+
+    def test_validation(self, pricing):
+        tasks = make_tasks(pricing)
+        problem = HTuningProblem(tasks, budget=1000)
+        prices = {g.key: 3 for g in problem.groups()}
+        with pytest.raises(ModelError):
+            latency_quantile(problem, prices, 1.0)
+
+
+class TestMinCostForDeadline:
+    def test_meets_target(self, pricing):
+        tasks = make_tasks(pricing)
+        result = min_cost_for_deadline(tasks, deadline=3.0, confidence=0.8)
+        assert result.feasible
+        assert result.achieved_probability >= 0.8
+
+    def test_minimality_no_single_decrement_feasible(self, pricing):
+        tasks = make_tasks(pricing)
+        result = min_cost_for_deadline(tasks, deadline=3.0, confidence=0.8)
+        problem = HTuningProblem(
+            tasks, budget=sum(t.repetitions for t in tasks) * 10_000
+        )
+        for g in problem.groups():
+            p = result.group_prices[g.key]
+            if p <= 1:
+                continue
+            trial = dict(result.group_prices)
+            trial[g.key] = p - 1
+            assert (
+                completion_probability(problem, trial, 3.0) < 0.8
+            ), "a cheaper feasible decrement exists — not minimal"
+
+    def test_matches_exhaustive_on_small_instance(self, pricing):
+        tasks = make_tasks(pricing, spec=((1, 1, 2.0), (2, 1, 1.0)))
+        deadline, confidence = 4.0, 0.7
+        result = min_cost_for_deadline(
+            tasks, deadline=deadline, confidence=confidence, max_price=15
+        )
+        # Exhaustive search over the group-uniform lattice.
+        problem = HTuningProblem(tasks, budget=10_000)
+        groups = problem.groups()
+        best_cost = None
+        for combo in itertools.product(range(1, 16), repeat=len(groups)):
+            prices = {g.key: p for g, p in zip(groups, combo)}
+            if completion_probability(problem, prices, deadline) >= confidence:
+                cost = sum(p * g.unit_cost for g, p in zip(groups, combo))
+                best_cost = cost if best_cost is None else min(best_cost, cost)
+        assert best_cost is not None
+        assert result.cost == best_cost
+
+    def test_tighter_deadline_costs_more(self, pricing):
+        tasks = make_tasks(pricing)
+        loose = min_cost_for_deadline(tasks, deadline=8.0, confidence=0.8)
+        tight = min_cost_for_deadline(tasks, deadline=2.5, confidence=0.8)
+        assert tight.cost >= loose.cost
+
+    def test_unreachable_deadline_reported_infeasible(self, pricing):
+        # Processing alone (price-independent) exceeds the deadline.
+        tasks = make_tasks(pricing, spec=((3, 2, 0.01),))
+        result = min_cost_for_deadline(
+            tasks, deadline=0.5, confidence=0.9, max_price=50
+        )
+        assert not result.feasible
+
+    def test_validation(self, pricing):
+        with pytest.raises(ModelError):
+            min_cost_for_deadline([], deadline=1.0)
+        tasks = make_tasks(pricing)
+        with pytest.raises(ModelError):
+            min_cost_for_deadline(tasks, deadline=0.0)
+        with pytest.raises(ModelError):
+            min_cost_for_deadline(tasks, deadline=1.0, confidence=1.5)

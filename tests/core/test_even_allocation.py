@@ -1,0 +1,125 @@
+"""Unit tests for repro.core.even_allocation (Algorithm 1, EA)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import HTuningProblem, InfeasibleAllocationError, TaskSpec
+from repro.core import even_allocation, expected_job_latency
+from repro.errors import ModelError
+from repro.market import LinearPricing
+
+
+@pytest.fixture
+def pricing():
+    return LinearPricing(1.0, 1.0)
+
+
+def homo(n, reps, budget, pricing):
+    tasks = [TaskSpec(i, reps, pricing, 2.0) for i in range(n)]
+    return HTuningProblem(tasks, budget)
+
+
+class TestEvenAllocation:
+    def test_exact_division(self, pricing):
+        problem = homo(4, 3, 60, pricing)
+        alloc = even_allocation(problem, rng=0)
+        assert alloc.total_cost == 60
+        assert all(p == 5 for prices in (alloc[i] for i in range(4)) for p in prices)
+
+    def test_infeasible_raises(self, pricing):
+        problem = homo(4, 3, 12, pricing)  # minimum is 12: feasible
+        even_allocation(problem, rng=0)
+        with pytest.raises(InfeasibleAllocationError):
+            HTuningProblem([TaskSpec(0, 3, pricing, 2.0)], budget=2)
+
+    def test_gamma_remainder_spread_per_task(self, pricing):
+        # B=4*3*5 + 8 → δ=5, remainder 8, γ=2 per task, σ=0
+        problem = homo(4, 3, 68, pricing)
+        alloc = even_allocation(problem, rng=0)
+        assert alloc.total_cost == 68
+        for i in range(4):
+            prices = sorted(alloc[i])
+            assert prices == [5, 6, 6]
+
+    def test_sigma_remainder_hits_distinct_tasks(self, pricing):
+        # B=60+3 → δ=5, γ=0, σ=3: three tasks get one +1 repetition
+        problem = homo(4, 3, 63, pricing)
+        alloc = even_allocation(problem, rng=0)
+        assert alloc.total_cost == 63
+        bumped = [i for i in range(4) if sum(alloc[i]) == 16]
+        assert len(bumped) == 3
+
+    def test_gamma_and_sigma_together(self, pricing):
+        # B = 60 + 4*2 + 3 = 71 → γ=2, σ=3
+        problem = homo(4, 3, 71, pricing)
+        alloc = even_allocation(problem, rng=0)
+        assert alloc.total_cost == 71
+        per_task = sorted(alloc.task_cost(i) for i in range(4))
+        assert per_task == [17, 18, 18, 18]
+
+    def test_remainder_placement_randomized_but_seeded(self, pricing):
+        problem = homo(4, 3, 63, pricing)
+        a = even_allocation(problem, rng=0)
+        b = even_allocation(problem, rng=0)
+        assert a == b
+
+    def test_strict_scenario_guard(self, repe_problem):
+        with pytest.raises(ModelError):
+            even_allocation(repe_problem, rng=0)
+
+    def test_relaxed_scenario_for_baseline_use(self, repe_problem):
+        alloc = even_allocation(repe_problem, rng=0, strict_scenario=False)
+        repe_problem.validate_allocation(alloc)
+        assert alloc.total_cost == repe_problem.budget
+
+
+class TestEAOptimality:
+    """Theorem 1: EA is optimal for Scenario I (verified numerically)."""
+
+    def test_beats_biased_allocations(self, pricing):
+        problem = homo(6, 2, 120, pricing)
+        ea = even_allocation(problem, rng=0)
+        ea_latency = expected_job_latency(problem, ea, include_processing=False)
+        from repro.core import biased_allocation
+
+        for alpha in (0.6, 0.75, 0.9):
+            biased = biased_allocation(problem, alpha=alpha, rng=0)
+            biased_latency = expected_job_latency(
+                problem, biased, include_processing=False
+            )
+            assert ea_latency <= biased_latency + 1e-9
+
+    def test_beats_every_two_task_split(self, pricing):
+        # Lemma 1 exhaustively: two 1-rep tasks, budget B; the even
+        # split must minimize E[max].
+        from repro import Allocation
+
+        tasks = [TaskSpec(i, 1, pricing, 2.0) for i in range(2)]
+        budget = 10
+        problem = HTuningProblem(tasks, budget)
+        latencies = {}
+        for x in range(1, budget):
+            alloc = Allocation({0: [x], 1: [budget - x]})
+            latencies[x] = expected_job_latency(
+                problem, alloc, include_processing=False
+            )
+        best_split = min(latencies, key=latencies.get)
+        assert best_split == 5
+
+    def test_even_beats_uneven_repetitions(self, pricing):
+        # Lemma 2: within one task, even per-repetition split is best.
+        from repro import Allocation
+
+        task = [TaskSpec(0, 2, pricing, 2.0)]
+        budget = 8
+        problem = HTuningProblem(task, budget)
+        even = expected_job_latency(
+            problem, Allocation({0: [4, 4]}), include_processing=False
+        )
+        for split in ([1, 7], [2, 6], [3, 5]):
+            uneven = expected_job_latency(
+                problem, Allocation({0: split}), include_processing=False
+            )
+            assert even <= uneven + 1e-9

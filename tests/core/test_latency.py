@@ -1,0 +1,166 @@
+"""Unit tests for repro.core.latency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Allocation, HTuningProblem, TaskSpec
+from repro.core import (
+    erlang_max_constant,
+    expected_job_latency,
+    group_onhold_latency,
+    group_processing_latency,
+    sample_job_latencies,
+    simulate_job_latency,
+    surrogate_onhold_objective,
+)
+from repro.errors import ModelError
+from repro.market import LinearPricing
+from repro.stats import expected_max_erlang_iid
+
+
+@pytest.fixture
+def pricing():
+    return LinearPricing(1.0, 1.0)
+
+
+class TestErlangMaxConstant:
+    def test_matches_direct_computation(self):
+        assert erlang_max_constant(10, 3) == pytest.approx(
+            expected_max_erlang_iid(10, 3, 1.0)
+        )
+
+    def test_k1_is_harmonic(self):
+        from repro.stats import harmonic_number
+
+        assert erlang_max_constant(7, 1) == pytest.approx(harmonic_number(7))
+
+
+class TestGroupLatencies:
+    def test_onhold_scaling(self, pricing):
+        tasks = [TaskSpec(i, 3, pricing, 2.0) for i in range(5)]
+        problem = HTuningProblem(tasks, budget=100)
+        (group,) = problem.groups()
+        # E[L1] = M(5,3)/λ(p); λ(4) = 5
+        assert group_onhold_latency(group, 4) == pytest.approx(
+            erlang_max_constant(5, 3) / 5.0
+        )
+
+    def test_onhold_decreasing_in_price(self, pricing):
+        tasks = [TaskSpec(i, 2, pricing, 2.0) for i in range(5)]
+        (group,) = HTuningProblem(tasks, budget=100).groups()
+        values = [group_onhold_latency(group, p) for p in (1, 2, 5, 10)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_onhold_rejects_bad_price(self, pricing):
+        tasks = [TaskSpec(0, 2, pricing, 2.0)]
+        (group,) = HTuningProblem(tasks, budget=100).groups()
+        with pytest.raises(ModelError):
+            group_onhold_latency(group, 0)
+        with pytest.raises(ModelError):
+            group_onhold_latency(group, 1.5)
+
+    def test_processing_independent_of_price(self, pricing):
+        tasks = [TaskSpec(i, 2, pricing, 4.0) for i in range(3)]
+        (group,) = HTuningProblem(tasks, budget=100).groups()
+        assert group_processing_latency(group) == pytest.approx(
+            erlang_max_constant(3, 2) / 4.0
+        )
+
+
+class TestSurrogateObjective:
+    def test_sums_over_groups(self, repe_problem):
+        groups = repe_problem.groups()
+        prices = {g.key: 2 for g in groups}
+        expected = sum(group_onhold_latency(g, 2) for g in groups)
+        assert surrogate_onhold_objective(repe_problem, prices) == pytest.approx(
+            expected
+        )
+
+    def test_upper_bounds_true_phase1_latency(self, repe_problem):
+        # sum of group maxima >= E[max over all]; verified via MC.
+        groups = repe_problem.groups()
+        prices = {g.key: 3 for g in groups}
+        alloc = Allocation.from_group_prices(repe_problem, prices)
+        surrogate = surrogate_onhold_objective(repe_problem, prices)
+        true_value = simulate_job_latency(
+            repe_problem, alloc, n_samples=20000, rng=0, include_processing=False
+        )
+        assert surrogate >= true_value * 0.99
+
+
+class TestExpectedJobLatency:
+    def test_single_task_is_phase_sum(self, pricing):
+        problem = HTuningProblem([TaskSpec(0, 1, pricing, 2.0)], budget=10)
+        alloc = Allocation({0: [4]})
+        # E = 1/λ_o(4) + 1/λ_p = 1/5 + 1/2
+        assert expected_job_latency(problem, alloc) == pytest.approx(0.7, rel=1e-3)
+
+    def test_onhold_only(self, pricing):
+        problem = HTuningProblem([TaskSpec(0, 1, pricing, 2.0)], budget=10)
+        alloc = Allocation({0: [4]})
+        value = expected_job_latency(problem, alloc, include_processing=False)
+        assert value == pytest.approx(0.2, rel=1e-3)
+
+    def test_matches_erlang_max_for_uniform_group(self, pricing):
+        n, k, price = 20, 3, 4
+        tasks = [TaskSpec(i, k, pricing, 2.0) for i in range(n)]
+        problem = HTuningProblem(tasks, budget=n * k * price)
+        alloc = Allocation.uniform(problem, price)
+        value = expected_job_latency(problem, alloc, include_processing=False)
+        assert value == pytest.approx(
+            expected_max_erlang_iid(n, k, pricing(price)), rel=1e-3
+        )
+
+    def test_matches_monte_carlo_two_phase(self, pricing):
+        tasks = [TaskSpec(i, 2, pricing, 1.5) for i in range(10)]
+        problem = HTuningProblem(tasks, budget=200)
+        alloc = Allocation.uniform(problem, 5)
+        numeric = expected_job_latency(problem, alloc)
+        mc = simulate_job_latency(problem, alloc, n_samples=60000, rng=1)
+        assert numeric == pytest.approx(mc, rel=0.02)
+
+    def test_handles_non_uniform_allocations(self, pricing):
+        tasks = [TaskSpec(i, 2, pricing, 2.0) for i in range(3)]
+        problem = HTuningProblem(tasks, budget=100)
+        alloc = Allocation({0: [1, 9], 1: [5, 5], 2: [2, 2]})
+        value = expected_job_latency(problem, alloc)
+        mc = simulate_job_latency(problem, alloc, n_samples=60000, rng=2)
+        assert value == pytest.approx(mc, rel=0.02)
+
+    def test_validates_allocation(self, pricing):
+        problem = HTuningProblem([TaskSpec(0, 1, pricing, 1.0)], budget=10)
+        with pytest.raises(ModelError):
+            expected_job_latency(problem, Allocation({7: [1]}))
+
+
+class TestMonteCarlo:
+    def test_sample_shape(self, homo_problem):
+        alloc = Allocation.uniform(homo_problem, 5)
+        draws = sample_job_latencies(homo_problem, alloc, 100, rng=0)
+        assert draws.shape == (100,)
+        assert np.all(draws > 0)
+
+    def test_deterministic_given_seed(self, homo_problem):
+        alloc = Allocation.uniform(homo_problem, 5)
+        a = sample_job_latencies(homo_problem, alloc, 50, rng=9)
+        b = sample_job_latencies(homo_problem, alloc, 50, rng=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_zero_samples(self, homo_problem):
+        alloc = Allocation.uniform(homo_problem, 5)
+        with pytest.raises(ModelError):
+            sample_job_latencies(homo_problem, alloc, 0, rng=0)
+
+    def test_more_budget_lowers_latency(self, pricing):
+        tasks = [TaskSpec(i, 2, pricing, 2.0) for i in range(10)]
+        low = HTuningProblem(tasks, budget=40)
+        high = HTuningProblem(tasks, budget=400)
+        low_lat = simulate_job_latency(
+            low, Allocation.uniform(low, 2), n_samples=20000, rng=0
+        )
+        high_lat = simulate_job_latency(
+            high, Allocation.uniform(high, 20), n_samples=20000, rng=0
+        )
+        assert high_lat < low_lat

@@ -1,0 +1,108 @@
+"""Unit tests for repro.core.objectives (O1/O2, utopia, closeness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ObjectivePoint,
+    closeness,
+    group_onhold_latency,
+    group_processing_latency,
+    objective_o1,
+    objective_o2,
+    utopia_point,
+)
+
+
+class TestObjectives:
+    def test_o1_is_group_sum(self, heter_problem):
+        groups = heter_problem.groups()
+        prices = {g.key: 2 for g in groups}
+        expected = sum(group_onhold_latency(g, 2) for g in groups)
+        assert objective_o1(heter_problem, prices) == pytest.approx(expected)
+
+    def test_o2_is_max_total(self, heter_problem):
+        groups = heter_problem.groups()
+        prices = {g.key: 2 for g in groups}
+        expected = max(
+            group_onhold_latency(g, 2) + group_processing_latency(g)
+            for g in groups
+        )
+        assert objective_o2(heter_problem, prices) == pytest.approx(expected)
+
+    def test_o1_decreasing_in_price(self, heter_problem):
+        groups = heter_problem.groups()
+        low = objective_o1(heter_problem, {g.key: 1 for g in groups})
+        high = objective_o1(heter_problem, {g.key: 4 for g in groups})
+        assert high < low
+
+    def test_o2_nonincreasing_in_price(self, heter_problem):
+        groups = heter_problem.groups()
+        low = objective_o2(heter_problem, {g.key: 1 for g in groups})
+        high = objective_o2(heter_problem, {g.key: 4 for g in groups})
+        assert high <= low
+
+
+class TestObjectivePoint:
+    def test_l1_distance(self):
+        a = ObjectivePoint(1.0, 2.0)
+        b = ObjectivePoint(3.0, 1.0)
+        assert a.l1_distance(b) == pytest.approx(3.0)
+
+    def test_distance_symmetric(self):
+        a = ObjectivePoint(1.0, 2.0)
+        b = ObjectivePoint(0.5, 5.0)
+        assert a.l1_distance(b) == b.l1_distance(a)
+
+
+class TestUtopiaPoint:
+    def test_utopia_dominates_feasible_points(self, heter_problem):
+        utopia = utopia_point(heter_problem)
+        groups = heter_problem.groups()
+        # Enumerate a few feasible uniform price vectors.
+        for p0 in (1, 2, 3):
+            for p1 in (1, 2, 3):
+                prices = {groups[0].key: p0, groups[1].key: p1}
+                spend = sum(
+                    prices[g.key] * g.unit_cost for g in groups
+                )
+                if spend > heter_problem.budget:
+                    continue
+                assert objective_o1(heter_problem, prices) >= utopia.o1 - 1e-9
+                assert objective_o2(heter_problem, prices) >= utopia.o2 - 1e-9
+
+    def test_utopia_usually_infeasible_jointly(self, heter_problem):
+        # The utopia point optimizes each objective separately; a
+        # single allocation rarely attains both. We only check the
+        # coordinates are finite and positive.
+        utopia = utopia_point(heter_problem)
+        assert utopia.o1 > 0
+        assert utopia.o2 > 0
+
+
+class TestCloseness:
+    def test_zero_iff_at_utopia(self, heter_problem):
+        utopia = utopia_point(heter_problem)
+        synthetic = ObjectivePoint(utopia.o1, utopia.o2)
+        assert synthetic.l1_distance(utopia) == 0.0
+
+    def test_closeness_nonnegative(self, heter_problem):
+        utopia = utopia_point(heter_problem)
+        groups = heter_problem.groups()
+        prices = {g.key: 1 for g in groups}
+        assert closeness(heter_problem, prices, utopia) >= 0.0
+
+    def test_closeness_equals_sum_gap(self, heter_problem):
+        # For feasible points, CL = (O1−O1*) + (O2−O2*).
+        utopia = utopia_point(heter_problem)
+        groups = heter_problem.groups()
+        prices = {g.key: 2 for g in groups}
+        cl = closeness(heter_problem, prices, utopia)
+        gap = (
+            objective_o1(heter_problem, prices)
+            - utopia.o1
+            + objective_o2(heter_problem, prices)
+            - utopia.o2
+        )
+        assert cl == pytest.approx(gap)

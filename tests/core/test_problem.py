@@ -1,0 +1,197 @@
+"""Unit tests for repro.core.problem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Allocation,
+    HTuningProblem,
+    InfeasibleAllocationError,
+    Scenario,
+    TaskSpec,
+)
+from repro.errors import BudgetError, ModelError
+from repro.market import LinearPricing
+
+
+@pytest.fixture
+def pricing():
+    return LinearPricing(1.0, 1.0)
+
+
+class TestTaskSpec:
+    def test_valid(self, pricing):
+        t = TaskSpec(0, repetitions=3, pricing=pricing, processing_rate=2.0)
+        assert t.onhold_rate(4) == pytest.approx(5.0)
+
+    def test_rejects_bad_repetitions(self, pricing):
+        with pytest.raises(ModelError):
+            TaskSpec(0, repetitions=0, pricing=pricing, processing_rate=1.0)
+        with pytest.raises(ModelError):
+            TaskSpec(0, repetitions=1.5, pricing=pricing, processing_rate=1.0)
+
+    def test_rejects_bad_processing_rate(self, pricing):
+        with pytest.raises(ModelError):
+            TaskSpec(0, repetitions=1, pricing=pricing, processing_rate=0.0)
+
+    def test_rejects_non_pricing(self):
+        with pytest.raises(ModelError):
+            TaskSpec(0, repetitions=1, pricing="cheap", processing_rate=1.0)
+
+    def test_group_key_contains_identity(self, pricing):
+        a = TaskSpec(0, repetitions=2, pricing=pricing, processing_rate=1.0,
+                     type_name="x")
+        b = TaskSpec(1, repetitions=2, pricing=pricing, processing_rate=1.0,
+                     type_name="x")
+        assert a.group_key == b.group_key
+
+
+class TestGrouping:
+    def test_groups_by_type_and_repetitions(self, pricing):
+        tasks = [
+            TaskSpec(0, 2, pricing, 1.0, type_name="a"),
+            TaskSpec(1, 2, pricing, 1.0, type_name="a"),
+            TaskSpec(2, 3, pricing, 1.0, type_name="a"),
+            TaskSpec(3, 2, pricing, 2.0, type_name="b"),
+        ]
+        problem = HTuningProblem(tasks, budget=100)
+        groups = problem.groups()
+        assert len(groups) == 3
+        sizes = sorted(g.size for g in groups)
+        assert sizes == [1, 1, 2]
+
+    def test_group_order_deterministic(self, pricing):
+        tasks = [
+            TaskSpec(0, 3, pricing, 1.0),
+            TaskSpec(1, 2, pricing, 1.0),
+        ]
+        problem = HTuningProblem(tasks, budget=100)
+        assert problem.groups()[0].repetitions == 3
+
+    def test_unit_cost(self, pricing):
+        tasks = [TaskSpec(i, 4, pricing, 1.0) for i in range(3)]
+        problem = HTuningProblem(tasks, budget=100)
+        (group,) = problem.groups()
+        assert group.unit_cost == 12
+
+    def test_groups_cached(self, pricing):
+        problem = HTuningProblem([TaskSpec(0, 1, pricing, 1.0)], budget=10)
+        assert problem.groups() is problem.groups()
+
+
+class TestScenarioDetection:
+    def test_homogeneity(self, homo_problem):
+        assert homo_problem.scenario() is Scenario.HOMOGENEITY
+
+    def test_repetition(self, repe_problem):
+        assert repe_problem.scenario() is Scenario.REPETITION
+
+    def test_heterogeneous(self, heter_problem):
+        assert heter_problem.scenario() is Scenario.HETEROGENEOUS
+
+    def test_same_reps_different_types_is_heterogeneous(self, pricing):
+        tasks = [
+            TaskSpec(0, 2, pricing, 1.0, type_name="a"),
+            TaskSpec(1, 2, pricing, 2.0, type_name="b"),
+        ]
+        assert HTuningProblem(tasks, 40).scenario() is Scenario.HETEROGENEOUS
+
+
+class TestProblemValidation:
+    def test_needs_tasks(self):
+        with pytest.raises(ModelError):
+            HTuningProblem([], budget=10)
+
+    def test_unique_ids(self, pricing):
+        tasks = [
+            TaskSpec(0, 1, pricing, 1.0),
+            TaskSpec(0, 1, pricing, 1.0),
+        ]
+        with pytest.raises(ModelError):
+            HTuningProblem(tasks, budget=10)
+
+    def test_integer_budget(self, pricing):
+        with pytest.raises(BudgetError):
+            HTuningProblem([TaskSpec(0, 1, pricing, 1.0)], budget=10.5)
+
+    def test_infeasible_budget(self, pricing):
+        tasks = [TaskSpec(i, 5, pricing, 1.0) for i in range(4)]
+        with pytest.raises(InfeasibleAllocationError):
+            HTuningProblem(tasks, budget=19)
+
+    def test_exactly_feasible_budget(self, pricing):
+        tasks = [TaskSpec(i, 5, pricing, 1.0) for i in range(4)]
+        problem = HTuningProblem(tasks, budget=20)
+        assert problem.min_feasible_budget == 20
+
+    def test_totals(self, repe_problem):
+        assert repe_problem.num_tasks == 6
+        assert repe_problem.total_repetitions == 3 * 2 + 3 * 4
+
+
+class TestAllocation:
+    def test_construction(self):
+        alloc = Allocation({0: [2, 3], 1: [1]})
+        assert alloc[0] == (2, 3)
+        assert alloc.total_cost == 6
+        assert alloc.task_cost(0) == 5
+        assert 0 in alloc
+        assert len(alloc) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            Allocation({})
+
+    def test_rejects_below_minimum_price(self):
+        with pytest.raises(ModelError):
+            Allocation({0: [1, 0]})
+
+    def test_rejects_taskless_entry(self):
+        with pytest.raises(ModelError):
+            Allocation({0: []})
+
+    def test_equality(self):
+        assert Allocation({0: [1, 2]}) == Allocation({0: [1, 2]})
+        assert Allocation({0: [1, 2]}) != Allocation({0: [2, 1]})
+
+    def test_uniform_constructor(self, homo_problem):
+        alloc = Allocation.uniform(homo_problem, 5)
+        assert all(p == 5 for prices in alloc._prices.values() for p in prices)
+
+    def test_from_group_prices(self, repe_problem):
+        groups = repe_problem.groups()
+        alloc = Allocation.from_group_prices(
+            repe_problem, {g.key: 2 for g in groups}
+        )
+        for g in groups:
+            assert alloc.uniform_group_price(g) == 2
+
+    def test_uniform_group_price_none_when_mixed(self, homo_problem):
+        prices = {t.task_id: [1] * t.repetitions for t in homo_problem.tasks}
+        prices[0] = [1, 2, 1]
+        alloc = Allocation(prices)
+        (group,) = homo_problem.groups()
+        assert alloc.uniform_group_price(group) is None
+
+
+class TestValidateAllocation:
+    def test_valid(self, homo_problem):
+        alloc = Allocation.uniform(homo_problem, 5)
+        homo_problem.validate_allocation(alloc)
+
+    def test_id_mismatch(self, homo_problem):
+        alloc = Allocation({99: [1]})
+        with pytest.raises(ModelError):
+            homo_problem.validate_allocation(alloc)
+
+    def test_repetition_count_mismatch(self, homo_problem):
+        prices = {t.task_id: [1] * t.repetitions for t in homo_problem.tasks}
+        prices[0] = [1]  # should be 3 repetitions
+        with pytest.raises(ModelError):
+            homo_problem.validate_allocation(Allocation(prices))
+
+    def test_over_budget(self, homo_problem):
+        alloc = Allocation.uniform(homo_problem, 100)
+        with pytest.raises(BudgetError):
+            homo_problem.validate_allocation(alloc)

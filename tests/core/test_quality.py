@@ -1,0 +1,137 @@
+"""Unit tests for repro.core.quality (quality-aware repetition planning)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    majority_correct_probability,
+    plan_repetitions,
+    repetitions_for_quality,
+)
+from repro.core.quality import QualityPlan
+from repro.errors import ModelError, PlanError
+from repro.market import TaskType
+
+
+class TestMajorityCorrectProbability:
+    def test_single_vote(self):
+        assert majority_correct_probability(1, 0.8) == pytest.approx(0.8)
+
+    def test_three_votes_closed_form(self):
+        # P = a³ + 3a²(1−a)
+        a = 0.8
+        expected = a**3 + 3 * a**2 * (1 - a)
+        assert majority_correct_probability(3, a) == pytest.approx(expected)
+
+    def test_perfect_workers(self):
+        assert majority_correct_probability(5, 1.0) == 1.0
+
+    def test_increasing_in_odd_repetitions(self):
+        values = [majority_correct_probability(r, 0.75) for r in (1, 3, 5, 7, 9)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_increasing_in_accuracy(self):
+        values = [
+            majority_correct_probability(5, a) for a in (0.6, 0.7, 0.8, 0.9)
+        ]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_even_counts_ties_as_failure(self):
+        # With r=2, success needs both right: a².
+        assert majority_correct_probability(2, 0.8) == pytest.approx(0.64)
+
+    def test_monte_carlo_agreement(self, rng):
+        r, a = 7, 0.7
+        trials = 50_000
+        votes = rng.random((trials, r)) < a
+        correct = votes.sum(axis=1) > r // 2
+        assert correct.mean() == pytest.approx(
+            majority_correct_probability(r, a), abs=0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            majority_correct_probability(0, 0.8)
+        with pytest.raises(ModelError):
+            majority_correct_probability(3, 0.0)
+        with pytest.raises(ModelError):
+            majority_correct_probability(3, 1.5)
+
+
+class TestRepetitionsForQuality:
+    def test_already_good_enough(self):
+        assert repetitions_for_quality(0.95, 0.9) == 1
+
+    def test_needs_more_votes(self):
+        r = repetitions_for_quality(0.7, 0.95)
+        assert r > 1
+        assert r % 2 == 1
+        assert majority_correct_probability(r, 0.7) >= 0.95
+        # Minimality: two fewer votes must miss the target.
+        if r > 1:
+            assert majority_correct_probability(r - 2, 0.7) < 0.95
+
+    def test_uninformative_crowd_rejected(self):
+        with pytest.raises(PlanError):
+            repetitions_for_quality(0.5, 0.9)
+
+    def test_cap_enforced(self):
+        with pytest.raises(PlanError):
+            repetitions_for_quality(0.51, 0.999999, max_repetitions=5)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            repetitions_for_quality(0.8, 0.0)
+        with pytest.raises(ModelError):
+            repetitions_for_quality(0.8, 1.0)
+
+
+class TestPlanRepetitions:
+    def test_harder_types_get_more_votes(self):
+        easy = TaskType("easy", processing_rate=1.0, accuracy=0.95)
+        hard = TaskType("hard", processing_rate=1.0, accuracy=0.7)
+        plan = plan_repetitions([easy, hard], target=0.95)
+        assert plan.for_type("hard") > plan.for_type("easy")
+
+    def test_plan_meets_target_for_every_type(self):
+        types = [
+            TaskType(f"t{i}", processing_rate=1.0, accuracy=a)
+            for i, a in enumerate((0.65, 0.8, 0.99))
+        ]
+        plan = plan_repetitions(types, target=0.9)
+        for t in types:
+            r = plan.for_type(t.name)
+            assert majority_correct_probability(r, t.accuracy) >= 0.9
+
+    def test_unknown_type_rejected(self):
+        plan = QualityPlan(target=0.9, repetitions={"a": 3})
+        with pytest.raises(PlanError):
+            plan.for_type("b")
+
+    def test_duplicate_names_rejected(self):
+        t = TaskType("x", processing_rate=1.0, accuracy=0.9)
+        with pytest.raises(ModelError):
+            plan_repetitions([t, t], target=0.9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            plan_repetitions([], target=0.9)
+
+    def test_feeds_h_tuning(self):
+        """The derived plan creates exactly the repetition heterogeneity
+        Scenario II/III tunes."""
+        from repro import HTuningProblem, Scenario, TaskSpec
+        from repro.market import LinearPricing
+
+        easy = TaskType("easy", processing_rate=2.0, accuracy=0.95)
+        hard = TaskType("hard", processing_rate=2.0, accuracy=0.7)
+        plan = plan_repetitions([easy, hard], target=0.95)
+        pricing = LinearPricing(1.0, 1.0)
+        tasks = [
+            TaskSpec(0, plan.for_type("easy"), pricing, 2.0, type_name="x"),
+            TaskSpec(1, plan.for_type("hard"), pricing, 2.0, type_name="x"),
+        ]
+        problem = HTuningProblem(tasks, budget=200)
+        assert problem.scenario() is Scenario.REPETITION

@@ -1,0 +1,126 @@
+"""Tests for sequential vs parallel repetition semantics (§2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Allocation, HTuningProblem, TaskSpec
+from repro.core import expected_job_latency
+from repro.errors import ModelError, SimulationError
+from repro.market import (
+    AggregateSimulator,
+    AtomicTaskOrder,
+    LinearPricing,
+    MarketModel,
+    TaskType,
+    TraceRecorder,
+)
+
+
+@pytest.fixture
+def pricing():
+    return LinearPricing(1.0, 1.0)
+
+
+@pytest.fixture
+def vote_type():
+    return TaskType("vote", processing_rate=2.0)
+
+
+class TestSimulatorParallelMode:
+    def test_parallel_repetitions_published_together(self, vote_type):
+        sim = AggregateSimulator(MarketModel(LinearPricing(1.0, 1.0)), seed=0)
+        recorder = TraceRecorder()
+        order = AtomicTaskOrder(
+            task_type=vote_type, prices=(2,) * 5, atomic_task_id=0
+        )
+        sim.run_job([order], recorder=recorder, repetition_mode="parallel")
+        assert all(r.published_at == 0.0 for r in recorder.records)
+
+    def test_parallel_faster_than_sequential_in_mean(self, vote_type):
+        market = MarketModel(LinearPricing(1.0, 1.0))
+        order = AtomicTaskOrder(
+            task_type=vote_type, prices=(2,) * 6, atomic_task_id=0
+        )
+        seq = np.mean(
+            [
+                AggregateSimulator(market, seed=s).run_job([order]).makespan
+                for s in range(200)
+            ]
+        )
+        par = np.mean(
+            [
+                AggregateSimulator(market, seed=s)
+                .run_job([order], repetition_mode="parallel")
+                .makespan
+                for s in range(200)
+            ]
+        )
+        assert par < seq / 2
+
+    def test_same_cost_either_mode(self, vote_type):
+        market = MarketModel(LinearPricing(1.0, 1.0))
+        order = AtomicTaskOrder(
+            task_type=vote_type, prices=(2, 3, 4), atomic_task_id=0
+        )
+        a = AggregateSimulator(market, seed=0).run_job([order])
+        b = AggregateSimulator(market, seed=0).run_job(
+            [order], repetition_mode="parallel"
+        )
+        assert a.total_paid == b.total_paid == 9
+
+    def test_unknown_mode_rejected(self, vote_type):
+        sim = AggregateSimulator(MarketModel(LinearPricing(1.0, 1.0)), seed=0)
+        order = AtomicTaskOrder(
+            task_type=vote_type, prices=(2,), atomic_task_id=0
+        )
+        with pytest.raises(SimulationError):
+            sim.run_job([order], repetition_mode="simultaneous")
+
+
+class TestAnalyticParallelMode:
+    def test_single_repetition_modes_agree(self, pricing):
+        problem = HTuningProblem([TaskSpec(0, 1, pricing, 2.0)], budget=10)
+        alloc = Allocation({0: [4]})
+        seq = expected_job_latency(problem, alloc)
+        par = expected_job_latency(problem, alloc, repetition_mode="parallel")
+        assert seq == pytest.approx(par, rel=1e-9)
+
+    def test_parallel_is_faster(self, pricing):
+        tasks = [TaskSpec(i, 4, pricing, 2.0) for i in range(5)]
+        problem = HTuningProblem(tasks, budget=200)
+        alloc = Allocation.uniform(problem, 5)
+        seq = expected_job_latency(problem, alloc)
+        par = expected_job_latency(problem, alloc, repetition_mode="parallel")
+        assert par < seq
+
+    def test_matches_monte_carlo(self, pricing, vote_type):
+        tasks = [TaskSpec(i, 3, pricing, 2.0) for i in range(4)]
+        problem = HTuningProblem(tasks, budget=100)
+        alloc = Allocation.uniform(problem, 5)
+        analytic = expected_job_latency(
+            problem, alloc, repetition_mode="parallel"
+        )
+        market = MarketModel(pricing)
+        orders = [
+            AtomicTaskOrder(
+                task_type=vote_type,
+                prices=tuple(alloc[t.task_id]),
+                atomic_task_id=t.task_id,
+            )
+            for t in problem.tasks
+        ]
+        draws = [
+            AggregateSimulator(market, seed=s)
+            .run_job(orders, repetition_mode="parallel")
+            .makespan
+            for s in range(3000)
+        ]
+        assert float(np.mean(draws)) == pytest.approx(analytic, rel=0.03)
+
+    def test_unknown_mode_rejected(self, pricing):
+        problem = HTuningProblem([TaskSpec(0, 1, pricing, 2.0)], budget=10)
+        alloc = Allocation({0: [4]})
+        with pytest.raises(ModelError):
+            expected_job_latency(problem, alloc, repetition_mode="warp")

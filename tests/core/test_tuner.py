@@ -1,0 +1,50 @@
+"""Unit tests for repro.core.tuner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Tuner
+from repro.core import STRATEGIES
+from repro.errors import ModelError
+
+
+class TestTunerResolution:
+    def test_auto_homogeneity_uses_ea(self, homo_problem):
+        assert Tuner().resolve_strategy(homo_problem) == "ea"
+
+    def test_auto_repetition_uses_ra(self, repe_problem):
+        assert Tuner().resolve_strategy(repe_problem) == "ra"
+
+    def test_auto_heterogeneous_uses_ha(self, heter_problem):
+        assert Tuner().resolve_strategy(heter_problem) == "ha"
+
+    def test_explicit_strategy(self, homo_problem):
+        assert Tuner(strategy="re").resolve_strategy(homo_problem) == "re"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ModelError):
+            Tuner(strategy="magic")
+
+
+class TestTunerExecution:
+    @pytest.mark.parametrize("fixture", ["homo_problem", "repe_problem", "heter_problem"])
+    def test_auto_produces_valid_allocation(self, fixture, request):
+        problem = request.getfixturevalue(fixture)
+        allocation = Tuner(seed=0).tune(problem)
+        problem.validate_allocation(allocation)
+
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    def test_every_registered_strategy_runs(self, name, repe_problem):
+        allocation = Tuner(strategy=name, seed=0).tune(repe_problem)
+        repe_problem.validate_allocation(allocation)
+
+    def test_seeded_determinism(self, homo_problem):
+        a = Tuner(seed=5).tune(homo_problem)
+        b = Tuner(seed=5).tune(homo_problem)
+        assert a == b
+
+    def test_registry_is_complete(self):
+        assert {"ea", "ra", "ha", "te", "re", "uniform", "bias_1", "bias_2"} <= set(
+            STRATEGIES
+        )

@@ -1,0 +1,134 @@
+"""Unit tests for repro.crowddb.aggregate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowddb import (
+    ComparisonQuestion,
+    CountQuestion,
+    PredicateQuestion,
+    aggregate_numeric,
+    majority_confidence,
+    majority_vote,
+)
+from repro.errors import PlanError
+
+
+class TestComparisonQuestion:
+    def test_truth(self):
+        q = ComparisonQuestion("a", "b", left_key=1.0, right_key=2.0)
+        assert q.truth is True
+        q2 = ComparisonQuestion("a", "b", left_key=5.0, right_key=2.0)
+        assert q2.truth is False
+
+    def test_rejects_equal_keys(self):
+        with pytest.raises(PlanError):
+            ComparisonQuestion("a", "b", left_key=1.0, right_key=1.0)
+
+    def test_perfect_worker(self, rng):
+        q = ComparisonQuestion("a", "b", left_key=1.0, right_key=2.0)
+        assert all(q.sample_answer(rng, 1.0) for _ in range(20))
+
+    def test_error_rate(self, rng):
+        q = ComparisonQuestion("a", "b", left_key=1.0, right_key=2.0)
+        answers = [q.sample_answer(rng, 0.8) for _ in range(5000)]
+        assert np.mean(answers) == pytest.approx(0.8, abs=0.02)
+
+    def test_unique_qids(self):
+        a = ComparisonQuestion("a", "b", 1.0, 2.0)
+        b = ComparisonQuestion("a", "b", 1.0, 2.0)
+        assert a.qid != b.qid
+
+
+class TestPredicateQuestion:
+    def test_sampling(self, rng):
+        q = PredicateQuestion(item="x", truth=True)
+        answers = [q.sample_answer(rng, 0.9) for _ in range(5000)]
+        assert np.mean(answers) == pytest.approx(0.9, abs=0.02)
+
+    def test_false_truth(self, rng):
+        q = PredicateQuestion(item="x", truth=False)
+        answers = [q.sample_answer(rng, 0.9) for _ in range(5000)]
+        assert np.mean(answers) == pytest.approx(0.1, abs=0.02)
+
+
+class TestCountQuestion:
+    def test_unbiased_around_truth(self, rng):
+        q = CountQuestion(item="img", true_count=100)
+        answers = [q.sample_answer(rng, 0.9) for _ in range(5000)]
+        assert np.mean(answers) == pytest.approx(100, rel=0.02)
+
+    def test_accuracy_shrinks_noise(self, rng):
+        q = CountQuestion(item="img", true_count=100)
+        sloppy = np.std([q.sample_answer(rng, 0.6) for _ in range(3000)])
+        careful = np.std([q.sample_answer(rng, 0.95) for _ in range(3000)])
+        assert careful < sloppy
+
+    def test_never_negative(self, rng):
+        q = CountQuestion(item="img", true_count=2)
+        assert all(q.sample_answer(rng, 0.5) >= 0 for _ in range(500))
+
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            CountQuestion(item="x", true_count=-1)
+        with pytest.raises(PlanError):
+            CountQuestion(item="x", true_count=5, noise_floor=-0.1)
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        assert majority_vote([True, True, False]) is True
+        assert majority_vote(["a", "b", "b"]) == "b"
+
+    def test_tie_break_deterministic(self):
+        assert majority_vote([True, False]) == majority_vote([False, True])
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlanError):
+            majority_vote([])
+
+
+class TestMajorityConfidence:
+    def test_unanimous_votes_high_confidence(self):
+        conf = majority_confidence([True] * 5, accuracy=0.8)
+        assert conf > 0.99
+
+    def test_split_votes_low_confidence(self):
+        conf = majority_confidence([True, True, False], accuracy=0.6)
+        assert 0.5 < conf < 0.8
+
+    def test_perfect_accuracy(self):
+        assert majority_confidence([True], accuracy=1.0) == 1.0
+
+    def test_more_votes_more_confidence(self):
+        low = majority_confidence([True] * 3, accuracy=0.7)
+        high = majority_confidence([True] * 9, accuracy=0.7)
+        assert high > low
+
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            majority_confidence([], accuracy=0.8)
+        with pytest.raises(PlanError):
+            majority_confidence([True], accuracy=0.4)
+        with pytest.raises(PlanError):
+            majority_confidence([True], accuracy=0.8, prior=0.0)
+
+
+class TestAggregateNumeric:
+    def test_plain_mean(self):
+        assert aggregate_numeric([1.0, 2.0, 3.0], trim=0.0) == pytest.approx(2.0)
+
+    def test_trimmed_mean_robust_to_outlier(self):
+        values = [10.0] * 9 + [1000.0]
+        assert aggregate_numeric(values, trim=0.1) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            aggregate_numeric([])
+        with pytest.raises(PlanError):
+            aggregate_numeric([1.0], trim=0.5)
+
+    def test_tiny_sample_survives_trim(self):
+        assert aggregate_numeric([5.0], trim=0.4) == 5.0

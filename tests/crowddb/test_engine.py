@@ -1,0 +1,94 @@
+"""Unit tests for repro.crowddb.engine (end-to-end tuned queries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Tuner
+from repro.crowddb import CrowdFilter, CrowdMax, CrowdQueryEngine, CrowdSort
+from repro.errors import PlanError
+from repro.market import CrowdPlatform, LinearPricing, MarketModel, TaskType
+
+
+@pytest.fixture
+def vote_type():
+    # Perfect accuracy so results are deterministic; latency still random.
+    return TaskType("vote", processing_rate=2.0, accuracy=1.0)
+
+
+@pytest.fixture
+def engine():
+    market = MarketModel(LinearPricing(1.0, 1.0))
+    platform = CrowdPlatform(market, seed=0)
+    return CrowdQueryEngine(
+        platform, {"vote": LinearPricing(1.0, 1.0)}, tuner=Tuner(seed=0)
+    )
+
+
+class TestEngineConstruction:
+    def test_needs_pricing(self):
+        platform = CrowdPlatform(MarketModel(LinearPricing(1.0, 1.0)), seed=0)
+        with pytest.raises(PlanError):
+            CrowdQueryEngine(platform, {})
+
+
+class TestFilterExecution:
+    def test_filter_query(self, engine, vote_type):
+        op = CrowdFilter(
+            items=list("abcd"),
+            truths=[True, False, True, False],
+            task_type=vote_type,
+            repetitions=3,
+        )
+        outcome = engine.execute(op, budget=100)
+        assert outcome.result == ["a", "c"]
+        assert outcome.latency > 0
+        assert outcome.total_paid <= 100
+        assert outcome.strategy in ("ea", "ra", "ha")
+
+    def test_budget_respected(self, engine, vote_type):
+        op = CrowdFilter(
+            items=["a", "b"], truths=[True, True], task_type=vote_type,
+            repetitions=2,
+        )
+        outcome = engine.execute(op, budget=50)
+        assert outcome.allocation.total_cost <= 50
+
+
+class TestSortExecution:
+    def test_sort_query(self, engine, vote_type):
+        op = CrowdSort(
+            items=list("dcba"), keys=[4, 3, 2, 1], task_type=vote_type,
+            repetitions=3,
+        )
+        outcome = engine.execute(op, budget=200)
+        assert outcome.result == ["a", "b", "c", "d"]
+
+    def test_next_votes_strategy_uses_repetition_scenario(
+        self, engine, vote_type
+    ):
+        op = CrowdSort(
+            items=list("abcd"), keys=[1.0, 1.01, 5.0, 9.0],
+            task_type=vote_type, repetitions=3, strategy="next_votes",
+        )
+        outcome = engine.execute(op, budget=120)
+        # Hard pairs create repetition heterogeneity → Scenario II → RA.
+        assert outcome.strategy == "ra"
+        assert outcome.result == op.ground_truth()
+
+
+class TestTournamentExecution:
+    def test_max_query(self, engine, vote_type):
+        op = CrowdMax(
+            items=list("abcdefg"), keys=[3, 9, 1, 7, 5, 2, 8],
+            task_type=vote_type, repetitions=3,
+        )
+        outcome = engine.execute_tournament(op, budget=300)
+        assert outcome.result == "b"
+        assert outcome.latency > 0
+        assert outcome.total_paid <= 300
+
+    def test_two_items(self, engine, vote_type):
+        op = CrowdMax(items=["x", "y"], keys=[1, 2], task_type=vote_type)
+        outcome = engine.execute_tournament(op, budget=60)
+        assert outcome.result == "y"

@@ -1,0 +1,70 @@
+"""Integration tests for the generic multi-round engine driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Tuner
+from repro.crowddb import CrowdMax, CrowdQueryEngine, CrowdTopK
+from repro.market import CrowdPlatform, LinearPricing, MarketModel, TaskType
+
+
+@pytest.fixture
+def vote_type():
+    return TaskType("vote", processing_rate=2.0, accuracy=1.0)
+
+
+@pytest.fixture
+def engine():
+    market = MarketModel(LinearPricing(1.0, 1.0))
+    platform = CrowdPlatform(market, seed=11)
+    return CrowdQueryEngine(
+        platform, {"vote": LinearPricing(1.0, 1.0)}, tuner=Tuner(seed=0)
+    )
+
+
+class TestExecuteRounds:
+    def test_topk_end_to_end(self, engine, vote_type):
+        keys = [4.0, 11.0, 2.0, 9.0, 7.0, 1.0, 3.0, 8.0, 6.0, 10.0]
+        op = CrowdTopK(
+            items=list(range(10)), keys=keys, k=3,
+            task_type=vote_type, repetitions=3,
+        )
+        outcome = engine.execute_rounds(op, budget=500)
+        assert outcome.result == op.ground_truth()
+        assert outcome.latency > 0
+        assert outcome.total_paid <= 500
+
+    def test_max_via_generic_driver(self, engine, vote_type):
+        op = CrowdMax(
+            items=list("abcde"), keys=[3, 9, 1, 7, 5],
+            task_type=vote_type, repetitions=3,
+        )
+        outcome = engine.execute_rounds(op, budget=200)
+        assert outcome.result == "b"
+
+    def test_tournament_alias(self, engine, vote_type):
+        op = CrowdMax(
+            items=["x", "y"], keys=[1, 2], task_type=vote_type
+        )
+        outcome = engine.execute_tournament(op, budget=60)
+        assert outcome.result == "y"
+
+    def test_rounds_accumulate_latency(self, engine, vote_type):
+        # Two-round top-k: total latency must exceed any single batch's.
+        op = CrowdTopK(
+            items=list(range(12)),
+            keys=[float(i) for i in range(12)],
+            k=2,
+            task_type=vote_type,
+            repetitions=3,
+        )
+        outcome = engine.execute_rounds(op, budget=600)
+        assert set(outcome.result) == set(op.ground_truth())
+        assert outcome.latency > 0
+
+
+class TestMaxResultAlias:
+    def test_result_equals_winner(self, vote_type):
+        op = CrowdMax(items=["a"], keys=[1.0], task_type=vote_type)
+        assert op.result == op.winner == "a"

@@ -1,0 +1,139 @@
+"""Unit tests for repro.crowddb.operators.groupby."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowddb import CategoryQuestion, CrowdGroupBy
+from repro.errors import PlanError
+from repro.market import TaskType
+
+
+@pytest.fixture
+def vote_type():
+    return TaskType("categorize", processing_rate=2.0, accuracy=0.9)
+
+
+ANIMALS = ("cat", "dog", "bird")
+
+
+def answers_for(op, accuracy=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        i: [q.question.sample_answer(rng, accuracy)
+            for _ in range(q.repetitions)]
+        for i, q in enumerate(op.plan())
+    }
+
+
+class TestCategoryQuestion:
+    def test_perfect_worker(self, rng):
+        q = CategoryQuestion("img", "cat", ANIMALS)
+        assert all(q.sample_answer(rng, 1.0) == "cat" for _ in range(20))
+
+    def test_errors_uniform_over_others(self, rng):
+        q = CategoryQuestion("img", "cat", ANIMALS)
+        wrong = [
+            a for a in (q.sample_answer(rng, 0.5) for _ in range(6000))
+            if a != "cat"
+        ]
+        dogs = sum(1 for a in wrong if a == "dog") / len(wrong)
+        assert dogs == pytest.approx(0.5, abs=0.04)
+
+    def test_accuracy_rate(self, rng):
+        q = CategoryQuestion("img", "bird", ANIMALS)
+        hits = np.mean(
+            [q.sample_answer(rng, 0.8) == "bird" for _ in range(6000)]
+        )
+        assert hits == pytest.approx(0.8, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            CategoryQuestion("img", "cat", ("cat",))
+        with pytest.raises(PlanError):
+            CategoryQuestion("img", "fish", ANIMALS)
+        with pytest.raises(PlanError):
+            CategoryQuestion("img", "cat", ("cat", "cat"))
+
+
+class TestCrowdGroupBy:
+    def test_perfect_crowd_exact_grouping(self, vote_type):
+        items = [f"img{i}" for i in range(6)]
+        labels = ["cat", "dog", "cat", "bird", "dog", "cat"]
+        op = CrowdGroupBy(
+            items=items, labels=labels, categories=ANIMALS,
+            task_type=vote_type,
+        )
+        groups = op.collect(answers_for(op))
+        assert groups == op.ground_truth()
+        assert groups["cat"] == ["img0", "img2", "img5"]
+
+    def test_all_categories_present_even_when_empty(self, vote_type):
+        op = CrowdGroupBy(
+            items=["x"], labels=["cat"], categories=ANIMALS,
+            task_type=vote_type,
+        )
+        groups = op.collect(answers_for(op))
+        assert set(groups) == set(ANIMALS)
+        assert groups["bird"] == []
+
+    def test_accuracy_metric(self, vote_type):
+        items = list(range(40))
+        labels = [ANIMALS[i % 3] for i in items]
+        op = CrowdGroupBy(
+            items=items, labels=labels, categories=ANIMALS,
+            task_type=vote_type, repetitions=5,
+        )
+        acc = op.accuracy_against_truth(answers_for(op, accuracy=0.85, seed=1))
+        assert acc > 0.85  # plurality of 5 beats single-vote accuracy
+
+    def test_hard_items_get_extra_votes(self, vote_type):
+        op = CrowdGroupBy(
+            items=["a", "b"], labels=["cat", "dog"], categories=ANIMALS,
+            task_type=vote_type, repetitions=3, hard_items=[1], hard_extra=4,
+        )
+        assert [q.repetitions for q in op.plan()] == [3, 7]
+
+    def test_validation(self, vote_type):
+        with pytest.raises(PlanError):
+            CrowdGroupBy(items=[], labels=[], categories=ANIMALS,
+                         task_type=vote_type)
+        with pytest.raises(PlanError):
+            CrowdGroupBy(items=["a"], labels=["cat", "dog"],
+                         categories=ANIMALS, task_type=vote_type)
+        with pytest.raises(PlanError):
+            CrowdGroupBy(items=["a"], labels=["fish"], categories=ANIMALS,
+                         task_type=vote_type)
+        with pytest.raises(PlanError):
+            CrowdGroupBy(items=["a"], labels=["cat"], categories=("cat",),
+                         task_type=vote_type)
+        with pytest.raises(PlanError):
+            CrowdGroupBy(items=["a"], labels=["cat"], categories=ANIMALS,
+                         task_type=vote_type, hard_items=[3])
+
+    def test_missing_answers_rejected(self, vote_type):
+        op = CrowdGroupBy(
+            items=["a"], labels=["cat"], categories=ANIMALS,
+            task_type=vote_type,
+        )
+        with pytest.raises(PlanError):
+            op.collect({})
+
+    def test_engine_integration(self, vote_type):
+        from repro import Tuner
+        from repro.crowddb import CrowdQueryEngine
+        from repro.market import CrowdPlatform, LinearPricing, MarketModel
+
+        perfect = TaskType("categorize", processing_rate=2.0, accuracy=1.0)
+        platform = CrowdPlatform(MarketModel(LinearPricing(1.0, 1.0)), seed=0)
+        engine = CrowdQueryEngine(
+            platform, {"categorize": LinearPricing(1.0, 1.0)},
+            tuner=Tuner(seed=0),
+        )
+        op = CrowdGroupBy(
+            items=["a", "b", "c"], labels=["cat", "dog", "cat"],
+            categories=ANIMALS, task_type=perfect,
+        )
+        outcome = engine.execute(op, budget=60)
+        assert outcome.result == op.ground_truth()

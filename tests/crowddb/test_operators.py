@@ -1,0 +1,235 @@
+"""Unit tests for the crowd-DB operators (sort / filter / max / count)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowddb import (
+    CrowdCount,
+    CrowdFilter,
+    CrowdMax,
+    CrowdSort,
+    CrowdThresholdFilter,
+)
+from repro.errors import PlanError
+from repro.market import TaskType
+
+
+@pytest.fixture
+def vote_type():
+    return TaskType("vote", processing_rate=2.0, accuracy=0.9)
+
+
+def perfect_answers(operator, rng=None):
+    """Simulate an errorless crowd answering the operator's plan."""
+    gen = np.random.default_rng(0) if rng is None else rng
+    return {
+        i: [q.question.sample_answer(gen, 1.0) for _ in range(q.repetitions)]
+        for i, q in enumerate(operator.plan())
+    }
+
+
+class TestCrowdSortAllPairs:
+    def test_plan_size(self, vote_type):
+        op = CrowdSort(
+            items=list("abcd"), keys=[3, 1, 4, 2], task_type=vote_type,
+            repetitions=3,
+        )
+        assert len(op.plan()) == 6  # C(4,2)
+
+    def test_plan_cached(self, vote_type):
+        op = CrowdSort(items=["a", "b"], keys=[1, 2], task_type=vote_type)
+        assert op.plan() is op.plan()
+
+    def test_perfect_crowd_recovers_order(self, vote_type):
+        items = list("abcde")
+        keys = [5, 3, 1, 4, 2]
+        op = CrowdSort(items=items, keys=keys, task_type=vote_type)
+        result = op.collect(perfect_answers(op))
+        assert result == op.ground_truth()
+        assert [keys[items.index(x)] for x in result] == sorted(keys)
+
+    def test_noisy_crowd_mostly_correct(self, vote_type, rng):
+        items = list(range(6))
+        keys = [10, 20, 30, 40, 50, 60]
+        op = CrowdSort(items=items, keys=keys, task_type=vote_type,
+                       repetitions=9)
+        answers = {
+            i: [q.question.sample_answer(rng, 0.85) for _ in range(q.repetitions)]
+            for i, q in enumerate(op.plan())
+        }
+        result = op.collect(answers)
+        # Kendall-tau-ish: at most one adjacent transposition off.
+        truth = op.ground_truth()
+        misplaced = sum(1 for a, b in zip(result, truth) if a != b)
+        assert misplaced <= 2
+
+    def test_validation(self, vote_type):
+        with pytest.raises(PlanError):
+            CrowdSort(items=["a"], keys=[1], task_type=vote_type)
+        with pytest.raises(PlanError):
+            CrowdSort(items=["a", "b"], keys=[1], task_type=vote_type)
+        with pytest.raises(PlanError):
+            CrowdSort(items=["a", "b"], keys=[1, 1], task_type=vote_type)
+        with pytest.raises(PlanError):
+            CrowdSort(items=["a", "b"], keys=[1, 2], task_type=vote_type,
+                      repetitions=0)
+        with pytest.raises(PlanError):
+            CrowdSort(items=["a", "b"], keys=[1, 2], task_type=vote_type,
+                      strategy="bogus")
+
+    def test_missing_answers_rejected(self, vote_type):
+        op = CrowdSort(items=["a", "b"], keys=[1, 2], task_type=vote_type)
+        with pytest.raises(PlanError):
+            op.collect({})
+
+
+class TestCrowdSortNextVotes:
+    def test_plan_is_adjacent_pairs(self, vote_type):
+        op = CrowdSort(
+            items=list("abcd"), keys=[1, 2, 3, 4], task_type=vote_type,
+            strategy="next_votes",
+        )
+        assert len(op.plan()) == 3
+
+    def test_hard_pairs_get_extra_votes(self, vote_type):
+        op = CrowdSort(
+            items=list("abcd"),
+            keys=[1.0, 1.05, 5.0, 10.0],  # (a,b) is the close pair
+            task_type=vote_type,
+            repetitions=3,
+            hard_pair_extra=2,
+            strategy="next_votes",
+        )
+        reps = [q.repetitions for q in op.plan()]
+        assert max(reps) == 5
+        assert min(reps) == 3
+
+    def test_perfect_crowd_recovers_order(self, vote_type):
+        items = list("abcde")
+        keys = [5, 3, 1, 4, 2]
+        op = CrowdSort(items=items, keys=keys, task_type=vote_type,
+                       strategy="next_votes")
+        result = op.collect(perfect_answers(op))
+        assert result == op.ground_truth()
+
+
+class TestCrowdFilter:
+    def test_plan_one_question_per_item(self, vote_type):
+        op = CrowdFilter(
+            items=list("abc"), truths=[True, False, True], task_type=vote_type
+        )
+        assert len(op.plan()) == 3
+
+    def test_perfect_crowd_exact_filter(self, vote_type):
+        op = CrowdFilter(
+            items=list("abcd"), truths=[True, False, True, False],
+            task_type=vote_type,
+        )
+        result = op.collect(perfect_answers(op))
+        assert result == ["a", "c"]
+        assert result == op.ground_truth()
+
+    def test_hard_items_get_extra_votes(self, vote_type):
+        op = CrowdFilter(
+            items=list("abc"), truths=[True, False, True],
+            task_type=vote_type, repetitions=3, hard_items=[1], hard_extra=4,
+        )
+        reps = [q.repetitions for q in op.plan()]
+        assert reps == [3, 7, 3]
+
+    def test_confidence_output(self, vote_type):
+        op = CrowdFilter(
+            items=["a"], truths=[True], task_type=vote_type, repetitions=5
+        )
+        triples = op.collect_with_confidence(perfect_answers(op))
+        ((item, verdict, conf),) = triples
+        assert item == "a" and verdict is True and conf > 0.9
+
+    def test_validation(self, vote_type):
+        with pytest.raises(PlanError):
+            CrowdFilter(items=[], truths=[], task_type=vote_type)
+        with pytest.raises(PlanError):
+            CrowdFilter(items=["a"], truths=[True, False], task_type=vote_type)
+        with pytest.raises(PlanError):
+            CrowdFilter(items=["a"], truths=[True], task_type=vote_type,
+                        hard_items=[5])
+
+
+class TestCrowdMax:
+    def test_tournament_rounds(self, vote_type):
+        op = CrowdMax(items=list(range(8)), keys=list(range(8)),
+                      task_type=vote_type)
+        assert op.num_rounds == 3
+
+    def test_perfect_crowd_finds_max(self, vote_type, rng):
+        keys = [3, 9, 1, 7, 5]
+        op = CrowdMax(items=list("abcde"), keys=keys, task_type=vote_type)
+        while not op.finished:
+            planned = op.plan_round()
+            answers = {
+                i: [q.question.sample_answer(rng, 1.0)
+                    for _ in range(q.repetitions)]
+                for i, q in enumerate(planned)
+            }
+            op.collect_round(answers)
+        assert op.winner == "b"
+        assert op.winner == op.ground_truth()
+
+    def test_bye_advances(self, vote_type, rng):
+        op = CrowdMax(items=list("abc"), keys=[1, 2, 3], task_type=vote_type)
+        planned = op.plan_round()
+        assert len(planned) == 1  # one match, 'c' gets the bye
+        answers = {0: [q.question.sample_answer(rng, 1.0)
+                       for _ in range(planned[0].repetitions)]
+                   for q in planned}
+        survivors = op.collect_round(answers)
+        assert "c" in survivors
+
+    def test_winner_before_finish_rejected(self, vote_type):
+        op = CrowdMax(items=["a", "b"], keys=[1, 2], task_type=vote_type)
+        with pytest.raises(PlanError):
+            _ = op.winner
+
+    def test_single_item_already_finished(self, vote_type):
+        op = CrowdMax(items=["a"], keys=[1], task_type=vote_type)
+        assert op.finished
+        assert op.winner == "a"
+        with pytest.raises(PlanError):
+            op.plan_round()
+
+
+class TestCrowdCount:
+    def test_estimates_close_to_truth(self, vote_type, rng):
+        op = CrowdCount(
+            items=["x", "y"], true_counts=[50, 200], task_type=vote_type,
+            repetitions=15,
+        )
+        answers = {
+            i: [q.question.sample_answer(rng, 0.9) for _ in range(q.repetitions)]
+            for i, q in enumerate(op.plan())
+        }
+        estimates = op.collect(answers)
+        assert estimates["x"] == pytest.approx(50, rel=0.2)
+        assert estimates["y"] == pytest.approx(200, rel=0.2)
+
+    def test_validation(self, vote_type):
+        with pytest.raises(PlanError):
+            CrowdCount(items=[], true_counts=[], task_type=vote_type)
+        with pytest.raises(PlanError):
+            CrowdCount(items=["a"], true_counts=[1, 2], task_type=vote_type)
+
+
+class TestCrowdThresholdFilter:
+    def test_end_to_end_threshold(self, vote_type, rng):
+        op = CrowdThresholdFilter(
+            items=["lo", "hi"], true_counts=[10, 500], threshold=100,
+            task_type=vote_type, repetitions=9,
+        )
+        answers = {
+            i: [q.question.sample_answer(rng, 0.9) for _ in range(q.repetitions)]
+            for i, q in enumerate(op.plan())
+        }
+        assert op.collect(answers) == ["hi"]
+        assert op.ground_truth() == ["hi"]

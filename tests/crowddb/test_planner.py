@@ -1,0 +1,81 @@
+"""Unit tests for repro.crowddb.planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Allocation
+from repro.crowddb import CrowdQuery, PlannedQuestion, PredicateQuestion
+from repro.errors import PlanError
+from repro.market import LinearPricing, TaskType
+
+
+@pytest.fixture
+def vote_type():
+    return TaskType("vote", processing_rate=2.0, accuracy=0.9)
+
+
+@pytest.fixture
+def pricing_registry():
+    return {"vote": LinearPricing(1.0, 1.0)}
+
+
+def make_query(vote_type, pricing_registry, reps=(2, 3), budget=40):
+    questions = [
+        PlannedQuestion(
+            PredicateQuestion(item=f"item{i}", truth=True), vote_type, r
+        )
+        for i, r in enumerate(reps)
+    ]
+    return CrowdQuery(questions, pricing_registry, budget)
+
+
+class TestPlannedQuestion:
+    def test_valid(self, vote_type):
+        q = PlannedQuestion(PredicateQuestion("x", True), vote_type, 3)
+        assert q.repetitions == 3
+
+    def test_rejects_bad_repetitions(self, vote_type):
+        with pytest.raises(PlanError):
+            PlannedQuestion(PredicateQuestion("x", True), vote_type, 0)
+
+    def test_rejects_payload_without_sampler(self, vote_type):
+        with pytest.raises(PlanError):
+            PlannedQuestion("just a string", vote_type, 1)
+
+
+class TestCrowdQuery:
+    def test_to_problem_structure(self, vote_type, pricing_registry):
+        query = make_query(vote_type, pricing_registry)
+        problem = query.to_problem()
+        assert problem.num_tasks == 2
+        assert problem.tasks[0].repetitions == 2
+        assert problem.tasks[1].repetitions == 3
+        assert problem.budget == 40
+
+    def test_missing_pricing_rejected(self, vote_type):
+        with pytest.raises(PlanError):
+            make_query(vote_type, {"other": LinearPricing(1.0, 1.0)})
+
+    def test_empty_questions_rejected(self, pricing_registry):
+        with pytest.raises(PlanError):
+            CrowdQuery([], pricing_registry, 10)
+
+    def test_to_orders_roundtrip(self, vote_type, pricing_registry):
+        query = make_query(vote_type, pricing_registry)
+        allocation = Allocation({0: [4, 4], 1: [3, 3, 3]})
+        orders = query.to_orders(allocation)
+        assert [o.atomic_task_id for o in orders] == [0, 1]
+        assert orders[0].prices == (4, 4)
+        assert orders[1].prices == (3, 3, 3)
+        assert orders[0].payload is query.questions[0].question
+
+    def test_to_orders_checks_coverage(self, vote_type, pricing_registry):
+        query = make_query(vote_type, pricing_registry)
+        with pytest.raises(PlanError):
+            query.to_orders(Allocation({0: [4, 4]}))  # task 1 missing
+
+    def test_to_orders_checks_repetitions(self, vote_type, pricing_registry):
+        query = make_query(vote_type, pricing_registry)
+        with pytest.raises(PlanError):
+            query.to_orders(Allocation({0: [4], 1: [3, 3, 3]}))

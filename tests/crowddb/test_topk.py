@@ -1,0 +1,122 @@
+"""Unit tests for repro.crowddb.operators.topk."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowddb import CrowdTopK
+from repro.errors import PlanError
+from repro.market import TaskType
+
+
+@pytest.fixture
+def vote_type():
+    return TaskType("vote", processing_rate=2.0, accuracy=0.9)
+
+
+def run_to_completion(op, accuracy=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    while not op.finished:
+        planned = op.plan_round()
+        answers = {
+            i: [q.question.sample_answer(rng, accuracy)
+                for _ in range(q.repetitions)]
+            for i, q in enumerate(planned)
+        }
+        op.collect_round(answers)
+    return op.result
+
+
+class TestCrowdTopK:
+    def test_perfect_crowd_exact_topk(self, vote_type):
+        keys = [3.0, 9.0, 1.0, 7.0, 5.0, 2.0, 8.0, 4.0, 6.0, 0.5]
+        op = CrowdTopK(
+            items=list(range(10)), keys=keys, k=3, task_type=vote_type
+        )
+        result = run_to_completion(op)
+        assert set(result) == set(op.ground_truth())
+        # Final round orders by wins — exact order for a perfect crowd.
+        assert result == op.ground_truth()
+
+    def test_small_input_skips_pruning(self, vote_type):
+        op = CrowdTopK(
+            items=["a", "b", "c"], keys=[1.0, 3.0, 2.0], k=2,
+            task_type=vote_type,
+        )
+        planned = op.plan_round()
+        assert len(planned) == 3  # all pairs of 3 items, straight to final
+        rng = np.random.default_rng(0)
+        answers = {
+            i: [q.question.sample_answer(rng, 1.0) for _ in range(q.repetitions)]
+            for i, q in enumerate(planned)
+        }
+        op.collect_round(answers)
+        assert op.finished
+        assert op.result == ["b", "c"]
+
+    def test_k_equals_n(self, vote_type):
+        op = CrowdTopK(
+            items=["a", "b"], keys=[1.0, 2.0], k=2, task_type=vote_type
+        )
+        result = run_to_completion(op)
+        assert set(result) == {"a", "b"}
+
+    def test_k_one_finds_max(self, vote_type):
+        keys = [float(k) for k in (4, 11, 2, 9, 7, 1, 3, 8)]
+        op = CrowdTopK(
+            items=list(range(8)), keys=keys, k=1, task_type=vote_type
+        )
+        result = run_to_completion(op)
+        assert result == [1]  # index of key 11
+
+    def test_pruning_reduces_comparisons(self, vote_type):
+        n, k = 20, 2
+        op = CrowdTopK(
+            items=list(range(n)),
+            keys=[float(i) for i in range(n)],
+            k=k,
+            task_type=vote_type,
+        )
+        first_round = op.plan_round()
+        all_pairs = n * (n - 1) // 2
+        assert len(first_round) < all_pairs
+
+    def test_noisy_crowd_high_recall(self, vote_type):
+        keys = [float(i * 10) for i in range(12)]  # well separated
+        hits = 0
+        for seed in range(20):
+            op = CrowdTopK(
+                items=list(range(12)), keys=keys, k=3,
+                task_type=vote_type, repetitions=7,
+            )
+            result = run_to_completion(op, accuracy=0.85, seed=seed)
+            hits += len(set(result) & set(op.ground_truth()))
+        assert hits / (20 * 3) > 0.8
+
+    def test_result_before_finish_rejected(self, vote_type):
+        op = CrowdTopK(
+            items=list(range(10)), keys=[float(i) for i in range(10)],
+            k=2, task_type=vote_type,
+        )
+        with pytest.raises(PlanError):
+            _ = op.result
+
+    def test_collect_without_plan_rejected(self, vote_type):
+        op = CrowdTopK(
+            items=["a", "b", "c"], keys=[1.0, 2.0, 3.0], k=1,
+            task_type=vote_type,
+        )
+        with pytest.raises(PlanError):
+            op.collect_round({})
+
+    def test_validation(self, vote_type):
+        with pytest.raises(PlanError):
+            CrowdTopK(items=[], keys=[], k=1, task_type=vote_type)
+        with pytest.raises(PlanError):
+            CrowdTopK(items=["a"], keys=[1.0], k=2, task_type=vote_type)
+        with pytest.raises(PlanError):
+            CrowdTopK(items=["a", "b"], keys=[1.0, 1.0], k=1,
+                      task_type=vote_type)
+        with pytest.raises(PlanError):
+            CrowdTopK(items=["a", "b"], keys=[1.0], k=1, task_type=vote_type)

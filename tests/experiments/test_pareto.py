@@ -1,0 +1,83 @@
+"""Unit tests for repro.experiments.pareto."""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.errors import ModelError
+from repro.experiments import (
+    budget_latency_frontier,
+    min_budget_for_latency,
+)
+from repro.workloads import homogeneity_workload
+
+
+@pytest.fixture
+def factory():
+    return functools.partial(homogeneity_workload, n_tasks=10, repetitions=2)
+
+
+class TestBudgetLatencyFrontier:
+    def test_monotone_decreasing(self, factory):
+        frontier = budget_latency_frontier(factory, budgets=[40, 80, 160, 320])
+        assert frontier.is_monotone()
+
+    def test_budgets_sorted(self, factory):
+        frontier = budget_latency_frontier(factory, budgets=[320, 40, 160])
+        assert frontier.budgets == (40, 160, 320)
+
+    def test_points_carry_strategy(self, factory):
+        frontier = budget_latency_frontier(factory, budgets=[40])
+        assert frontier.points[0].strategy == "ea"
+
+    def test_knee_is_a_frontier_point(self, factory):
+        frontier = budget_latency_frontier(
+            factory, budgets=[20, 40, 80, 160, 320, 640]
+        )
+        knee = frontier.knee()
+        assert knee in frontier.points
+        # The knee is never the most expensive point on a convex
+        # diminishing-returns curve.
+        assert knee.budget < frontier.budgets[-1]
+
+    def test_knee_short_curve(self, factory):
+        frontier = budget_latency_frontier(factory, budgets=[40, 80])
+        assert frontier.knee() == frontier.points[-1]
+
+    def test_empty_budgets_rejected(self, factory):
+        with pytest.raises(ModelError):
+            budget_latency_frontier(factory, budgets=[])
+
+
+class TestMinBudgetForLatency:
+    def test_finds_threshold(self, factory):
+        frontier = budget_latency_frontier(factory, budgets=[40, 80, 160, 320])
+        target = frontier.latencies[2]  # achievable at budget 160
+        budget = min_budget_for_latency(
+            factory, target_latency=target, budget_lo=20, budget_hi=320
+        )
+        assert budget is not None
+        assert budget <= 160
+        # One unit less must miss the target (minimality up to search
+        # granularity).
+        if budget > 20:
+            from repro import Tuner
+            from repro.core import expected_job_latency
+
+            problem = factory(budget - 1)
+            allocation = Tuner(seed=0).tune(problem)
+            assert expected_job_latency(problem, allocation) > target
+
+    def test_unreachable_target(self, factory):
+        budget = min_budget_for_latency(
+            factory, target_latency=1e-6, budget_lo=20, budget_hi=100
+        )
+        assert budget is None
+
+    def test_validation(self, factory):
+        with pytest.raises(ModelError):
+            min_budget_for_latency(factory, 0.0, 10, 20)
+        with pytest.raises(ModelError):
+            min_budget_for_latency(factory, 1.0, 30, 20)

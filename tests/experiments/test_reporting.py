@@ -1,0 +1,55 @@
+"""Unit tests for repro.experiments.reporting."""
+
+from __future__ import annotations
+
+from repro.experiments import format_kv, format_series, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows(self):
+        out = format_table(["x", "y"], [(1, 2.5), (10, 3.25)])
+        lines = out.splitlines()
+        assert "x" in lines[0] and "y" in lines[0]
+        assert "2.5" in out and "3.25" in out
+
+    def test_title(self):
+        out = format_table(["a"], [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [(1,), (1000,)])
+        lines = out.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+    def test_float_format(self):
+        out = format_table(["v"], [(3.14159,)], float_fmt="{:.2f}")
+        assert "3.14" in out
+
+
+class TestFormatSeries:
+    def test_series_table(self):
+        out = format_series(
+            "budget", [100, 200], {"opt": [1.0, 0.5], "base": [2.0, 1.0]}
+        )
+        assert "budget" in out
+        assert "opt" in out and "base" in out
+        assert "0.5" in out
+
+    def test_sorted_series_names(self):
+        out = format_series("x", [1], {"zeta": [1.0], "alpha": [2.0]})
+        header = out.splitlines()[0]
+        assert header.index("alpha") < header.index("zeta")
+
+
+class TestFormatKv:
+    def test_pairs(self):
+        out = format_kv({"key": "value", "pi": 3.14159})
+        assert "key" in out and "value" in out
+        assert "3.14159" in out
+
+    def test_title(self):
+        out = format_kv({"a": 1}, title="Diagnostics")
+        assert out.splitlines()[0] == "Diagnostics"
+
+    def test_empty(self):
+        assert format_kv({}) == ""

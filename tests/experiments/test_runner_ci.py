@@ -1,0 +1,75 @@
+"""Unit tests for the Monte-Carlo confidence-interval evaluator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Allocation, HTuningProblem, TaskSpec
+from repro.core import expected_job_latency
+from repro.errors import ModelError
+from repro.experiments import evaluate_allocation_with_ci
+from repro.market import LinearPricing
+
+
+@pytest.fixture
+def problem():
+    pricing = LinearPricing(1.0, 1.0)
+    tasks = [TaskSpec(i, 2, pricing, 2.0) for i in range(8)]
+    return HTuningProblem(tasks, budget=100)
+
+
+@pytest.fixture
+def allocation(problem):
+    return Allocation.uniform(problem, 5)
+
+
+class TestEvaluateAllocationWithCi:
+    def test_interval_near_truth(self, problem, allocation):
+        # A single 95% interval may legitimately miss by a hair; check
+        # the truth sits within a few interval-widths (the exact
+        # coverage rate is asserted separately over many seeds).
+        truth = expected_job_latency(problem, allocation)
+        mean, lo, hi = evaluate_allocation_with_ci(
+            problem, allocation, n_samples=40_000, rng=0
+        )
+        width = hi - lo
+        assert lo - 2 * width < truth < hi + 2 * width
+        assert lo < mean < hi
+
+    def test_interval_shrinks_with_samples(self, problem, allocation):
+        _, lo1, hi1 = evaluate_allocation_with_ci(
+            problem, allocation, n_samples=500, rng=0
+        )
+        _, lo2, hi2 = evaluate_allocation_with_ci(
+            problem, allocation, n_samples=50_000, rng=0
+        )
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_higher_confidence_wider(self, problem, allocation):
+        _, lo1, hi1 = evaluate_allocation_with_ci(
+            problem, allocation, n_samples=5000, rng=0, confidence=0.5
+        )
+        _, lo2, hi2 = evaluate_allocation_with_ci(
+            problem, allocation, n_samples=5000, rng=0, confidence=0.99
+        )
+        assert (hi2 - lo2) > (hi1 - lo1)
+
+    def test_coverage(self, problem, allocation):
+        truth = expected_job_latency(problem, allocation)
+        covered = 0
+        trials = 60
+        for seed in range(trials):
+            _, lo, hi = evaluate_allocation_with_ci(
+                problem, allocation, n_samples=2000, rng=seed,
+                confidence=0.95,
+            )
+            if lo <= truth <= hi:
+                covered += 1
+        assert covered / trials > 0.85
+
+    def test_validation(self, problem, allocation):
+        with pytest.raises(ModelError):
+            evaluate_allocation_with_ci(
+                problem, allocation, confidence=1.5
+            )

@@ -1,0 +1,104 @@
+"""Unit tests for repro.inference.linearity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference import (
+    RateEstimate,
+    estimate_rate_fixed_period,
+    fit_linearity,
+    paper_amt_rates,
+)
+from repro.market import LinearPricing
+
+
+class TestFitLinearity:
+    def test_exact_line_recovered(self):
+        prices = [1, 2, 3, 4]
+        rates = [2 * p + 0.5 for p in prices]
+        fit = fit_linearity(prices, rates)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(0.5)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.supports_hypothesis
+
+    def test_prediction(self):
+        fit = fit_linearity([1, 2, 3], [1.0, 2.0, 3.0])
+        assert fit.predict(10) == pytest.approx(10.0)
+
+    def test_residuals_sum_to_zero_unweighted(self):
+        fit = fit_linearity([1, 2, 3, 4], [1.1, 1.9, 3.2, 3.8])
+        assert sum(fit.residuals) == pytest.approx(0.0, abs=1e-9)
+
+    def test_rate_estimate_inputs_weighted(self):
+        estimates = [
+            estimate_rate_fixed_period(100, 50.0),   # rate 2, lots of data
+            estimate_rate_fixed_period(4, 1.0),      # rate 4, little data
+        ]
+        fit = fit_linearity([2.0, 4.0], estimates)
+        assert fit.slope == pytest.approx(1.0, rel=0.2)
+
+    def test_needs_two_distinct_prices(self):
+        with pytest.raises(InferenceError):
+            fit_linearity([2, 2], [1.0, 2.0])
+        with pytest.raises(InferenceError):
+            fit_linearity([2], [1.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(InferenceError):
+            fit_linearity([1, 2], [1.0])
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(InferenceError):
+            fit_linearity([1, 2], [1.0, -0.5])
+
+    def test_explicit_weights(self):
+        fit = fit_linearity([1, 2, 3], [1.0, 2.0, 10.0], weights=[1, 1, 1e-9])
+        # The outlier at p=3 is down-weighted to nothing.
+        assert fit.slope == pytest.approx(1.0, rel=0.01)
+
+    def test_weight_validation(self):
+        with pytest.raises(InferenceError):
+            fit_linearity([1, 2], [1.0, 2.0], weights=[1.0])
+        with pytest.raises(InferenceError):
+            fit_linearity([1, 2], [1.0, 2.0], weights=[1.0, 0.0])
+
+    def test_to_pricing_model(self):
+        fit = fit_linearity([1, 2, 3], [2.0, 4.0, 6.0])
+        model = fit.to_pricing_model()
+        assert isinstance(model, LinearPricing)
+        assert model(2) == pytest.approx(4.0)
+
+    def test_to_pricing_model_clamps_negative_intercept(self):
+        fit = fit_linearity([1, 2, 3], [0.5, 2.0, 3.1])
+        model = fit.to_pricing_model()
+        assert model(1) > 0
+
+    def test_noisy_data_supports_hypothesis(self, rng):
+        prices = np.arange(1, 11, dtype=float)
+        rates = 1.5 * prices + 1.0 + rng.normal(0, 0.2, size=10)
+        fit = fit_linearity(prices, np.abs(rates))
+        assert fit.supports_hypothesis
+
+    def test_nonlinear_data_lower_r2(self):
+        prices = np.arange(1, 20, dtype=float)
+        rates = np.exp(prices / 3.0)
+        fit = fit_linearity(prices, rates)
+        assert fit.r_squared < 0.95
+
+
+class TestPaperAmtRates:
+    def test_values(self):
+        prices, rates = paper_amt_rates()
+        assert prices == (5.0, 8.0, 10.0, 12.0)
+        assert rates == (0.0038, 0.0062, 0.0121, 0.0131)
+
+    def test_supports_linearity_hypothesis(self):
+        # The paper's own Fig. 4 reading: these four points are linear.
+        prices, rates = paper_amt_rates()
+        fit = fit_linearity(prices, rates)
+        assert fit.supports_hypothesis
+        assert fit.slope > 0

@@ -1,0 +1,103 @@
+"""Unit tests for repro.inference.probe."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference import ProbeSession, RateProbe
+from repro.market import LinearPricing, MarketModel, TaskType
+
+
+@pytest.fixture
+def market():
+    return MarketModel(LinearPricing(1.0, 1.0))
+
+
+@pytest.fixture
+def vote_type():
+    return TaskType("vote", processing_rate=2.0)
+
+
+class TestProbeSession:
+    def test_epochs_increase(self, rng):
+        session = ProbeSession(lambda: float(rng.exponential(0.5)), slots=2)
+        epochs = [session.step() for _ in range(10)]
+        assert all(a <= b for a, b in zip(epochs, epochs[1:]))
+
+    def test_run_until_counts(self, rng):
+        session = ProbeSession(lambda: float(rng.exponential(0.1)), slots=1)
+        count = session.run_until(5.0)
+        assert count == len(session.accept_epochs)
+        assert all(e <= 5.0 for e in session.accept_epochs)
+        assert session.now == 5.0
+
+    def test_run_count_elapsed(self, rng):
+        session = ProbeSession(lambda: float(rng.exponential(0.1)), slots=1)
+        elapsed = session.run_count(7)
+        assert elapsed == session.accept_epochs[-1]
+        assert len(session.accept_epochs) == 7
+
+    def test_validation(self, rng):
+        with pytest.raises(InferenceError):
+            ProbeSession(lambda: 1.0, slots=0)
+        session = ProbeSession(lambda: 1.0, slots=1)
+        with pytest.raises(InferenceError):
+            session.run_until(0.0)
+        with pytest.raises(InferenceError):
+            session.run_count(0)
+
+    def test_merged_rate_scales_with_slots(self, rng):
+        # s slots of Exp(λ) renewals → merged Poisson rate sλ.
+        lam, slots = 2.0, 4
+        session = ProbeSession(
+            lambda: float(rng.exponential(1 / lam)), slots=slots
+        )
+        count = session.run_until(200.0)
+        assert count / 200.0 == pytest.approx(slots * lam, rel=0.1)
+
+
+class TestRateProbe:
+    def test_fixed_period_recovers_rate(self, market, vote_type):
+        probe = RateProbe(market, vote_type, slots=4, seed=0)
+        est = probe.fixed_period(price=4, period=500.0)
+        # λ_o(4) = 5
+        assert est.rate == pytest.approx(5.0, rel=0.1)
+
+    def test_random_period_recovers_rate(self, market, vote_type):
+        probe = RateProbe(market, vote_type, slots=4, seed=1)
+        est = probe.random_period(price=4, n_events=2000)
+        assert est.rate == pytest.approx(5.0, rel=0.1)
+
+    def test_ci_scaled_by_slots(self, market, vote_type):
+        probe = RateProbe(market, vote_type, slots=10, seed=2)
+        est = probe.fixed_period(price=4, period=100.0)
+        assert est.ci_low < est.rate < est.ci_high
+
+    def test_processing_rate_inference(self, market, vote_type):
+        probe = RateProbe(market, vote_type, slots=4, seed=3)
+        rate_p, overall, onhold = probe.processing_rate(price=4, n_events=4000)
+        assert rate_p == pytest.approx(2.0, rel=0.15)
+        assert overall.rate < onhold.rate  # overall is slower than phase 1
+
+    def test_processing_needs_enough_events(self, market, vote_type):
+        probe = RateProbe(market, vote_type, seed=0)
+        with pytest.raises(InferenceError):
+            probe.processing_rate(price=4, n_events=1)
+
+    def test_slots_validation(self, market, vote_type):
+        with pytest.raises(InferenceError):
+            RateProbe(market, vote_type, slots=0)
+
+    def test_deterministic_given_seed(self, market, vote_type):
+        a = RateProbe(market, vote_type, slots=2, seed=7).fixed_period(3, 50.0)
+        b = RateProbe(market, vote_type, slots=2, seed=7).fixed_period(3, 50.0)
+        assert a.rate == b.rate
+
+    def test_attractiveness_lowers_probed_rate(self, market):
+        dull = TaskType("dull", processing_rate=2.0, attractiveness=0.5)
+        probe = RateProbe(market, dull, slots=4, seed=4)
+        est = probe.fixed_period(price=4, period=500.0)
+        # λ_o(4)·0.5 = 2.5
+        assert est.rate == pytest.approx(2.5, rel=0.1)

@@ -1,0 +1,127 @@
+"""Integration: the agent simulator aggregates to the paper's model.
+
+The paper's modelling claim (§3.1) is that worker-level behaviour —
+Poisson arrivals + utility-driven task choice — yields exponential
+per-task acceptance with a price-dependent rate.  The aggregate engine
+*assumes* that law; the agent engine *derives* it.  These tests verify
+the two agree, which is this repo's substitute for the paper's AMT
+validation (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.market import (
+    AgentSimulator,
+    AggregateSimulator,
+    AtomicTaskOrder,
+    LinearPricing,
+    MarketModel,
+    PriceProportionalChoice,
+    TaskType,
+    TraceRecorder,
+    WorkerPool,
+)
+
+
+@pytest.fixture
+def vote_type():
+    return TaskType("vote", processing_rate=2.0)
+
+
+def single_task_orders(vote_type, price, n):
+    return [
+        AtomicTaskOrder(task_type=vote_type, prices=(price,), atomic_task_id=i)
+        for i in range(n)
+    ]
+
+
+class TestSingleTaskAgreement:
+    def test_one_open_task_acceptance_rate_is_arrival_rate(self, vote_type):
+        """With one task open at a time and no leave option, the agent
+        acceptance rate equals Λ, matching an aggregate market with
+        λ_o = Λ at every price."""
+        lam = 4.0
+        pool = WorkerPool(arrival_rate=lam)
+        sim = AgentSimulator(pool, seed=0)
+        recorder = TraceRecorder()
+        # One atomic task with many sequential repetitions keeps
+        # exactly one repetition open at a time.
+        order = AtomicTaskOrder(
+            task_type=vote_type, prices=(3,) * 3000, atomic_task_id=0
+        )
+        sim.run_job([order], recorder=recorder)
+        onholds = np.array([r.onhold_latency for r in recorder.records])
+        assert onholds.mean() == pytest.approx(1 / lam, rel=0.05)
+        # Exponentiality: variance = mean² for exponential.
+        assert onholds.var() == pytest.approx(onholds.mean() ** 2, rel=0.15)
+
+    def test_processing_phase_matches_model(self, vote_type):
+        pool = WorkerPool(arrival_rate=10.0)
+        sim = AgentSimulator(pool, seed=1)
+        recorder = TraceRecorder()
+        order = AtomicTaskOrder(
+            task_type=vote_type, prices=(3,) * 3000, atomic_task_id=0
+        )
+        sim.run_job([order], recorder=recorder)
+        procs = np.array([r.processing_latency for r in recorder.records])
+        assert procs.mean() == pytest.approx(
+            1 / vote_type.processing_rate, rel=0.05
+        )
+
+
+class TestMakespanAgreement:
+    def test_parallel_batch_means_agree(self, vote_type):
+        """The makespan of a parallel batch must agree between engines
+        when the aggregate market is calibrated to the agent pool.
+
+        Calibration: with n open tasks at equal price and no leave
+        option, each task receives arrivals at rate Λ/n... but as tasks
+        complete the board shrinks, so the effective per-task rate is
+        not constant.  We therefore compare a *sequential* workload
+        (one task, many repetitions — always exactly one open task),
+        where the correspondence λ_o = Λ is exact.
+        """
+        lam = 5.0
+        reps = 40
+        pool = WorkerPool(arrival_rate=lam)
+        # Aggregate market with constant λ_o = Λ (flat pricing).
+        market = MarketModel(LinearPricing(slope=0.0, intercept=lam))
+
+        agent_makespans = []
+        aggregate_makespans = []
+        for seed in range(80):
+            order = AtomicTaskOrder(
+                task_type=vote_type, prices=(2,) * reps, atomic_task_id=0
+            )
+            agent = AgentSimulator(WorkerPool(arrival_rate=lam), seed=seed)
+            agent_makespans.append(agent.run_job([order]).makespan)
+            aggregate = AggregateSimulator(market, seed=seed + 10_000)
+            aggregate_makespans.append(aggregate.run_job([order]).makespan)
+        # E[makespan] = reps·(1/Λ + 1/λ_p) for both engines.
+        expected = reps * (1 / lam + 1 / vote_type.processing_rate)
+        assert np.mean(agent_makespans) == pytest.approx(expected, rel=0.08)
+        assert np.mean(aggregate_makespans) == pytest.approx(expected, rel=0.08)
+
+    def test_price_preference_shifts_acceptance(self, vote_type):
+        """Two open tasks at different prices: the pricier one is
+        accepted first more often (the p(c) mechanism of §3.1.2)."""
+        pool = WorkerPool(
+            arrival_rate=5.0, choice_model=PriceProportionalChoice()
+        )
+        rich_first = 0
+        trials = 300
+        for seed in range(trials):
+            sim = AgentSimulator(WorkerPool(arrival_rate=5.0), seed=seed)
+            recorder = TraceRecorder()
+            orders = [
+                AtomicTaskOrder(task_type=vote_type, prices=(1,), atomic_task_id=0),
+                AtomicTaskOrder(task_type=vote_type, prices=(9,), atomic_task_id=1),
+            ]
+            sim.run_job(orders, recorder=recorder)
+            records = {r.atomic_task_id: r for r in recorder.records}
+            if records[1].accepted_at < records[0].accepted_at:
+                rich_first += 1
+        assert rich_first / trials == pytest.approx(0.9, abs=0.05)

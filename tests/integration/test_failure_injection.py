@@ -1,0 +1,102 @@
+"""Failure-injection tests: errors must propagate cleanly, never hang
+or corrupt state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HTuningProblem, TaskSpec, Tuner
+from repro.errors import ModelError, ReproError, SimulationError
+from repro.market import (
+    AggregateSimulator,
+    AtomicTaskOrder,
+    CallablePricing,
+    CrowdPlatform,
+    LinearPricing,
+    MarketModel,
+    TaskType,
+)
+
+
+class TestPayloadFailures:
+    def test_raising_payload_propagates(self):
+        class Bomb:
+            def sample_answer(self, rng, accuracy):
+                raise RuntimeError("boom")
+
+        vote = TaskType("vote", processing_rate=2.0)
+        sim = AggregateSimulator(MarketModel(LinearPricing(1.0, 1.0)), seed=0)
+        order = AtomicTaskOrder(
+            task_type=vote, prices=(1,), atomic_task_id=0, payload=Bomb()
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run_job([order])
+
+
+class TestPricingFailures:
+    def test_pricing_returning_garbage_is_rejected(self):
+        bad = CallablePricing(lambda p: float("nan"), name="nan-curve")
+        vote = TaskType("vote", processing_rate=2.0)
+        market = MarketModel(bad)
+        with pytest.raises(ModelError):
+            market.onhold_rate(vote, 3)
+
+    def test_pricing_raising_propagates_from_tuner(self):
+        def explode(price):
+            raise ValueError("pricing service down")
+
+        bad = CallablePricing(explode, name="down")
+        tasks = [
+            TaskSpec(0, 2, bad, 2.0),
+            TaskSpec(1, 3, bad, 2.0),
+        ]
+        problem = HTuningProblem(tasks, budget=50)
+        with pytest.raises(ValueError, match="pricing service down"):
+            Tuner(seed=0).tune(problem)
+
+
+class TestPlatformStateAfterFailure:
+    def test_budget_not_charged_twice_after_failure(self):
+        vote = TaskType("vote", processing_rate=2.0)
+        platform = CrowdPlatform(
+            MarketModel(LinearPricing(1.0, 1.0)), budget=10, seed=0
+        )
+        from repro.market import PublishRequest
+
+        with pytest.raises(SimulationError):
+            platform.run_batch(
+                [PublishRequest(task_type=vote, prices=[20])]
+            )
+        # The failed batch must not have consumed budget.
+        assert platform.spent == 0
+        # A feasible batch still works.
+        platform.run_batch([PublishRequest(task_type=vote, prices=[5])])
+        assert platform.spent == 5
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_catchable_as_repro_error(self):
+        from repro.errors import (
+            BudgetError,
+            InferenceError,
+            InfeasibleAllocationError,
+            ModelError,
+            PlanError,
+            SimulationError,
+        )
+
+        for exc_type in (
+            BudgetError,
+            InferenceError,
+            InfeasibleAllocationError,
+            ModelError,
+            PlanError,
+            SimulationError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_value_errors_dual_typed(self):
+        from repro.errors import BudgetError, ModelError, PlanError
+
+        for exc_type in (BudgetError, ModelError, PlanError):
+            assert issubclass(exc_type, ValueError)

@@ -1,0 +1,152 @@
+"""Unit tests for repro.market.dynamics (non-stationary markets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.market import (
+    AgentSimulator,
+    AtomicTaskOrder,
+    ConstantRate,
+    NonstationaryWorkerPool,
+    PiecewiseRate,
+    SinusoidalRate,
+    TaskType,
+    sample_arrival_times,
+)
+
+
+class TestConstantRate:
+    def test_rate_everywhere(self):
+        profile = ConstantRate(3.0)
+        assert profile.rate(0.0) == 3.0
+        assert profile.rate(1e6) == 3.0
+        assert profile.max_rate() == 3.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ModelError):
+            ConstantRate(0.0)
+
+
+class TestSinusoidalRate:
+    def test_oscillates_around_base(self):
+        profile = SinusoidalRate(base=2.0, amplitude=0.5, period=10.0)
+        peak = profile.rate(2.5)   # sin = 1 at t = period/4
+        trough = profile.rate(7.5)
+        assert peak == pytest.approx(3.0)
+        assert trough == pytest.approx(1.0)
+        assert profile.max_rate() == pytest.approx(3.0)
+
+    def test_mean_rate_is_base(self):
+        profile = SinusoidalRate(base=2.0, amplitude=0.8, period=5.0)
+        assert profile.mean_rate(50.0, samples=5000) == pytest.approx(2.0, rel=0.02)
+
+    def test_always_positive(self):
+        profile = SinusoidalRate(base=1.0, amplitude=0.99, period=1.0)
+        ts = np.linspace(0, 3, 500)
+        assert all(profile.rate(float(t)) > 0 for t in ts)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            SinusoidalRate(base=0.0, amplitude=0.5, period=1.0)
+        with pytest.raises(ModelError):
+            SinusoidalRate(base=1.0, amplitude=1.0, period=1.0)
+        with pytest.raises(ModelError):
+            SinusoidalRate(base=1.0, amplitude=0.5, period=0.0)
+
+
+class TestPiecewiseRate:
+    def test_segments(self):
+        profile = PiecewiseRate(breakpoints=[10.0, 20.0], rates=[1.0, 5.0, 2.0])
+        assert profile.rate(5.0) == 1.0
+        assert profile.rate(10.0) == 5.0
+        assert profile.rate(15.0) == 5.0
+        assert profile.rate(25.0) == 2.0
+        assert profile.max_rate() == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            PiecewiseRate(breakpoints=[1.0], rates=[1.0])  # length mismatch
+        with pytest.raises(ModelError):
+            PiecewiseRate(breakpoints=[2.0, 1.0], rates=[1.0, 1.0, 1.0])
+        with pytest.raises(ModelError):
+            PiecewiseRate(breakpoints=[1.0], rates=[1.0, 0.0])
+
+
+class TestSampleArrivalTimes:
+    def test_constant_rate_count(self, rng):
+        times = sample_arrival_times(ConstantRate(4.0), horizon=500.0, rng=rng)
+        # Poisson(4 * 500) = 2000 expected arrivals.
+        assert len(times) == pytest.approx(2000, rel=0.08)
+        assert all(0 <= t <= 500.0 for t in times)
+        assert times == sorted(times)
+
+    def test_sinusoidal_density_follows_intensity(self, rng):
+        profile = SinusoidalRate(base=5.0, amplitude=0.8, period=100.0)
+        times = np.array(
+            sample_arrival_times(profile, horizon=100.0 * 200, rng=rng)
+        )
+        phase = (times % 100.0)
+        # First half-period (sin > 0) must hold more arrivals.
+        dense = np.sum(phase < 50.0)
+        sparse = np.sum(phase >= 50.0)
+        assert dense > sparse * 1.5
+
+    def test_piecewise_counts(self, rng):
+        profile = PiecewiseRate(breakpoints=[100.0], rates=[1.0, 10.0])
+        times = np.array(
+            sample_arrival_times(profile, horizon=200.0, rng=rng)
+        )
+        early = np.sum(times < 100.0)
+        late = np.sum(times >= 100.0)
+        assert late > early * 5
+
+    def test_validation(self, rng):
+        with pytest.raises(ModelError):
+            sample_arrival_times(ConstantRate(1.0), horizon=0.0, rng=rng)
+
+
+class TestNonstationaryWorkerPool:
+    def test_mean_delay_matches_profile(self, rng):
+        profile = ConstantRate(5.0)
+        pool = NonstationaryWorkerPool(profile)
+        delays = [pool.next_arrival_delay(rng) for _ in range(20_000)]
+        assert np.mean(delays) == pytest.approx(0.2, rel=0.05)
+
+    def test_drives_agent_simulator(self):
+        profile = SinusoidalRate(base=10.0, amplitude=0.5, period=20.0)
+        pool = NonstationaryWorkerPool(profile)
+        sim = AgentSimulator(pool, seed=0)
+        vote = TaskType("vote", processing_rate=2.0)
+        orders = [
+            AtomicTaskOrder(task_type=vote, prices=(2,), atomic_task_id=i)
+            for i in range(5)
+        ]
+        result = sim.run_job(orders)
+        assert result.makespan > 0
+
+    def test_slow_regime_slows_acceptance(self):
+        # Same mean? No: compare high-rate vs low-rate constant profiles.
+        vote = TaskType("vote", processing_rate=5.0)
+
+        def mean_makespan(rate, seed):
+            pool = NonstationaryWorkerPool(ConstantRate(rate))
+            sim = AgentSimulator(pool, seed=seed)
+            order = AtomicTaskOrder(
+                task_type=vote, prices=(2,) * 100, atomic_task_id=0
+            )
+            return sim.run_job([order]).makespan
+
+        fast = np.mean([mean_makespan(10.0, s) for s in range(5)])
+        slow = np.mean([mean_makespan(1.0, s) for s in range(5)])
+        assert slow > fast
+
+    def test_reset_clock(self, rng):
+        pool = NonstationaryWorkerPool(ConstantRate(1.0))
+        pool.next_arrival_delay(rng)
+        pool.reset_clock()
+        assert pool._clock == 0.0
+        with pytest.raises(ModelError):
+            pool.reset_clock(-1.0)

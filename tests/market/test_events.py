@@ -1,0 +1,84 @@
+"""Unit tests for repro.market.events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.market import Event, EventKind, EventQueue
+
+
+class TestEvent:
+    def test_rejects_negative_time(self):
+        with pytest.raises(SimulationError):
+            Event(-1.0, EventKind.WORKER_ARRIVED)
+
+    def test_rejects_nonfinite_time(self):
+        with pytest.raises(SimulationError):
+            Event(float("nan"), EventKind.WORKER_ARRIVED)
+
+    def test_payload_passthrough(self):
+        ev = Event(1.0, EventKind.TASK_PUBLISHED, payload={"a": 1})
+        assert ev.payload == {"a": 1}
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(Event(3.0, EventKind.WORKER_ARRIVED))
+        q.push(Event(1.0, EventKind.WORKER_ARRIVED))
+        q.push(Event(2.0, EventKind.WORKER_ARRIVED))
+        times = [q.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        first = Event(1.0, EventKind.WORKER_ARRIVED, payload="first")
+        second = Event(1.0, EventKind.WORKER_ARRIVED, payload="second")
+        q.push(first)
+        q.push(second)
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_now_advances(self):
+        q = EventQueue()
+        assert q.now == 0.0
+        q.push(Event(2.5, EventKind.PROBE_TICK))
+        q.pop()
+        assert q.now == 2.5
+
+    def test_rejects_scheduling_in_the_past(self):
+        q = EventQueue()
+        q.push(Event(5.0, EventKind.PROBE_TICK))
+        q.pop()
+        with pytest.raises(SimulationError):
+            q.push(Event(4.0, EventKind.PROBE_TICK))
+
+    def test_pop_empty_raises(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.pop()
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        assert len(q) == 0
+        q.push(Event(1.0, EventKind.PROBE_TICK))
+        assert q
+        assert len(q) == 1
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(Event(7.0, EventKind.PROBE_TICK))
+        assert q.peek_time() == 7.0
+        assert len(q) == 1  # peek does not consume
+
+    def test_clear_keeps_clock(self):
+        q = EventQueue()
+        q.push(Event(1.0, EventKind.PROBE_TICK))
+        q.pop()
+        q.push(Event(9.0, EventKind.PROBE_TICK))
+        q.clear()
+        assert len(q) == 0
+        assert q.now == 1.0

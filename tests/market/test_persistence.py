@@ -1,0 +1,110 @@
+"""Unit tests for repro.market.persistence (trace CSV round-trip)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.market import (
+    AggregateSimulator,
+    AtomicTaskOrder,
+    LinearPricing,
+    MarketModel,
+    TaskType,
+    TraceRecorder,
+    read_records_csv,
+    recorder_from_csv,
+    write_records_csv,
+)
+
+
+@pytest.fixture
+def trace(tmp_path):
+    vote = TaskType("vote", processing_rate=2.0)
+    sim = AggregateSimulator(MarketModel(LinearPricing(1.0, 1.0)), seed=0)
+    recorder = TraceRecorder()
+    orders = [
+        AtomicTaskOrder(task_type=vote, prices=(2, 3), atomic_task_id=i)
+        for i in range(5)
+    ]
+    sim.run_job(orders, recorder=recorder)
+    return recorder
+
+
+class TestRoundTrip:
+    def test_write_read_identity(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        n = write_records_csv(trace.records, path)
+        assert n == 10
+        loaded = read_records_csv(path)
+        assert loaded == trace.records
+
+    def test_recorder_from_csv_summary(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_records_csv(trace.records, path)
+        recorder = recorder_from_csv(path)
+        original = trace.summary()
+        loaded = recorder.summary()
+        assert loaded.count == original.count
+        assert loaded.mean_overall == pytest.approx(original.mean_overall)
+        assert recorder.job_completion_time() == pytest.approx(
+            trace.job_completion_time()
+        )
+
+    def test_float_precision_preserved(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_records_csv(trace.records, path)
+        loaded = read_records_csv(path)
+        for a, b in zip(loaded, trace.records):
+            assert a.onhold_latency == b.onhold_latency  # exact (repr)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert write_records_csv([], path) == 0
+        assert read_records_csv(path) == []
+
+
+class TestErrorHandling:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SimulationError):
+            read_records_csv(tmp_path / "nope.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("")
+        with pytest.raises(SimulationError):
+            read_records_csv(path)
+
+    def test_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(SimulationError):
+            read_records_csv(path)
+
+    def test_malformed_value(self, tmp_path, trace):
+        path = tmp_path / "bad.csv"
+        write_records_csv(trace.records[:1], path)
+        text = path.read_text().replace("vote", "vote").splitlines()
+        parts = text[1].split(",")
+        parts[4] = "not-a-price"
+        path.write_text(text[0] + "\n" + ",".join(parts) + "\n")
+        with pytest.raises(SimulationError):
+            read_records_csv(path)
+
+    def test_wrong_column_count(self, tmp_path, trace):
+        path = tmp_path / "bad.csv"
+        write_records_csv(trace.records[:1], path)
+        lines = path.read_text().splitlines()
+        path.write_text(lines[0] + "\n1,2,3\n")
+        with pytest.raises(SimulationError):
+            read_records_csv(path)
+
+    def test_inconsistent_timestamps(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        from repro.market import TRACE_COLUMNS
+
+        header = ",".join(TRACE_COLUMNS)
+        # accepted before published
+        path.write_text(header + "\n1,0,0,vote,2,5.0,1.0,9.0\n")
+        with pytest.raises(SimulationError):
+            read_records_csv(path)

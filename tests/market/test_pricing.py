@@ -1,0 +1,129 @@
+"""Unit tests for repro.market.pricing."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.market import (
+    PAPER_FIG2_MODELS,
+    CallablePricing,
+    LinearPricing,
+    LogPricing,
+    QuadraticPricing,
+    fig2_model,
+)
+
+
+class TestLinearPricing:
+    def test_rate(self):
+        model = LinearPricing(slope=2.0, intercept=1.0)
+        assert model(3) == pytest.approx(7.0)
+
+    def test_is_linear(self):
+        assert LinearPricing(1.0, 1.0).is_linear()
+
+    def test_rejects_negative_slope(self):
+        with pytest.raises(ModelError):
+            LinearPricing(slope=-1.0, intercept=1.0)
+
+    def test_rejects_flat_nonpositive(self):
+        with pytest.raises(ModelError):
+            LinearPricing(slope=0.0, intercept=0.0)
+
+    def test_flat_positive_allowed(self):
+        model = LinearPricing(slope=0.0, intercept=2.0)
+        assert model(100) == 2.0
+
+    def test_rejects_bad_price(self):
+        model = LinearPricing(1.0, 1.0)
+        with pytest.raises(ModelError):
+            model(0)
+        with pytest.raises(ModelError):
+            model(-3)
+        with pytest.raises(ModelError):
+            model(float("inf"))
+
+    def test_zero_intercept_positive_at_positive_price(self):
+        model = LinearPricing(slope=1.0, intercept=0.0)
+        assert model(1) == 1.0
+
+    def test_name_contains_parameters(self):
+        assert "2" in LinearPricing(2.0, 5.0).name
+
+
+class TestQuadraticPricing:
+    def test_rate(self):
+        model = QuadraticPricing(coeff=1.0, intercept=1.0)
+        assert model(3) == pytest.approx(10.0)
+
+    def test_not_linear(self):
+        assert not QuadraticPricing().is_linear()
+
+    def test_rejects_nonpositive_coeff(self):
+        with pytest.raises(ModelError):
+            QuadraticPricing(coeff=0.0)
+
+
+class TestLogPricing:
+    def test_rate(self):
+        model = LogPricing(scale=2.0)
+        assert model(math.e - 1) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ModelError):
+            LogPricing(scale=-1.0)
+
+    def test_increasing(self):
+        model = LogPricing()
+        assert model(10) > model(5) > model(1)
+
+
+class TestCallablePricing:
+    def test_wraps_function(self):
+        model = CallablePricing(lambda p: 3.0 * p, name="triple")
+        assert model(2) == 6.0
+        assert model.name == "triple"
+
+    def test_rejects_noncallable(self):
+        with pytest.raises(ModelError):
+            CallablePricing(42)
+
+    def test_nonpositive_rate_rejected_at_call(self):
+        model = CallablePricing(lambda p: -1.0)
+        with pytest.raises(ModelError):
+            model(5)
+
+
+class TestFig2Models:
+    def test_all_six_cases_present(self):
+        assert sorted(PAPER_FIG2_MODELS) == list("abcdef")
+
+    @pytest.mark.parametrize(
+        "case,price,expected",
+        [
+            ("a", 4, 5.0),        # 1 + p
+            ("b", 4, 41.0),       # 10p + 1
+            ("c", 4, 10.4),       # 0.1p + 10
+            ("d", 4, 15.0),       # 3p + 3
+            ("e", 4, 17.0),       # 1 + p²
+            ("f", 4, math.log(5)),  # log(1 + p)
+        ],
+    )
+    def test_paper_values(self, case, price, expected):
+        assert fig2_model(case)(price) == pytest.approx(expected)
+
+    def test_case_insensitive(self):
+        assert fig2_model("A") is PAPER_FIG2_MODELS["a"]
+
+    def test_unknown_case(self):
+        with pytest.raises(ModelError):
+            fig2_model("z")
+
+    def test_linear_cases_flagged(self):
+        for case in "abcd":
+            assert fig2_model(case).is_linear()
+        for case in "ef":
+            assert not fig2_model(case).is_linear()

@@ -1,0 +1,128 @@
+"""Unit tests for repro.market.retainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, SimulationError
+from repro.market import (
+    AtomicTaskOrder,
+    RetainerCostModel,
+    RetainerSimulator,
+    TaskType,
+    TraceRecorder,
+)
+
+
+@pytest.fixture
+def vote_type():
+    return TaskType("vote", processing_rate=2.0)
+
+
+def orders(vote_type, n_tasks=4, reps=2, price=1):
+    return [
+        AtomicTaskOrder(
+            task_type=vote_type, prices=(price,) * reps, atomic_task_id=i
+        )
+        for i in range(n_tasks)
+    ]
+
+
+class TestRetainerCostModel:
+    def test_total_cost(self):
+        model = RetainerCostModel(wage_per_time=2.0, payment_per_answer=1)
+        assert model.total_cost(pool_size=3, span=10.0, answers=5) == (
+            2.0 * 3 * 10.0 + 5
+        )
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            RetainerCostModel(wage_per_time=-1.0)
+        with pytest.raises(ModelError):
+            RetainerCostModel(wage_per_time=1.0, payment_per_answer=-1)
+        model = RetainerCostModel(wage_per_time=1.0)
+        with pytest.raises(ModelError):
+            model.total_cost(0, 1.0, 1)
+        with pytest.raises(ModelError):
+            model.total_cost(1, -1.0, 1)
+
+
+class TestRetainerSimulator:
+    def test_completes_job(self, vote_type):
+        sim = RetainerSimulator(pool_size=2, seed=0)
+        result = sim.run_job(orders(vote_type))
+        assert result.makespan > 0
+        assert result.total_paid == 8  # 4 tasks × 2 reps × price 1
+
+    def test_near_instant_acceptance_with_big_pool(self, vote_type):
+        sim = RetainerSimulator(pool_size=100, reaction_mean=0.01, seed=1)
+        recorder = TraceRecorder()
+        sim.run_job(orders(vote_type, n_tasks=20, reps=1), recorder=recorder)
+        assert recorder.summary().mean_onhold < 0.05
+
+    def test_queueing_with_tiny_pool(self, vote_type):
+        # One worker, 20 parallel tasks: later tasks must wait for the
+        # worker, so mean on-hold is of the order of processing times.
+        sim = RetainerSimulator(pool_size=1, reaction_mean=0.0, seed=2)
+        recorder = TraceRecorder()
+        sim.run_job(orders(vote_type, n_tasks=20, reps=1), recorder=recorder)
+        assert recorder.summary().mean_onhold > 1.0
+
+    def test_bigger_pool_is_faster(self, vote_type):
+        def makespan(pool, seed):
+            sim = RetainerSimulator(pool_size=pool, reaction_mean=0.0,
+                                    seed=seed)
+            return sim.run_job(orders(vote_type, n_tasks=30, reps=1)).makespan
+
+        small = np.mean([makespan(1, s) for s in range(8)])
+        large = np.mean([makespan(30, s) for s in range(8)])
+        assert large < small / 3
+
+    def test_sequential_repetitions(self, vote_type):
+        sim = RetainerSimulator(pool_size=5, seed=3)
+        recorder = TraceRecorder()
+        sim.run_job(orders(vote_type, n_tasks=1, reps=4), recorder=recorder)
+        records = sorted(recorder.records, key=lambda r: r.repetition_index)
+        for prev, nxt in zip(records, records[1:]):
+            assert nxt.published_at >= prev.completed_at - 1e-9
+
+    def test_deterministic(self, vote_type):
+        a = RetainerSimulator(pool_size=2, seed=9).run_job(orders(vote_type))
+        b = RetainerSimulator(pool_size=2, seed=9).run_job(orders(vote_type))
+        assert a.makespan == b.makespan
+
+    def test_answers_sampled(self, vote_type):
+        class Yes:
+            def sample_answer(self, rng, accuracy):
+                return True
+
+        sim = RetainerSimulator(pool_size=2, seed=0)
+        job = [
+            AtomicTaskOrder(
+                task_type=vote_type, prices=(1, 1), atomic_task_id=0,
+                payload=Yes(),
+            )
+        ]
+        result = sim.run_job(job)
+        assert result.answers[0] == [True, True]
+
+    def test_validation(self, vote_type):
+        with pytest.raises(ModelError):
+            RetainerSimulator(pool_size=0)
+        with pytest.raises(ModelError):
+            RetainerSimulator(pool_size=1, reaction_mean=-0.1)
+        sim = RetainerSimulator(pool_size=1, seed=0)
+        with pytest.raises(SimulationError):
+            sim.run_job([])
+
+    def test_processing_unchanged_by_retainer(self, vote_type):
+        # The retainer changes recruitment, not the work: processing
+        # means must match the task type.
+        sim = RetainerSimulator(pool_size=50, seed=4)
+        recorder = TraceRecorder()
+        sim.run_job(orders(vote_type, n_tasks=2000, reps=1),
+                    recorder=recorder)
+        assert recorder.summary().mean_processing == pytest.approx(
+            0.5, rel=0.05
+        )

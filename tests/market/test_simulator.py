@@ -1,0 +1,209 @@
+"""Unit tests for repro.market.simulator (both engines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, SimulationError
+from repro.market import (
+    AgentSimulator,
+    AggregateSimulator,
+    AtomicTaskOrder,
+    LinearPricing,
+    MarketModel,
+    TaskType,
+    TraceRecorder,
+    WorkerPool,
+)
+
+
+@pytest.fixture
+def vote_type():
+    return TaskType("vote", processing_rate=2.0, accuracy=0.9)
+
+
+def order(task_type, prices, atomic_id=0, payload=None):
+    return AtomicTaskOrder(
+        task_type=task_type,
+        prices=tuple(prices),
+        atomic_task_id=atomic_id,
+        payload=payload,
+    )
+
+
+class TestAtomicTaskOrder:
+    def test_rejects_empty_prices(self, vote_type):
+        with pytest.raises(ModelError):
+            order(vote_type, [])
+
+    def test_rejects_nonpositive_price(self, vote_type):
+        with pytest.raises(ModelError):
+            order(vote_type, [3, 0])
+
+    def test_repetitions(self, vote_type):
+        assert order(vote_type, [1, 2, 3]).repetitions == 3
+
+
+class TestMarketModel:
+    def test_single_model_applies_to_all(self, vote_type):
+        market = MarketModel(LinearPricing(1.0, 1.0))
+        assert market.onhold_rate(vote_type, 4) == pytest.approx(5.0)
+
+    def test_attractiveness_scales_default(self):
+        market = MarketModel(LinearPricing(1.0, 1.0))
+        dull = TaskType("dull", processing_rate=1.0, attractiveness=0.5)
+        assert market.onhold_rate(dull, 4) == pytest.approx(2.5)
+
+    def test_per_type_table(self, vote_type):
+        market = MarketModel({"vote": LinearPricing(2.0, 0.0)})
+        assert market.onhold_rate(vote_type, 3) == pytest.approx(6.0)
+
+    def test_missing_type_without_default_raises(self, vote_type):
+        market = MarketModel({"other": LinearPricing(1.0, 1.0)})
+        with pytest.raises(ModelError):
+            market.onhold_rate(vote_type, 3)
+
+    def test_mapping_with_default(self, vote_type):
+        market = MarketModel(
+            {"other": LinearPricing(1.0, 1.0)},
+            default_pricing=LinearPricing(0.0, 7.0),
+        )
+        assert market.onhold_rate(vote_type, 3) == pytest.approx(7.0)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ModelError):
+            MarketModel(42)
+        with pytest.raises(ModelError):
+            MarketModel({"a": "not a model"})
+
+
+class TestAggregateSimulator:
+    def test_empty_job_rejected(self, vote_type):
+        sim = AggregateSimulator(MarketModel(LinearPricing(1.0, 1.0)), seed=0)
+        with pytest.raises(SimulationError):
+            sim.run_job([])
+
+    def test_single_task_latency_positive(self, vote_type):
+        sim = AggregateSimulator(MarketModel(LinearPricing(1.0, 1.0)), seed=0)
+        result = sim.run_job([order(vote_type, [3])])
+        assert result.makespan > 0
+        assert result.total_paid == 3
+
+    def test_records_all_repetitions(self, vote_type):
+        sim = AggregateSimulator(MarketModel(LinearPricing(1.0, 1.0)), seed=0)
+        recorder = TraceRecorder()
+        sim.run_job([order(vote_type, [2, 2, 2])], recorder=recorder)
+        assert len(recorder.records) == 3
+        assert {r.repetition_index for r in recorder.records} == {0, 1, 2}
+
+    def test_sequential_repetitions_do_not_overlap(self, vote_type):
+        sim = AggregateSimulator(MarketModel(LinearPricing(1.0, 1.0)), seed=1)
+        recorder = TraceRecorder()
+        sim.run_job([order(vote_type, [2] * 5)], recorder=recorder)
+        records = sorted(recorder.records, key=lambda r: r.repetition_index)
+        for prev, nxt in zip(records, records[1:]):
+            assert nxt.published_at == pytest.approx(prev.completed_at)
+
+    def test_makespan_is_max_completion(self, vote_type):
+        sim = AggregateSimulator(MarketModel(LinearPricing(1.0, 1.0)), seed=2)
+        result = sim.run_job(
+            [order(vote_type, [2], atomic_id=i) for i in range(5)]
+        )
+        assert result.makespan == pytest.approx(
+            max(result.per_atomic_completion.values())
+        )
+
+    def test_onhold_mean_matches_model(self, vote_type):
+        # At price 4 the model says λ_o = 5 ⇒ mean on-hold 0.2.
+        sim = AggregateSimulator(MarketModel(LinearPricing(1.0, 1.0)), seed=3)
+        recorder = TraceRecorder()
+        sim.run_job(
+            [order(vote_type, [4], atomic_id=i) for i in range(8000)],
+            recorder=recorder,
+        )
+        assert recorder.summary().mean_onhold == pytest.approx(0.2, rel=0.05)
+
+    def test_processing_mean_matches_type(self, vote_type):
+        sim = AggregateSimulator(MarketModel(LinearPricing(1.0, 1.0)), seed=4)
+        recorder = TraceRecorder()
+        sim.run_job(
+            [order(vote_type, [4], atomic_id=i) for i in range(8000)],
+            recorder=recorder,
+        )
+        assert recorder.summary().mean_processing == pytest.approx(0.5, rel=0.05)
+
+    def test_deterministic_given_seed(self, vote_type):
+        market = MarketModel(LinearPricing(1.0, 1.0))
+        r1 = AggregateSimulator(market, seed=7).run_job([order(vote_type, [2, 3])])
+        r2 = AggregateSimulator(market, seed=7).run_job([order(vote_type, [2, 3])])
+        assert r1.makespan == r2.makespan
+
+    def test_answers_sampled_from_payload(self, vote_type):
+        class YesPayload:
+            def sample_answer(self, rng, accuracy):
+                return "yes"
+
+        sim = AggregateSimulator(MarketModel(LinearPricing(1.0, 1.0)), seed=0)
+        result = sim.run_job([order(vote_type, [1, 1], payload=YesPayload())])
+        assert result.answers[0] == ["yes", "yes"]
+
+
+class TestAgentSimulator:
+    def test_job_completes(self, vote_type):
+        pool = WorkerPool(arrival_rate=10.0)
+        sim = AgentSimulator(pool, seed=0)
+        result = sim.run_job(
+            [order(vote_type, [2], atomic_id=i) for i in range(4)]
+        )
+        assert result.makespan > 0
+        assert len(result.per_atomic_completion) == 4
+
+    def test_total_paid(self, vote_type):
+        pool = WorkerPool(arrival_rate=10.0)
+        sim = AgentSimulator(pool, seed=0)
+        result = sim.run_job([order(vote_type, [2, 3], atomic_id=0)])
+        assert result.total_paid == 5
+
+    def test_empty_job_rejected(self):
+        sim = AgentSimulator(WorkerPool(arrival_rate=1.0), seed=0)
+        with pytest.raises(SimulationError):
+            sim.run_job([])
+
+    def test_max_sim_time_guard(self, vote_type):
+        pool = WorkerPool(arrival_rate=1e-6)
+        sim = AgentSimulator(pool, seed=0, max_sim_time=1.0)
+        with pytest.raises(SimulationError):
+            sim.run_job([order(vote_type, [1])])
+
+    def test_acceptance_rate_single_slot_matches_arrivals(self, vote_type):
+        # With one open task and no leave option, acceptance rate = Λ.
+        lam = 5.0
+        pool = WorkerPool(arrival_rate=lam)
+        sim = AgentSimulator(pool, seed=1)
+        recorder = TraceRecorder()
+        sim.run_job([order(vote_type, [1] * 2000)], recorder=recorder)
+        mean_onhold = recorder.summary().mean_onhold
+        assert mean_onhold == pytest.approx(1 / lam, rel=0.07)
+
+    def test_deterministic_given_seed(self, vote_type):
+        pool_args = dict(arrival_rate=5.0)
+        r1 = AgentSimulator(WorkerPool(**pool_args), seed=3).run_job(
+            [order(vote_type, [2, 2])]
+        )
+        r2 = AgentSimulator(WorkerPool(**pool_args), seed=3).run_job(
+            [order(vote_type, [2, 2])]
+        )
+        assert r1.makespan == r2.makespan
+
+    def test_worker_arrivals_recorded(self, vote_type):
+        pool = WorkerPool(arrival_rate=10.0)
+        recorder = TraceRecorder()
+        AgentSimulator(pool, seed=0).run_job(
+            [order(vote_type, [1])], recorder=recorder
+        )
+        assert len(recorder.worker_arrival_times) >= 1
+
+    def test_rejects_bad_max_sim_time(self):
+        with pytest.raises(ModelError):
+            AgentSimulator(WorkerPool(arrival_rate=1.0), max_sim_time=0.0)

@@ -1,0 +1,144 @@
+"""Unit tests for repro.market.task."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError, SimulationError
+from repro.market import PublishedTask, TaskState, TaskType
+
+
+class TestTaskType:
+    def test_valid(self):
+        t = TaskType("vote", processing_rate=2.0, accuracy=0.9)
+        assert t.name == "vote"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelError):
+            TaskType("", processing_rate=1.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ModelError):
+            TaskType("x", processing_rate=0.0)
+
+    def test_rejects_bad_accuracy(self):
+        with pytest.raises(ModelError):
+            TaskType("x", processing_rate=1.0, accuracy=0.0)
+        with pytest.raises(ModelError):
+            TaskType("x", processing_rate=1.0, accuracy=1.5)
+
+    def test_rejects_bad_attractiveness(self):
+        with pytest.raises(ModelError):
+            TaskType("x", processing_rate=1.0, attractiveness=0.0)
+
+    def test_frozen(self):
+        t = TaskType("x", processing_rate=1.0)
+        with pytest.raises(AttributeError):
+            t.name = "y"
+
+
+def make_task(**kwargs):
+    defaults = dict(
+        task_type=TaskType("vote", processing_rate=2.0),
+        price=3,
+        atomic_task_id=0,
+        repetition_index=0,
+    )
+    defaults.update(kwargs)
+    return PublishedTask(**defaults)
+
+
+class TestPublishedTaskLifecycle:
+    def test_initial_state(self):
+        task = make_task()
+        assert task.state is TaskState.OPEN
+        assert not task.is_done
+
+    def test_full_lifecycle(self):
+        task = make_task()
+        task.mark_published(0.0)
+        task.mark_accepted(1.5, worker_id=7)
+        task.mark_completed(4.0, answer=True)
+        assert task.is_done
+        assert task.onhold_latency == pytest.approx(1.5)
+        assert task.processing_latency == pytest.approx(2.5)
+        assert task.overall_latency == pytest.approx(4.0)
+        assert task.worker_id == 7
+        assert task.answer is True
+
+    def test_rejects_double_publish(self):
+        task = make_task()
+        task.mark_published(0.0)
+        with pytest.raises(SimulationError):
+            task.mark_published(1.0)
+
+    def test_rejects_accept_before_publish(self):
+        task = make_task()
+        with pytest.raises(SimulationError):
+            task.mark_accepted(1.0)
+
+    def test_rejects_accept_in_the_past(self):
+        task = make_task()
+        task.mark_published(5.0)
+        with pytest.raises(SimulationError):
+            task.mark_accepted(4.0)
+
+    def test_rejects_complete_without_accept(self):
+        task = make_task()
+        task.mark_published(0.0)
+        with pytest.raises(SimulationError):
+            task.mark_completed(2.0)
+
+    def test_rejects_complete_in_the_past(self):
+        task = make_task()
+        task.mark_published(0.0)
+        task.mark_accepted(2.0)
+        with pytest.raises(SimulationError):
+            task.mark_completed(1.0)
+
+    def test_rejects_double_accept(self):
+        task = make_task()
+        task.mark_published(0.0)
+        task.mark_accepted(1.0)
+        with pytest.raises(SimulationError):
+            task.mark_accepted(2.0)
+
+    def test_cancel_open_task(self):
+        task = make_task()
+        task.mark_published(0.0)
+        task.cancel()
+        assert task.state is TaskState.CANCELLED
+
+    def test_cannot_cancel_done(self):
+        task = make_task()
+        task.mark_published(0.0)
+        task.mark_accepted(1.0)
+        task.mark_completed(2.0)
+        with pytest.raises(SimulationError):
+            task.cancel()
+
+    def test_latency_unavailable_before_measurement(self):
+        task = make_task()
+        with pytest.raises(SimulationError):
+            _ = task.onhold_latency
+        task.mark_published(0.0)
+        with pytest.raises(SimulationError):
+            _ = task.processing_latency
+
+
+class TestPublishedTaskValidation:
+    def test_rejects_zero_price(self):
+        with pytest.raises(ModelError):
+            make_task(price=0)
+
+    def test_rejects_fractional_price(self):
+        with pytest.raises(ModelError):
+            make_task(price=1.5)
+
+    def test_rejects_negative_repetition_index(self):
+        with pytest.raises(ModelError):
+            make_task(repetition_index=-1)
+
+    def test_uids_unique(self):
+        a, b = make_task(), make_task()
+        assert a.uid != b.uid

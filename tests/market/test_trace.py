@@ -1,0 +1,128 @@
+"""Unit tests for repro.market.trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.market import (
+    Event,
+    EventKind,
+    LatencySummary,
+    PublishedTask,
+    TaskRecord,
+    TaskType,
+    TraceRecorder,
+)
+
+
+def done_task(published=0.0, accepted=1.0, completed=3.0, **kwargs):
+    defaults = dict(
+        task_type=TaskType("vote", processing_rate=1.0),
+        price=2,
+        atomic_task_id=0,
+        repetition_index=0,
+    )
+    defaults.update(kwargs)
+    task = PublishedTask(**defaults)
+    task.mark_published(published)
+    task.mark_accepted(accepted)
+    task.mark_completed(completed)
+    return task
+
+
+class TestTaskRecord:
+    def test_from_task(self):
+        record = TaskRecord.from_task(done_task())
+        assert record.onhold_latency == pytest.approx(1.0)
+        assert record.processing_latency == pytest.approx(2.0)
+        assert record.overall_latency == pytest.approx(3.0)
+
+    def test_rejects_incomplete_task(self):
+        task = PublishedTask(
+            task_type=TaskType("vote", processing_rate=1.0),
+            price=1,
+            atomic_task_id=0,
+            repetition_index=0,
+        )
+        with pytest.raises(SimulationError):
+            TaskRecord.from_task(task)
+
+
+class TestLatencySummary:
+    def test_from_records(self):
+        records = [
+            TaskRecord.from_task(done_task(completed=2.0)),
+            TaskRecord.from_task(done_task(completed=4.0)),
+        ]
+        summary = LatencySummary.from_records(records)
+        assert summary.count == 2
+        assert summary.mean_onhold == pytest.approx(1.0)
+        assert summary.mean_overall == pytest.approx(3.0)
+        assert summary.max_overall == pytest.approx(4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            LatencySummary.from_records([])
+
+
+class TestTraceRecorder:
+    def test_records_tasks(self):
+        recorder = TraceRecorder()
+        recorder.on_task_done(done_task())
+        assert len(recorder.records) == 1
+
+    def test_worker_arrivals_tracked(self):
+        recorder = TraceRecorder()
+        recorder.on_event(Event(1.0, EventKind.WORKER_ARRIVED))
+        recorder.on_event(Event(2.0, EventKind.TASK_PUBLISHED))
+        assert recorder.worker_arrival_times == [1.0]
+
+    def test_events_kept_only_when_requested(self):
+        silent = TraceRecorder(keep_events=False)
+        silent.on_event(Event(1.0, EventKind.WORKER_ARRIVED))
+        assert silent.events == []
+        chatty = TraceRecorder(keep_events=True)
+        chatty.on_event(Event(1.0, EventKind.WORKER_ARRIVED))
+        assert len(chatty.events) == 1
+
+    def test_query_by_type(self):
+        recorder = TraceRecorder()
+        recorder.on_task_done(done_task())
+        recorder.on_task_done(
+            done_task(task_type=TaskType("other", processing_rate=1.0))
+        )
+        assert len(recorder.records_for_type("vote")) == 1
+        assert len(recorder.records_for_type("other")) == 1
+        assert recorder.records_for_type("missing") == []
+
+    def test_query_by_price(self):
+        recorder = TraceRecorder()
+        recorder.on_task_done(done_task(price=2))
+        recorder.on_task_done(done_task(price=5))
+        assert len(recorder.records_for_price(5)) == 1
+
+    def test_job_completion_time(self):
+        recorder = TraceRecorder()
+        recorder.on_task_done(done_task(completed=3.0))
+        recorder.on_task_done(done_task(completed=9.0))
+        assert recorder.job_completion_time() == 9.0
+
+    def test_job_completion_requires_records(self):
+        with pytest.raises(SimulationError):
+            TraceRecorder().job_completion_time()
+
+    def test_atomic_completion_time(self):
+        recorder = TraceRecorder()
+        recorder.on_task_done(done_task(atomic_task_id=3, completed=5.0))
+        recorder.on_task_done(
+            done_task(atomic_task_id=3, repetition_index=1, completed=8.0)
+        )
+        assert recorder.atomic_task_completion_time(3) == 8.0
+        with pytest.raises(SimulationError):
+            recorder.atomic_task_completion_time(99)
+
+    def test_summary_filter(self):
+        recorder = TraceRecorder()
+        recorder.on_task_done(done_task())
+        assert recorder.summary("vote").count == 1

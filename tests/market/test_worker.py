@@ -1,0 +1,129 @@
+"""Unit tests for repro.market.worker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.market import (
+    GreedyPriceChoice,
+    PriceProportionalChoice,
+    PublishedTask,
+    SoftmaxChoice,
+    TaskType,
+    WorkerPool,
+)
+
+
+def open_task(price: int, attractiveness: float = 1.0, uid_hint: int = 0):
+    return PublishedTask(
+        task_type=TaskType(
+            f"t{attractiveness}", processing_rate=1.0, attractiveness=attractiveness
+        ),
+        price=price,
+        atomic_task_id=uid_hint,
+        repetition_index=0,
+    )
+
+
+class TestPriceProportionalChoice:
+    def test_empty_board_returns_none(self, rng):
+        assert PriceProportionalChoice().choose([], rng) is None
+
+    def test_single_task_always_chosen_without_leave(self, rng):
+        task = open_task(3)
+        choice = PriceProportionalChoice(leave_weight=0.0)
+        assert choice.choose([task], rng) is task
+
+    def test_probabilities_proportional_to_price(self, rng):
+        cheap, rich = open_task(1), open_task(9)
+        choice = PriceProportionalChoice()
+        picks = [choice.choose([cheap, rich], rng) for _ in range(4000)]
+        rich_share = sum(1 for p in picks if p is rich) / len(picks)
+        assert rich_share == pytest.approx(0.9, abs=0.03)
+
+    def test_leave_option(self, rng):
+        task = open_task(1)
+        choice = PriceProportionalChoice(leave_weight=1.0)
+        picks = [choice.choose([task], rng) for _ in range(4000)]
+        leave_share = sum(1 for p in picks if p is None) / len(picks)
+        assert leave_share == pytest.approx(0.5, abs=0.03)
+
+    def test_attractiveness_scales_weight(self, rng):
+        plain = open_task(5, attractiveness=1.0)
+        dull = open_task(5, attractiveness=0.25)
+        choice = PriceProportionalChoice()
+        picks = [choice.choose([plain, dull], rng) for _ in range(4000)]
+        plain_share = sum(1 for p in picks if p is plain) / len(picks)
+        assert plain_share == pytest.approx(0.8, abs=0.03)
+
+    def test_rejects_negative_leave_weight(self):
+        with pytest.raises(ModelError):
+            PriceProportionalChoice(leave_weight=-1.0)
+
+
+class TestSoftmaxChoice:
+    def test_prefers_higher_price(self, rng):
+        cheap, rich = open_task(1), open_task(9)
+        choice = SoftmaxChoice(beta=2.0, leave_utility=-100.0)
+        picks = [choice.choose([cheap, rich], rng) for _ in range(2000)]
+        rich_share = sum(1 for p in picks if p is rich) / len(picks)
+        assert rich_share > 0.8
+
+    def test_leave_utility_dominates(self, rng):
+        task = open_task(1)
+        choice = SoftmaxChoice(beta=1.0, leave_utility=100.0)
+        assert choice.choose([task], rng) is None
+
+    def test_rejects_nonpositive_beta(self):
+        with pytest.raises(ModelError):
+            SoftmaxChoice(beta=0.0)
+
+    def test_empty_board(self, rng):
+        assert SoftmaxChoice().choose([], rng) is None
+
+
+class TestGreedyPriceChoice:
+    def test_picks_highest_price(self, rng):
+        a, b, c = open_task(2), open_task(8), open_task(5)
+        assert GreedyPriceChoice().choose([a, b, c], rng) is b
+
+    def test_tie_breaks_by_publication_order(self, rng):
+        a = open_task(5)
+        b = open_task(5)
+        # a was created first → lower uid → preferred
+        assert GreedyPriceChoice().choose([b, a], rng) is a
+
+    def test_empty_board(self, rng):
+        assert GreedyPriceChoice().choose([], rng) is None
+
+
+class TestWorkerPool:
+    def test_rejects_nonpositive_arrival_rate(self):
+        with pytest.raises(ModelError):
+            WorkerPool(arrival_rate=0.0)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ModelError):
+            WorkerPool(arrival_rate=1.0, accuracy_jitter=-0.1)
+
+    def test_arrival_delays_exponential(self, rng):
+        pool = WorkerPool(arrival_rate=4.0)
+        delays = [pool.next_arrival_delay(rng) for _ in range(20_000)]
+        assert np.mean(delays) == pytest.approx(0.25, rel=0.03)
+
+    def test_worker_ids_unique_and_increasing(self):
+        pool = WorkerPool(arrival_rate=1.0)
+        ids = [pool.new_worker_id() for _ in range(5)]
+        assert ids == sorted(set(ids))
+
+    def test_accuracy_no_jitter_passthrough(self, rng):
+        pool = WorkerPool(arrival_rate=1.0)
+        assert pool.worker_accuracy(0.9, rng) == 0.9
+
+    def test_accuracy_jitter_stays_valid(self, rng):
+        pool = WorkerPool(arrival_rate=1.0, accuracy_jitter=0.5)
+        values = [pool.worker_accuracy(0.9, rng) for _ in range(2000)]
+        assert all(0.0 < v <= 1.0 for v in values)
+        assert len(set(values)) > 1

@@ -1,0 +1,102 @@
+"""Property-based tests for allocation strategies.
+
+Invariants every strategy must satisfy on every feasible instance:
+
+* covers exactly the problem's tasks with the right repetition counts;
+* never exceeds the budget; never pays below 1 unit per repetition;
+* optimal strategies produce group-uniform prices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import HTuningProblem, TaskSpec
+from repro.core import STRATEGIES
+from repro.market import LinearPricing
+
+
+@st.composite
+def h_tuning_problems(draw):
+    """Random feasible instances spanning all three scenarios."""
+    n_groups = draw(st.integers(min_value=1, max_value=3))
+    tasks = []
+    tid = 0
+    for g in range(n_groups):
+        reps = draw(st.integers(min_value=1, max_value=5))
+        count = draw(st.integers(min_value=1, max_value=6))
+        slope = draw(st.floats(min_value=0.1, max_value=5.0))
+        intercept = draw(st.floats(min_value=0.1, max_value=5.0))
+        proc = draw(st.floats(min_value=0.2, max_value=5.0))
+        pricing = LinearPricing(slope, intercept)
+        for _ in range(count):
+            tasks.append(
+                TaskSpec(tid, reps, pricing, proc, type_name=f"g{g}")
+            )
+            tid += 1
+    min_budget = sum(t.repetitions for t in tasks)
+    budget = draw(
+        st.integers(min_value=min_budget, max_value=min_budget * 12)
+    )
+    return HTuningProblem(tasks, budget)
+
+
+ALL_STRATEGIES = sorted(STRATEGIES)
+OPTIMAL_STRATEGIES = ["ra", "ha"]
+
+
+class TestAllocationInvariants:
+    @given(problem=h_tuning_problems(), name=st.sampled_from(ALL_STRATEGIES))
+    @settings(max_examples=120, deadline=None)
+    def test_strategy_produces_valid_allocation(self, problem, name):
+        allocation = STRATEGIES[name](problem, np.random.default_rng(0))
+        problem.validate_allocation(allocation)  # raises on violation
+
+    @given(problem=h_tuning_problems(), name=st.sampled_from(ALL_STRATEGIES))
+    @settings(max_examples=80, deadline=None)
+    def test_minimum_price_respected(self, problem, name):
+        allocation = STRATEGIES[name](problem, np.random.default_rng(0))
+        for task in problem.tasks:
+            assert all(p >= 1 for p in allocation[task.task_id])
+
+    @given(problem=h_tuning_problems(), name=st.sampled_from(OPTIMAL_STRATEGIES))
+    @settings(max_examples=60, deadline=None)
+    def test_optimal_strategies_group_uniform(self, problem, name):
+        allocation = STRATEGIES[name](problem, np.random.default_rng(0))
+        for group in problem.groups():
+            assert allocation.uniform_group_price(group) is not None
+
+    @given(problem=h_tuning_problems())
+    @settings(max_examples=60, deadline=None)
+    def test_ra_never_worse_than_rep_even_on_surrogate(self, problem):
+        from repro.core import (
+            repetition_algorithm,
+            surrogate_onhold_objective,
+            uniform_price_heuristic,
+        )
+
+        ra = repetition_algorithm(problem, strict_scenario=False)
+        ra_prices = {
+            g.key: ra.uniform_group_price(g) for g in problem.groups()
+        }
+        uni = uniform_price_heuristic(problem)
+        uni_prices = {
+            g.key: uni.uniform_group_price(g) for g in problem.groups()
+        }
+        assert surrogate_onhold_objective(
+            problem, ra_prices
+        ) <= surrogate_onhold_objective(problem, uni_prices) + 1e-9
+
+    @given(problem=h_tuning_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_budget_leftover_below_cheapest_increment(self, problem):
+        """RA must not leave a whole affordable increment unspent."""
+        from repro.core import repetition_algorithm
+
+        allocation = repetition_algorithm(problem, strict_scenario=False)
+        leftover = problem.budget - allocation.total_cost
+        cheapest = min(g.unit_cost for g in problem.groups())
+        assert leftover < cheapest

@@ -1,0 +1,108 @@
+"""Property-based tests for crowd-DB aggregation and operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crowddb import (
+    CrowdFilter,
+    CrowdSort,
+    aggregate_numeric,
+    majority_confidence,
+    majority_vote,
+)
+from repro.market import TaskType
+
+
+class TestMajorityVoteProperties:
+    @given(votes=st.lists(st.booleans(), min_size=1, max_size=25))
+    def test_majority_is_most_frequent(self, votes):
+        winner = majority_vote(votes)
+        counts = {True: votes.count(True), False: votes.count(False)}
+        assert counts[winner] == max(counts.values())
+
+    @given(votes=st.lists(st.booleans(), min_size=1, max_size=25))
+    def test_permutation_invariant(self, votes):
+        shuffled = list(reversed(votes))
+        assert majority_vote(votes) == majority_vote(shuffled)
+
+    @given(
+        votes=st.lists(st.booleans(), min_size=1, max_size=15),
+        accuracy=st.floats(min_value=0.55, max_value=0.99),
+    )
+    def test_confidence_in_unit_interval(self, votes, accuracy):
+        conf = majority_confidence(votes, accuracy)
+        assert 0.0 <= conf <= 1.0
+
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        accuracy=st.floats(min_value=0.55, max_value=0.99),
+    )
+    def test_unanimous_confidence_ge_half(self, n, accuracy):
+        conf = majority_confidence([True] * n, accuracy)
+        assert conf >= 0.5
+
+
+class TestAggregateNumericProperties:
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+        trim=st.floats(min_value=0.0, max_value=0.45),
+    )
+    def test_within_range(self, values, trim):
+        result = aggregate_numeric(values, trim=trim)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+    @given(
+        value=st.floats(min_value=-100, max_value=100, allow_nan=False),
+        n=st.integers(min_value=1, max_value=10),
+    )
+    def test_constant_input(self, value, n):
+        assert aggregate_numeric([value] * n) == pytest.approx(value)
+
+
+class TestOperatorProperties:
+    @given(
+        keys=st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=2,
+            max_size=8,
+            unique=True,
+        ),
+        strategy=st.sampled_from(["all_pairs", "next_votes"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_crowd_sorts_exactly(self, keys, strategy):
+        vote = TaskType("vote", processing_rate=1.0)
+        op = CrowdSort(
+            items=list(range(len(keys))),
+            keys=[float(k) for k in keys],
+            task_type=vote,
+            strategy=strategy,
+        )
+        rng = np.random.default_rng(0)
+        answers = {
+            i: [q.question.sample_answer(rng, 1.0) for _ in range(q.repetitions)]
+            for i, q in enumerate(op.plan())
+        }
+        assert op.collect(answers) == op.ground_truth()
+
+    @given(truths=st.lists(st.booleans(), min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_crowd_filters_exactly(self, truths):
+        vote = TaskType("vote", processing_rate=1.0)
+        op = CrowdFilter(
+            items=list(range(len(truths))), truths=truths, task_type=vote
+        )
+        rng = np.random.default_rng(0)
+        answers = {
+            i: [q.question.sample_answer(rng, 1.0) for _ in range(q.repetitions)]
+            for i, q in enumerate(op.plan())
+        }
+        assert op.collect(answers) == op.ground_truth()

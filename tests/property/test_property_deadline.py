@@ -1,0 +1,99 @@
+"""Property-based tests for the deadline and quality extensions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import HTuningProblem, TaskSpec
+from repro.core import (
+    completion_probability,
+    majority_correct_probability,
+    repetitions_for_quality,
+)
+from repro.market import LinearPricing
+
+accuracies = st.floats(min_value=0.55, max_value=0.999)
+targets = st.floats(min_value=0.5, max_value=0.995)
+odd_reps = st.integers(min_value=0, max_value=10).map(lambda k: 2 * k + 1)
+
+
+@st.composite
+def small_problems(draw):
+    n_groups = draw(st.integers(min_value=1, max_value=3))
+    tasks = []
+    tid = 0
+    for g in range(n_groups):
+        reps = draw(st.integers(min_value=1, max_value=3))
+        count = draw(st.integers(min_value=1, max_value=3))
+        proc = draw(st.floats(min_value=0.5, max_value=5.0))
+        pricing = LinearPricing(
+            draw(st.floats(min_value=0.2, max_value=3.0)),
+            draw(st.floats(min_value=0.2, max_value=3.0)),
+        )
+        for _ in range(count):
+            tasks.append(TaskSpec(tid, reps, pricing, proc, type_name=f"g{g}"))
+            tid += 1
+    budget = sum(t.repetitions for t in tasks) * 10
+    return HTuningProblem(tasks, budget)
+
+
+class TestCompletionProbabilityProperties:
+    @given(problem=small_problems(), d=st.floats(min_value=0.01, max_value=50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_probability_in_unit_interval(self, problem, d):
+        prices = {g.key: 2 for g in problem.groups()}
+        p = completion_probability(problem, prices, d)
+        assert 0.0 <= p <= 1.0
+
+    @given(
+        problem=small_problems(),
+        d1=st.floats(min_value=0.01, max_value=20.0),
+        d2=st.floats(min_value=0.01, max_value=20.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_deadline(self, problem, d1, d2):
+        lo, hi = sorted((d1, d2))
+        prices = {g.key: 2 for g in problem.groups()}
+        assert completion_probability(
+            problem, prices, lo
+        ) <= completion_probability(problem, prices, hi) + 1e-9
+
+    @given(problem=small_problems(), d=st.floats(min_value=0.5, max_value=20.0))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_prices(self, problem, d):
+        cheap = {g.key: 1 for g in problem.groups()}
+        rich = {g.key: 5 for g in problem.groups()}
+        assert completion_probability(
+            problem, cheap, d
+        ) <= completion_probability(problem, rich, d) + 1e-9
+
+
+class TestQualityProperties:
+    @given(r=odd_reps, a=accuracies)
+    def test_probability_valid(self, r, a):
+        p = majority_correct_probability(r, a)
+        assert 0.0 <= p <= 1.0
+
+    @given(r=odd_reps, a=accuracies)
+    def test_better_than_coin_flip(self, r, a):
+        # For accuracy > 1/2 and odd r, majority is at least as good
+        # as a single worker.
+        assert majority_correct_probability(r, a) >= a - 1e-12 or r == 1
+
+    @given(a=accuracies, t=targets)
+    def test_found_repetitions_meet_target(self, a, t):
+        try:
+            r = repetitions_for_quality(a, t, max_repetitions=199)
+        except Exception:
+            return  # unreachable targets are allowed to raise
+        assert majority_correct_probability(r, a) >= t
+        assert r % 2 == 1
+
+    @given(a=accuracies)
+    def test_repetitions_decrease_with_accuracy(self, a):
+        lo = repetitions_for_quality(a, 0.9, max_repetitions=199)
+        hi = repetitions_for_quality(min(a + 0.1, 0.999), 0.9,
+                                     max_repetitions=199)
+        assert hi <= lo

@@ -1,0 +1,111 @@
+"""Property-based tests for the market simulators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.market import (
+    AgentSimulator,
+    AggregateSimulator,
+    AtomicTaskOrder,
+    LinearPricing,
+    MarketModel,
+    TaskType,
+    TraceRecorder,
+    WorkerPool,
+)
+
+prices = st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=4)
+proc_rates = st.floats(min_value=0.5, max_value=10.0)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+@st.composite
+def job_orders(draw):
+    n_tasks = draw(st.integers(min_value=1, max_value=5))
+    orders = []
+    for i in range(n_tasks):
+        task_type = TaskType(
+            f"type{i % 2}", processing_rate=draw(proc_rates)
+        )
+        orders.append(
+            AtomicTaskOrder(
+                task_type=task_type,
+                prices=tuple(draw(prices)),
+                atomic_task_id=i,
+            )
+        )
+    return orders
+
+
+class TestAggregateSimulatorInvariants:
+    @given(orders=job_orders(), seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_timestamps_consistent(self, orders, seed):
+        sim = AggregateSimulator(MarketModel(LinearPricing(1.0, 1.0)), seed=seed)
+        recorder = TraceRecorder()
+        result = sim.run_job(orders, recorder=recorder)
+        for record in recorder.records:
+            assert record.published_at <= record.accepted_at <= record.completed_at
+        assert result.makespan >= 0
+
+    @given(orders=job_orders(), seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_total_paid_is_sum_of_prices(self, orders, seed):
+        sim = AggregateSimulator(MarketModel(LinearPricing(1.0, 1.0)), seed=seed)
+        result = sim.run_job(orders)
+        assert result.total_paid == sum(sum(o.prices) for o in orders)
+
+    @given(orders=job_orders(), seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_is_max_atomic_completion(self, orders, seed):
+        sim = AggregateSimulator(MarketModel(LinearPricing(1.0, 1.0)), seed=seed)
+        result = sim.run_job(orders)
+        assert result.makespan == pytest.approx(
+            max(result.per_atomic_completion.values())
+        )
+
+    @given(orders=job_orders(), seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_one_record_per_repetition(self, orders, seed):
+        sim = AggregateSimulator(MarketModel(LinearPricing(1.0, 1.0)), seed=seed)
+        recorder = TraceRecorder()
+        sim.run_job(orders, recorder=recorder)
+        assert len(recorder.records) == sum(o.repetitions for o in orders)
+
+    @given(orders=job_orders(), seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_answers_per_repetition(self, orders, seed):
+        sim = AggregateSimulator(MarketModel(LinearPricing(1.0, 1.0)), seed=seed)
+        result = sim.run_job(orders)
+        for order in orders:
+            assert len(result.answers[order.atomic_task_id]) == order.repetitions
+
+
+class TestAgentSimulatorInvariants:
+    @given(orders=job_orders(), seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_lifecycle_consistency(self, orders, seed):
+        sim = AgentSimulator(WorkerPool(arrival_rate=20.0), seed=seed)
+        recorder = TraceRecorder(keep_events=True)
+        result = sim.run_job(orders, recorder=recorder)
+        for record in recorder.records:
+            assert record.published_at <= record.accepted_at <= record.completed_at
+        assert result.total_paid == sum(sum(o.prices) for o in orders)
+
+    @given(orders=job_orders(), seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_sequential_repetitions_ordering(self, orders, seed):
+        sim = AgentSimulator(WorkerPool(arrival_rate=20.0), seed=seed)
+        recorder = TraceRecorder()
+        sim.run_job(orders, recorder=recorder)
+        by_atomic: dict[int, list] = {}
+        for record in recorder.records:
+            by_atomic.setdefault(record.atomic_task_id, []).append(record)
+        for records in by_atomic.values():
+            records.sort(key=lambda r: r.repetition_index)
+            for prev, nxt in zip(records, records[1:]):
+                assert nxt.published_at >= prev.completed_at - 1e-9

@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) for the probability substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    Erlang,
+    Exponential,
+    expected_max_erlang_iid,
+    expected_max_exponential,
+    expected_max_exponential_iid,
+    expected_min_exponential,
+    harmonic_number,
+    hypoexponential_cdf,
+    hypoexponential_mean,
+    hypoexponential_sf,
+    two_phase_latency,
+)
+
+rates = st.floats(min_value=0.05, max_value=50.0, allow_nan=False)
+small_n = st.integers(min_value=1, max_value=30)
+shapes = st.integers(min_value=1, max_value=8)
+times = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+class TestDistributionInvariants:
+    @given(rate=rates, t=times)
+    def test_exponential_cdf_sf_complement(self, rate, t):
+        d = Exponential(rate)
+        assert d.cdf(t) + d.sf(t) == pytest.approx(1.0, abs=1e-12)
+
+    @given(rate=rates, t=times)
+    def test_exponential_cdf_in_unit_interval(self, rate, t):
+        d = Exponential(rate)
+        assert 0.0 <= d.cdf(t) <= 1.0
+
+    @given(rate=rates, k=shapes, t=times)
+    def test_erlang_cdf_bounds(self, rate, k, t):
+        d = Erlang(k, rate)
+        assert 0.0 <= d.cdf(t) <= 1.0
+
+    @given(rate=rates, k=shapes)
+    def test_erlang_mean_var_identities(self, rate, k):
+        d = Erlang(k, rate)
+        assert d.mean() == pytest.approx(k / rate)
+        assert d.var() == pytest.approx(k / rate**2)
+
+    @given(a=rates, b=rates)
+    def test_two_phase_mean_additive(self, a, b):
+        d = two_phase_latency(a, b)
+        assert d.mean() == pytest.approx(1 / a + 1 / b, rel=1e-9)
+
+    @given(rate=rates, k=shapes, t1=times, t2=times)
+    def test_erlang_cdf_monotone(self, rate, k, t1, t2):
+        lo, hi = sorted((t1, t2))
+        d = Erlang(k, rate)
+        assert d.cdf(lo) <= d.cdf(hi) + 1e-12
+
+
+class TestOrderStatisticsInvariants:
+    @given(n=small_n)
+    def test_harmonic_positive_increasing(self, n):
+        assert harmonic_number(n) > harmonic_number(n - 1)
+
+    @given(n=small_n, rate=rates)
+    def test_max_at_least_single_mean(self, n, rate):
+        assert expected_max_exponential_iid(n, rate) >= 1 / rate - 1e-12
+
+    @given(
+        rs=st.lists(rates, min_size=1, max_size=8),
+    )
+    def test_max_ge_min(self, rs):
+        assert (
+            expected_max_exponential(rs)
+            >= expected_min_exponential(rs) - 1e-12
+        )
+
+    @given(rs=st.lists(rates, min_size=2, max_size=6))
+    def test_max_min_sum_bound(self, rs):
+        # E[max] <= Σ E[X_i]; E[min] <= min E[X_i]
+        assert expected_max_exponential(rs) <= sum(1 / r for r in rs) + 1e-9
+        assert expected_min_exponential(rs) <= min(1 / r for r in rs) + 1e-9
+
+    @given(n=small_n, k=shapes, rate=rates)
+    @settings(max_examples=30, deadline=None)
+    def test_erlang_max_scaling_law(self, n, k, rate):
+        # E[max of Erl(k, λ)] = E[max of Erl(k, 1)] / λ
+        base = expected_max_erlang_iid(n, k, 1.0)
+        assert expected_max_erlang_iid(n, k, rate) == pytest.approx(
+            base / rate, rel=1e-6
+        )
+
+    @given(n=small_n, k=shapes, rate=rates)
+    @settings(max_examples=30, deadline=None)
+    def test_erlang_max_at_least_mean(self, n, k, rate):
+        assert expected_max_erlang_iid(n, k, rate) >= k / rate - 1e-9
+
+
+class TestPhaseTypeInvariants:
+    @given(
+        rs=st.lists(rates, min_size=1, max_size=6),
+        t=times,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cdf_sf_complement(self, rs, t):
+        assert hypoexponential_cdf(rs, t) + hypoexponential_sf(
+            rs, t
+        ) == pytest.approx(1.0, abs=1e-9)
+
+    @given(rs=st.lists(rates, min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_mean_from_survival_integral(self, rs):
+        mean = hypoexponential_mean(rs)
+        grid = np.linspace(0, mean * 30 + 10, 4000)
+        integral = float(np.trapezoid(hypoexponential_sf(rs, grid), grid))
+        assert integral == pytest.approx(mean, rel=0.02)
+
+    @given(rs=st.lists(rates, min_size=1, max_size=5), t1=times, t2=times)
+    @settings(max_examples=50, deadline=None)
+    def test_cdf_monotone(self, rs, t1, t2):
+        lo, hi = sorted((t1, t2))
+        assert hypoexponential_cdf(rs, lo) <= hypoexponential_cdf(rs, hi) + 1e-9
+
+    @given(rs=st.lists(rates, min_size=2, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_invariance(self, rs):
+        t = sum(1 / r for r in rs)  # evaluate at the mean
+        forward = hypoexponential_cdf(rs, t)
+        backward = hypoexponential_cdf(list(reversed(rs)), t)
+        assert forward == pytest.approx(backward, abs=1e-9)

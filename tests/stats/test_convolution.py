@@ -1,0 +1,73 @@
+"""Unit tests for repro.stats.convolution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.stats import (
+    Erlang,
+    Exponential,
+    convolve_cdf,
+    convolve_densities,
+    convolve_pdf,
+    grid_for,
+)
+
+
+class TestGridFor:
+    def test_covers_the_mass(self):
+        grid = grid_for([Exponential(1.0), Exponential(1.0)])
+        assert grid[0] == 0.0
+        # Sum has mean 2, std sqrt(2); upper must be far in the tail.
+        assert grid[-1] > 2 + 5 * np.sqrt(2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            grid_for([])
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ModelError):
+            grid_for([Exponential(1.0)], grid_points=4)
+
+
+class TestConvolveDensities:
+    def test_two_exponentials_match_hypoexponential(self):
+        from repro.stats import Hypoexponential
+
+        grid, pdf = convolve_densities(
+            [Exponential(3.0), Exponential(1.0)], grid_points=8192
+        )
+        expected = np.asarray(Hypoexponential(3.0, 1.0).pdf(grid))
+        # Interior agreement (the rectangle rule is weakest at 0).
+        inner = grid > 0.2
+        np.testing.assert_allclose(pdf[inner], expected[inner], atol=0.02)
+
+    def test_density_normalized(self):
+        grid, pdf = convolve_densities([Exponential(2.0)] * 3, grid_points=8192)
+        assert np.trapezoid(pdf, grid) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestConvolveCdfPdf:
+    def test_cdf_monotone_and_bounded(self):
+        t = np.linspace(0, 10, 100)
+        cdf = np.asarray(
+            convolve_cdf([Exponential(1.0), Erlang(2, 2.0)], t, grid_points=8192)
+        )
+        assert np.all(np.diff(cdf) >= -1e-9)
+        assert np.all((cdf >= 0) & (cdf <= 1))
+
+    def test_sum_of_erlangs_mean(self):
+        comps = [Erlang(2, 2.0), Erlang(3, 1.0)]
+        t = np.linspace(0, 60, 2000)
+        cdf = np.asarray(convolve_cdf(comps, t, grid_points=16384))
+        mean = np.trapezoid(1 - cdf, t)
+        assert mean == pytest.approx(1.0 + 3.0, rel=0.02)
+
+    def test_pdf_outside_support(self):
+        assert convolve_pdf([Exponential(1.0)], -0.5) == 0.0
+
+    def test_scalar_output(self):
+        out = convolve_cdf([Exponential(1.0), Exponential(2.0)], 1.0)
+        assert isinstance(out, float)

@@ -1,0 +1,188 @@
+"""Unit tests for repro.stats.order_statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.stats import (
+    Erlang,
+    Exponential,
+    expected_max_erlang_iid,
+    expected_max_exponential,
+    expected_max_exponential_iid,
+    expected_maximum_generic,
+    expected_min_exponential,
+    harmonic_number,
+)
+
+
+class TestHarmonicNumber:
+    def test_base_cases(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(2) == pytest.approx(1.5)
+        assert harmonic_number(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_monotone(self):
+        values = [harmonic_number(n) for n in range(1, 200)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_asymptotic_branch_continuity(self):
+        # Asymptotic formula at the switch point must agree with the sum.
+        exact = float(np.sum(1.0 / np.arange(1, 1_000_002)))
+        gamma = 0.5772156649015328606
+        approx = math.log(1_000_001) + gamma + 1 / (2 * 1_000_001)
+        assert exact == pytest.approx(approx, rel=1e-9)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelError):
+            harmonic_number(-1)
+
+
+class TestExpectedMaxExponentialIID:
+    def test_single_variable(self):
+        assert expected_max_exponential_iid(1, 2.0) == pytest.approx(0.5)
+
+    def test_harmonic_identity(self):
+        # E[max of n] = H_n / λ
+        assert expected_max_exponential_iid(3, 1.0) == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_scaling_in_rate(self):
+        assert expected_max_exponential_iid(10, 2.0) == pytest.approx(
+            expected_max_exponential_iid(10, 1.0) / 2.0
+        )
+
+    def test_monte_carlo_agreement(self, rng):
+        n, lam = 7, 1.3
+        draws = rng.exponential(1 / lam, size=(200_000, n)).max(axis=1)
+        assert draws.mean() == pytest.approx(
+            expected_max_exponential_iid(n, lam), rel=0.02
+        )
+
+    def test_input_validation(self):
+        with pytest.raises(ModelError):
+            expected_max_exponential_iid(0, 1.0)
+        with pytest.raises(ModelError):
+            expected_max_exponential_iid(3, 0.0)
+
+
+class TestExpectedMaxExponentialHeterogeneous:
+    def test_two_rates_closed_form(self):
+        # Lemma 1: E[max] = 1/a + 1/b − 1/(a+b)
+        a, b = 2.0, 5.0
+        assert expected_max_exponential([a, b]) == pytest.approx(
+            1 / a + 1 / b - 1 / (a + b)
+        )
+
+    def test_iid_matches_harmonic(self):
+        assert expected_max_exponential([1.0] * 5) == pytest.approx(
+            expected_max_exponential_iid(5, 1.0)
+        )
+
+    def test_three_rates_vs_monte_carlo(self, rng):
+        rates = [1.0, 2.0, 0.5]
+        draws = np.stack(
+            [rng.exponential(1 / r, size=300_000) for r in rates]
+        ).max(axis=0)
+        assert draws.mean() == pytest.approx(
+            expected_max_exponential(rates), rel=0.02
+        )
+
+    def test_rejects_too_many_rates(self):
+        with pytest.raises(ModelError):
+            expected_max_exponential([1.0] * 23)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ModelError):
+            expected_max_exponential([])
+        with pytest.raises(ModelError):
+            expected_max_exponential([1.0, 0.0])
+
+
+class TestExpectedMinExponential:
+    def test_closed_form(self):
+        assert expected_min_exponential([2.0, 3.0]) == pytest.approx(1 / 5.0)
+
+    def test_max_min_sum_identity_two_vars(self):
+        # max + min = X + Y  ⇒  E[max] + E[min] = 1/a + 1/b
+        a, b = 1.5, 4.0
+        total = expected_max_exponential([a, b]) + expected_min_exponential([a, b])
+        assert total == pytest.approx(1 / a + 1 / b)
+
+
+class TestExpectedMaxErlangIID:
+    def test_shape_one_fast_path(self):
+        assert expected_max_erlang_iid(10, 1, 2.0) == pytest.approx(
+            expected_max_exponential_iid(10, 2.0)
+        )
+
+    def test_single_task_is_erlang_mean(self):
+        assert expected_max_erlang_iid(1, 5, 2.0) == pytest.approx(2.5, rel=1e-6)
+
+    def test_rate_scaling(self):
+        # Erl(k, λ) = Erl(k, 1)/λ ⇒ E[max] scales as 1/λ
+        base = expected_max_erlang_iid(20, 3, 1.0)
+        assert expected_max_erlang_iid(20, 3, 4.0) == pytest.approx(
+            base / 4.0, rel=1e-6
+        )
+
+    def test_monotone_in_n(self):
+        values = [expected_max_erlang_iid(n, 4, 1.0) for n in (1, 2, 5, 20, 100)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_shape(self):
+        values = [expected_max_erlang_iid(10, k, 1.0) for k in (1, 2, 3, 5, 8)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_monte_carlo_agreement(self, rng):
+        n, k, lam = 15, 4, 2.0
+        draws = rng.gamma(k, 1 / lam, size=(100_000, n)).max(axis=1)
+        assert draws.mean() == pytest.approx(
+            expected_max_erlang_iid(n, k, lam), rel=0.02
+        )
+
+    def test_large_group(self):
+        # Should not blow up or lose the tail for n = 1000.
+        value = expected_max_erlang_iid(1000, 5, 2.0)
+        mean_single = 2.5
+        assert value > mean_single
+        assert value < 20 * mean_single
+
+    def test_input_validation(self):
+        with pytest.raises(ModelError):
+            expected_max_erlang_iid(0, 2, 1.0)
+        with pytest.raises(ModelError):
+            expected_max_erlang_iid(3, 0, 1.0)
+        with pytest.raises(ModelError):
+            expected_max_erlang_iid(3, 2, -1.0)
+
+
+class TestExpectedMaximumGeneric:
+    def test_matches_exponential_special_case(self):
+        comps = [Exponential(1.0), Exponential(2.0)]
+        assert expected_maximum_generic(comps) == pytest.approx(
+            expected_max_exponential([1.0, 2.0]), rel=1e-5
+        )
+
+    def test_matches_erlang_special_case(self):
+        comps = [Erlang(3, 2.0)] * 8
+        assert expected_maximum_generic(comps) == pytest.approx(
+            expected_max_erlang_iid(8, 3, 2.0), rel=1e-4
+        )
+
+    def test_mixed_components_vs_monte_carlo(self, rng):
+        comps = [Exponential(1.0), Erlang(2, 2.0), Erlang(4, 3.0)]
+        draws = np.stack(
+            [np.asarray(c.sample(rng, size=200_000)) for c in comps]
+        ).max(axis=0)
+        assert draws.mean() == pytest.approx(
+            expected_maximum_generic(comps), rel=0.02
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            expected_maximum_generic([])

@@ -1,0 +1,99 @@
+"""Unit tests for repro.stats.phase_type (uniformization cdf)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.stats import (
+    Erlang,
+    Exponential,
+    Hypoexponential,
+    hypoexponential_cdf,
+    hypoexponential_mean,
+    hypoexponential_sf,
+)
+
+
+class TestHypoexponentialCdf:
+    def test_single_phase_is_exponential(self):
+        t = np.linspace(0, 8, 30)
+        np.testing.assert_allclose(
+            hypoexponential_cdf([2.0], t),
+            np.asarray(Exponential(2.0).cdf(t)),
+            atol=1e-10,
+        )
+
+    def test_equal_rates_are_erlang(self):
+        t = np.linspace(0, 15, 40)
+        np.testing.assert_allclose(
+            hypoexponential_cdf([1.5] * 4, t),
+            np.asarray(Erlang(4, 1.5).cdf(t)),
+            atol=1e-10,
+        )
+
+    def test_two_distinct_rates_match_closed_form(self):
+        t = np.linspace(0, 10, 40)
+        np.testing.assert_allclose(
+            hypoexponential_cdf([3.0, 1.0], t),
+            np.asarray(Hypoexponential(3.0, 1.0).cdf(t)),
+            atol=1e-10,
+        )
+
+    def test_mixed_multiplicities_mean(self):
+        # E from the cdf must equal Σ 1/rate
+        rates = [6.0] * 5 + [2.0] * 5
+        grid = np.linspace(0, 60, 6000)
+        sf = hypoexponential_sf(rates, grid)
+        mean = float(np.trapezoid(sf, grid))
+        assert mean == pytest.approx(hypoexponential_mean(rates), rel=1e-4)
+
+    def test_order_invariance(self):
+        t = np.linspace(0, 10, 25)
+        a = hypoexponential_cdf([1.0, 3.0, 2.0], t)
+        b = hypoexponential_cdf([3.0, 2.0, 1.0], t)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_monotone_nondecreasing(self):
+        t = np.linspace(0, 30, 500)
+        cdf = np.asarray(hypoexponential_cdf([0.5, 2.0, 1.0, 1.0], t))
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    def test_bounds(self):
+        t = np.linspace(0, 100, 200)
+        cdf = np.asarray(hypoexponential_cdf([1.0, 2.0], t))
+        assert np.all(cdf >= 0.0)
+        assert np.all(cdf <= 1.0)
+        assert cdf[-1] == pytest.approx(1.0, abs=1e-8)
+
+    def test_negative_and_zero_time(self):
+        assert hypoexponential_sf([1.0, 2.0], -1.0) == 1.0
+        assert hypoexponential_cdf([1.0, 2.0], 0.0) == 0.0
+
+    def test_scalar_in_scalar_out(self):
+        out = hypoexponential_cdf([1.0, 2.0], 1.5)
+        assert isinstance(out, float)
+
+    def test_monte_carlo_agreement(self, rng):
+        rates = [4.0, 4.0, 1.0, 0.7]
+        draws = sum(rng.exponential(1 / r, size=200_000) for r in rates)
+        for q in (0.25, 0.5, 0.9):
+            t_q = float(np.quantile(draws, q))
+            assert hypoexponential_cdf(rates, t_q) == pytest.approx(q, abs=0.01)
+
+    def test_widely_separated_rates(self):
+        # Stiff case: rates spanning 4 orders of magnitude.
+        rates = [1000.0, 0.1]
+        grid = np.linspace(0, 120, 4000)
+        sf = hypoexponential_sf(rates, grid)
+        mean = float(np.trapezoid(sf, grid))
+        assert mean == pytest.approx(1 / 1000.0 + 1 / 0.1, rel=1e-3)
+
+    def test_input_validation(self):
+        with pytest.raises(ModelError):
+            hypoexponential_cdf([], 1.0)
+        with pytest.raises(ModelError):
+            hypoexponential_cdf([1.0, -2.0], 1.0)
+        with pytest.raises(ModelError):
+            hypoexponential_mean([0.0])

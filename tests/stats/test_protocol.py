@@ -1,0 +1,66 @@
+"""Protocol-compliance tests: every distribution honors the interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    Hypoexponential,
+    MaximumOf,
+    SumOf,
+)
+
+ALL_DISTRIBUTIONS = [
+    Exponential(1.5),
+    Erlang(3, 2.0),
+    Hypoexponential(3.0, 1.0),
+    Deterministic(2.0),
+    MaximumOf([Exponential(1.0), Erlang(2, 2.0)]),
+    SumOf([Exponential(1.0), Exponential(2.0)]),
+]
+
+
+@pytest.mark.parametrize(
+    "dist", ALL_DISTRIBUTIONS, ids=lambda d: type(d).__name__
+)
+class TestDistributionProtocol:
+    def test_satisfies_protocol(self, dist):
+        assert isinstance(dist, Distribution)
+
+    def test_cdf_bounds_and_monotone(self, dist):
+        t = np.linspace(0.0, 20.0, 200)
+        cdf = np.asarray(dist.cdf(t))
+        assert np.all(cdf >= -1e-9)
+        assert np.all(cdf <= 1.0 + 1e-9)
+        assert np.all(np.diff(cdf) >= -1e-6)
+
+    def test_sf_complement(self, dist):
+        for t in (0.5, 1.0, 3.0, 10.0):
+            assert float(dist.cdf(t)) + float(dist.sf(t)) == pytest.approx(
+                1.0, abs=1e-6
+            )
+
+    def test_mean_positive(self, dist):
+        assert dist.mean() > 0
+
+    def test_sampling_matches_mean(self, dist, rng):
+        draws = np.asarray(dist.sample(rng, size=60_000))
+        assert draws.shape == (60_000,)
+        assert float(np.mean(draws)) == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_samples_nonnegative(self, dist, rng):
+        draws = np.asarray(dist.sample(rng, size=1000))
+        assert np.all(draws >= 0)
+
+    def test_cdf_consistent_with_samples(self, dist, rng):
+        if isinstance(dist, Deterministic):
+            pytest.skip("a point mass has no interior quantiles")
+        draws = np.asarray(dist.sample(rng, size=60_000))
+        for q in (0.25, 0.75):
+            t_q = float(np.quantile(draws, q))
+            assert float(dist.cdf(t_q)) == pytest.approx(q, abs=0.02)

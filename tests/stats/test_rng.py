@@ -1,0 +1,64 @@
+"""Unit tests for repro.stats.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats import ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        out = ensure_rng(seq)
+        assert isinstance(out, np.random.Generator)
+
+    def test_numpy_integer_accepted(self):
+        out = ensure_rng(np.int64(3))
+        assert isinstance(out, np.random.Generator)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn(ensure_rng(0), 4)
+        assert len(children) == 4
+
+    def test_children_independent_streams(self):
+        children = spawn(ensure_rng(0), 2)
+        a = children[0].random(10)
+        b = children[1].random(10)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_given_parent_seed(self):
+        a = [g.random() for g in spawn(ensure_rng(5), 3)]
+        b = [g.random() for g in spawn(ensure_rng(5), 3)]
+        assert a == b
+
+    def test_zero_children(self):
+        assert spawn(ensure_rng(0), 0) == []
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(0), -1)

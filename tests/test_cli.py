@@ -1,0 +1,77 @@
+"""Unit tests for the CLI (python -m repro)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig2_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.scenario == "homo"
+        assert args.case == "a"
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--scenario", "quantum"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig2", "fig3", "fig4", "fig5ab", "fig5c"):
+            assert name in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Motivation Example 1" in out
+        assert "Motivation Example 2" in out
+
+    def test_fig2_small(self, capsys):
+        assert (
+            main(
+                [
+                    "fig2",
+                    "--scenario",
+                    "homo",
+                    "--case",
+                    "a",
+                    "--tasks",
+                    "6",
+                    "--samples",
+                    "50",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "budget" in out
+        assert "ea" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--arrivals", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "epoch/min" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "inferred rate" in out
+
+    def test_fig5ab(self, capsys):
+        assert main(["fig5ab"]) == 0
+        out = capsys.readouterr().out
+        assert "difficulty" in out
+
+    def test_fig5c(self, capsys):
+        assert main(["fig5c"]) == 0
+        out = capsys.readouterr().out
+        assert "OPT t1" in out

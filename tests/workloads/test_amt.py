@@ -1,0 +1,72 @@
+"""Unit tests for repro.workloads.amt (the calibrated AMT substitute)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.inference import paper_amt_rates
+from repro.workloads import (
+    AMT_VOTE_ATTRACTIVENESS,
+    AMT_VOTE_PROCESSING_SECONDS,
+    amt_market,
+    amt_pricing_model,
+    amt_task_type,
+    amt_worker_pool,
+)
+
+
+class TestAmtPricingModel:
+    def test_fits_paper_points(self):
+        model = amt_pricing_model()
+        prices, rates = paper_amt_rates()
+        for p, r in zip(prices, rates):
+            assert model(p) == pytest.approx(r, rel=0.5)
+
+    def test_increasing_in_price(self):
+        model = amt_pricing_model()
+        assert model(12) > model(5)
+
+    def test_rates_are_seconds_scale(self):
+        # AMT acceptance takes minutes: rates well below 1 per second.
+        model = amt_pricing_model()
+        assert model(5) < 0.1
+
+
+class TestAmtTaskType:
+    def test_difficulty_ladder(self):
+        easy = amt_task_type(4)
+        hard = amt_task_type(8)
+        assert easy.processing_rate > hard.processing_rate
+        assert easy.attractiveness > hard.attractiveness
+
+    def test_processing_means_match_table(self):
+        for votes, seconds in AMT_VOTE_PROCESSING_SECONDS.items():
+            t = amt_task_type(votes)
+            assert 1.0 / t.processing_rate == pytest.approx(seconds)
+
+    def test_unknown_votes(self):
+        with pytest.raises(KeyError):
+            amt_task_type(5)
+
+
+class TestAmtMarket:
+    def test_harder_tasks_accepted_slower(self):
+        market = amt_market()
+        easy = amt_task_type(4)
+        hard = amt_task_type(8)
+        assert market.onhold_rate(easy, 8) > market.onhold_rate(hard, 8)
+
+    def test_price_raises_rate(self):
+        market = amt_market()
+        t = amt_task_type(4)
+        assert market.onhold_rate(t, 12) > market.onhold_rate(t, 5)
+
+
+class TestAmtWorkerPool:
+    def test_default_arrival_rate_matches_calibration(self):
+        pool = amt_worker_pool()
+        assert pool.arrival_rate == pytest.approx(amt_pricing_model()(5))
+
+    def test_explicit_rate(self):
+        pool = amt_worker_pool(arrival_rate=0.5)
+        assert pool.arrival_rate == 0.5

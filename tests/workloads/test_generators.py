@@ -1,0 +1,86 @@
+"""Unit tests for repro.workloads.generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.workloads import (
+    many_groups_problem,
+    random_problem,
+    skewed_repetition_problem,
+)
+
+
+class TestRandomProblem:
+    def test_feasible(self):
+        problem = random_problem(20, seed=0)
+        assert problem.budget >= problem.min_feasible_budget
+
+    def test_deterministic(self):
+        a = random_problem(10, seed=3)
+        b = random_problem(10, seed=3)
+        assert [t.repetitions for t in a.tasks] == [
+            t.repetitions for t in b.tasks
+        ]
+
+    def test_respects_bounds(self):
+        problem = random_problem(30, max_repetitions=4, n_types=3, seed=1)
+        assert all(1 <= t.repetitions <= 4 for t in problem.tasks)
+        assert len({t.type_name for t in problem.tasks}) <= 3
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            random_problem(0)
+        with pytest.raises(ModelError):
+            random_problem(5, max_repetitions=0)
+        with pytest.raises(ModelError):
+            random_problem(5, n_types=0)
+        with pytest.raises(ModelError):
+            random_problem(5, budget_per_repetition=0.5)
+
+    def test_explicit_pricing_models(self):
+        from repro.market import LinearPricing
+
+        models = [LinearPricing(1.0, 1.0), LinearPricing(2.0, 1.0)]
+        problem = random_problem(10, n_types=2, pricing_models=models, seed=0)
+        assert {t.pricing for t in problem.tasks} <= set(models)
+
+    def test_short_pricing_list_rejected(self):
+        from repro.market import LinearPricing
+
+        with pytest.raises(ModelError):
+            random_problem(
+                10, n_types=3, pricing_models=[LinearPricing(1.0, 1.0)], seed=0
+            )
+
+
+class TestSkewedRepetitionProblem:
+    def test_structure(self):
+        problem = skewed_repetition_problem(
+            20, budget=1000, heavy_fraction=0.1, heavy_repetitions=20,
+            light_repetitions=2,
+        )
+        reps = sorted({t.repetitions for t in problem.tasks})
+        assert reps == [2, 20]
+        heavy = sum(1 for t in problem.tasks if t.repetitions == 20)
+        assert heavy == 2
+
+    def test_fraction_validation(self):
+        with pytest.raises(ModelError):
+            skewed_repetition_problem(10, budget=1000, heavy_fraction=0.0)
+
+
+class TestManyGroupsProblem:
+    def test_group_count(self):
+        problem = many_groups_problem(8, 3, seed=0)
+        # Distinct pricing objects per group keep groups separate even
+        # when (reps, λ_p) collide.
+        assert len(problem.groups()) == 8
+        assert problem.num_tasks == 24
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            many_groups_problem(0, 2)
+        with pytest.raises(ModelError):
+            many_groups_problem(2, 0)

@@ -1,0 +1,88 @@
+"""Unit tests for repro.workloads.scenarios (Fig. 2 settings)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Scenario
+from repro.errors import ModelError
+from repro.workloads import (
+    PAPER_BUDGETS,
+    heterogeneous_workload,
+    homogeneity_workload,
+    repetition_workload,
+    scenario_workload,
+)
+
+
+class TestPaperBudgets:
+    def test_matches_paper_sweep(self):
+        assert PAPER_BUDGETS[0] == 1000
+        assert PAPER_BUDGETS[-1] == 5000
+        assert all(b - a == 500 for a, b in zip(PAPER_BUDGETS, PAPER_BUDGETS[1:]))
+
+
+class TestHomogeneityWorkload:
+    def test_paper_defaults(self):
+        problem = homogeneity_workload(2500)
+        assert problem.num_tasks == 100
+        assert all(t.repetitions == 5 for t in problem.tasks)
+        assert all(t.processing_rate == 2.0 for t in problem.tasks)
+        assert problem.scenario() is Scenario.HOMOGENEITY
+
+    def test_all_six_cases(self):
+        for case in "abcdef":
+            problem = homogeneity_workload(1000, case=case)
+            assert problem.budget == 1000
+
+    def test_unknown_case(self):
+        with pytest.raises(ModelError):
+            homogeneity_workload(1000, case="q")
+
+
+class TestRepetitionWorkload:
+    def test_paper_defaults(self):
+        problem = repetition_workload(2500)
+        assert problem.num_tasks == 100
+        reps = sorted({t.repetitions for t in problem.tasks})
+        assert reps == [3, 5]
+        counts = [
+            sum(1 for t in problem.tasks if t.repetitions == r) for r in reps
+        ]
+        assert counts == [50, 50]
+        assert problem.scenario() is Scenario.REPETITION
+
+    def test_groups(self):
+        problem = repetition_workload(2500)
+        assert len(problem.groups()) == 2
+
+    def test_split_validation(self):
+        with pytest.raises(ModelError):
+            repetition_workload(2500, repetition_split=(3,))
+
+
+class TestHeterogeneousWorkload:
+    def test_paper_defaults(self):
+        problem = heterogeneous_workload(2500)
+        assert problem.num_tasks == 100
+        assert problem.scenario() is Scenario.HETEROGENEOUS
+        rates = sorted({t.processing_rate for t in problem.tasks})
+        assert rates == [2.0, 3.0]
+
+    def test_two_groups(self):
+        problem = heterogeneous_workload(2500)
+        assert len(problem.groups()) == 2
+
+
+class TestScenarioDispatch:
+    def test_dispatch(self):
+        assert scenario_workload("homo", 1000).scenario() is Scenario.HOMOGENEITY
+        assert scenario_workload("repe", 1000).scenario() is Scenario.REPETITION
+        assert (
+            scenario_workload("heter", 1000).scenario()
+            is Scenario.HETEROGENEOUS
+        )
+
+    def test_unknown(self):
+        with pytest.raises(ModelError):
+            scenario_workload("quantum", 1000)
