@@ -1,0 +1,193 @@
+"""Scalar-vs-batch engine benchmark → ``BENCH_perf_engine.json``.
+
+Times the three hot paths the ``repro.perf`` subsystem vectorized, on a
+Fig. 2-sized workload, against the seed implementations:
+
+* **Monte-Carlo job sampling** — 1000 replications of a 100-task job:
+  event-level :class:`AggregateSimulator` ``run_job`` loop vs one
+  :class:`BatchAggregateSimulator` phase-matrix draw (results are
+  bit-identical seed-for-seed, which the run asserts).
+* **Allocation sampling** — ``sample_job_latencies`` scalar vs batch
+  engine (same RNG stream, reported for the perf trajectory).
+* **budget_indexed_dp sweep** — per-budget seed DP runs vs the
+  single-pass :func:`budget_indexed_dp_sweep` (price vectors asserted
+  identical).
+
+Run directly (``python benchmarks/bench_perf_engine.py``) to write
+``BENCH_perf_engine.json`` at the repo root; the tier-1 suite runs a
+reduced smoke variant through ``tests/perf/test_bench_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_perf_engine.json"
+
+
+def _fig2_problem(n_tasks: int):
+    from repro.workloads import repetition_workload
+
+    # Fig. 2 Scenario II sizing: mixed repetition groups, case (a).
+    return repetition_workload(budget=25 * n_tasks, case="a", n_tasks=n_tasks)
+
+
+def _time(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_mc_sampling(n_samples: int = 1000, n_tasks: int = 100) -> dict:
+    """Event-level scalar simulator vs batched phase-matrix sampling."""
+    from repro.market.simulator import (
+        AggregateSimulator,
+        AtomicTaskOrder,
+        MarketModel,
+    )
+    from repro.market.pricing import LinearPricing
+    from repro.market.task import TaskType
+    from repro.perf import BatchAggregateSimulator
+
+    market = MarketModel(LinearPricing(slope=1.0, intercept=1.0))
+    task_type = TaskType("fig2", processing_rate=2.0)
+    orders = [
+        AtomicTaskOrder(task_type, (2,) * (1 + i % 3), i)
+        for i in range(n_tasks)
+    ]
+
+    def scalar():
+        sim = AggregateSimulator(market, seed=0)
+        return np.array(
+            [sim.run_job(orders).makespan for _ in range(n_samples)]
+        )
+
+    def batch():
+        return BatchAggregateSimulator(market, seed=0).sample_makespans(
+            orders, n_samples
+        )
+
+    if not np.array_equal(scalar(), batch()):
+        raise AssertionError("batch simulator diverged from scalar engine")
+    t_scalar = _time(scalar, repeats=1)
+    t_batch = _time(batch)
+    return {
+        "workload": f"{n_samples} samples x {n_tasks} tasks",
+        "scalar_seconds": t_scalar,
+        "batch_seconds": t_batch,
+        "scalar_jobs_per_sec": n_samples / t_scalar,
+        "batch_jobs_per_sec": n_samples / t_batch,
+        "speedup": t_scalar / t_batch,
+        "bit_identical": True,
+    }
+
+
+def bench_allocation_sampling(n_samples: int = 1000, n_tasks: int = 100) -> dict:
+    """sample_job_latencies: scalar engine vs batch engine."""
+    from repro.core.latency import sample_job_latencies
+    from repro.core.problem import Allocation
+    from repro.perf import sample_job_latencies_batch
+
+    problem = _fig2_problem(n_tasks)
+    alloc = Allocation.uniform(problem, 2)
+
+    def scalar():
+        return sample_job_latencies(
+            problem, alloc, n_samples, rng=np.random.default_rng(0)
+        )
+
+    def batch():
+        return sample_job_latencies_batch(
+            problem, alloc, n_samples, rng=np.random.default_rng(0)
+        )
+
+    if not np.array_equal(scalar(), batch()):
+        raise AssertionError("batch sampler diverged from scalar engine")
+    t_scalar = _time(scalar)
+    t_batch = _time(batch)
+    return {
+        "workload": f"{n_samples} samples x {n_tasks} tasks",
+        "scalar_seconds": t_scalar,
+        "batch_seconds": t_batch,
+        "scalar_samples_per_sec": n_samples / t_scalar,
+        "batch_samples_per_sec": n_samples / t_batch,
+        "speedup": t_scalar / t_batch,
+        "bit_identical": True,
+    }
+
+
+def bench_dp_sweep(n_tasks: int = 100, n_budgets: int = 9) -> dict:
+    """Seed per-budget DP runs vs the single-pass array sweep."""
+    from repro.core.latency import group_onhold_latency
+    from repro.perf.dp import budget_indexed_dp_sweep
+    from repro.perf.reference import reference_budget_indexed_dp
+
+    problem = _fig2_problem(n_tasks)
+    groups = problem.groups()
+    start = sum(g.unit_cost for g in groups)
+    budgets = [
+        start + int(round(k * (problem.budget - start) / (n_budgets - 1)))
+        for k in range(n_budgets)
+    ]
+
+    def seed_runs():
+        return {
+            b: reference_budget_indexed_dp(groups, b, group_onhold_latency)
+            for b in budgets
+        }
+
+    def sweep():
+        return budget_indexed_dp_sweep(groups, budgets, group_onhold_latency)
+
+    if seed_runs() != sweep():
+        raise AssertionError("DP sweep price vectors diverged from seed DP")
+    t_seed = _time(seed_runs)
+    t_sweep = _time(sweep)
+    return {
+        "workload": f"{len(groups)} groups, {n_budgets} budgets up to "
+        f"{problem.budget}",
+        "seed_seconds": t_seed,
+        "sweep_seconds": t_sweep,
+        "seed_budgets_per_sec": n_budgets / t_seed,
+        "sweep_budgets_per_sec": n_budgets / t_sweep,
+        "speedup": t_seed / t_sweep,
+        "outputs_identical": True,
+    }
+
+
+def run(
+    n_samples: int = 1000,
+    n_tasks: int = 100,
+    n_budgets: int = 9,
+    write: bool = True,
+) -> dict:
+    results = {
+        "mc_job_sampling": bench_mc_sampling(n_samples, n_tasks),
+        "allocation_sampling": bench_allocation_sampling(n_samples, n_tasks),
+        "budget_indexed_dp_sweep": bench_dp_sweep(n_tasks, n_budgets),
+    }
+    if write:
+        RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def main() -> int:
+    results = run()
+    print(json.dumps(results, indent=2))
+    print(f"\nwrote {RESULT_PATH}")
+    mc = results["mc_job_sampling"]["speedup"]
+    dp = results["budget_indexed_dp_sweep"]["speedup"]
+    print(f"MC job sampling speedup: {mc:.1f}x; DP sweep speedup: {dp:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

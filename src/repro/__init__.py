@@ -8,6 +8,9 @@ Subpackages:
 * :mod:`repro.market` — crowd-market simulator (the AMT substitute);
 * :mod:`repro.inference` — HPU running-parameter inference;
 * :mod:`repro.core` — the H-Tuning problem and algorithms EA/RA/HA;
+* :mod:`repro.perf` — batched, cache-aware evaluation engine (batch
+  Monte-Carlo samplers, phase-kernel caches, array-based DP sweeps;
+  see ``docs/performance.md``);
 * :mod:`repro.crowddb` — crowd-powered DB operators + tuned engine;
 * :mod:`repro.workloads` — the paper's workloads and stress families;
 * :mod:`repro.experiments` — per-figure experiment harness.

@@ -70,6 +70,7 @@ def _cmd_fig2(args: argparse.Namespace) -> None:
         scoring=args.scoring,
         n_samples=args.samples,
         seed=args.seed,
+        engine=args.engine,
     )
     print(
         format_series(
@@ -191,6 +192,13 @@ def build_parser() -> argparse.ArgumentParser:
     fig2.add_argument("--samples", type=int, default=1000)
     fig2.add_argument(
         "--scoring", choices=["mc", "numeric"], default="mc"
+    )
+    fig2.add_argument(
+        "--engine",
+        choices=["scalar", "batch"],
+        default="scalar",
+        help="Monte-Carlo sampling engine: 'batch' draws whole "
+        "replication batches as phase matrices (same curves, faster)",
     )
     fig3 = sub.add_parser("fig3", help="worker arrival moments")
     fig3.add_argument("--arrivals", type=int, default=20)

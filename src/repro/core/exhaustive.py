@@ -42,10 +42,6 @@ def exact_group_dp(
         raise InfeasibleAllocationError(budget, start_cost)
 
     INF = math.inf
-    # best[x] = minimal objective using exactly the first i groups and
-    # spending at most x; choices[i][x] = price chosen for group i.
-    best = [0.0] + [INF] * budget
-    best[0] = 0.0
     # Represent states sparsely: after processing i groups, best cost
     # for each spend level.
     table = {0: 0.0}

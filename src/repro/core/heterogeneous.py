@@ -19,9 +19,7 @@ new" (state ``x−1``) or "complete one increment of group i" (state
 
 from __future__ import annotations
 
-from typing import Optional
-
-from ..errors import InfeasibleAllocationError, ModelError
+from ..errors import InfeasibleAllocationError
 from .latency import group_onhold_latency, group_processing_latency
 from .objectives import ObjectivePoint, utopia_point
 from .problem import Allocation, HTuningProblem
@@ -86,57 +84,33 @@ def heterogeneous_algorithm(
     if problem.budget < start_cost:
         raise InfeasibleAllocationError(problem.budget, start_cost)
 
+    from ..perf.dp import heterogeneous_price_scan
+
     utopia = utopia_point(problem)
     n = len(groups)
+    residual = problem.budget - start_cost
 
     # Phase-2 expectations are price-independent: cache them once.
     phase2 = tuple(group_processing_latency(g) for g in groups)
 
-    # Memoized phase-1 ladders: ladder[i][p-1] = E[L1(g_i)] at price p.
-    ladders: list[list[float]] = [[group_onhold_latency(g, 1)] for g in groups]
-
-    def phase1(i: int, price: int) -> float:
-        ladder = ladders[i]
-        while len(ladder) < price:
-            ladder.append(group_onhold_latency(groups[i], len(ladder) + 1))
-        return ladder[price - 1]
-
-    def cl_of(prices: tuple[int, ...]) -> float:
-        p1 = [phase1(i, prices[i]) for i in range(n)]
-        o1 = sum(p1)
-        o2 = max(p1[i] + phase2[i] for i in range(n))
-        return abs(o1 - utopia.o1) + abs(o2 - utopia.o2)
-
-    residual = problem.budget - start_cost
-    base_prices = tuple([1] * n)
-    values: list[float] = [cl_of(base_prices)]
-    prices_at: list[tuple[int, ...]] = [base_prices]
-
-    for x in range(1, residual + 1):
-        best_value = values[x - 1]
-        best_prices = prices_at[x - 1]
-        for i in range(n):
-            u = unit_costs[i]
-            if u > x:
-                continue
-            prev = prices_at[x - u]
-            lst = list(prev)
-            lst[i] = prev[i] + 1
-            candidate_prices = tuple(lst)
-            candidate = cl_of(candidate_prices)
-            if candidate < best_value - 1e-15:
-                best_value = candidate
-                best_prices = candidate_prices
-        values.append(best_value)
-        prices_at.append(best_prices)
-
-    final = prices_at[residual]
+    # The scan precomputes dense phase-1 tables over every reachable
+    # price and reads table entries instead of growing per-group
+    # ladders; it hands the tables back for the diagnostics below.
+    final, phase1_tables = heterogeneous_price_scan(
+        groups,
+        residual,
+        unit_costs,
+        group_onhold_latency,
+        phase2,
+        utopia.o1,
+        utopia.o2,
+    )
     group_prices = {g.key: final[i] for i, g in enumerate(groups)}
     allocation = Allocation.from_group_prices(problem, group_prices)
     problem.validate_allocation(allocation)
     if not return_details:
         return allocation
-    p1 = [phase1(i, final[i]) for i in range(n)]
+    p1 = [float(phase1_tables[i][final[i] - 1]) for i in range(n)]
     achieved = ObjectivePoint(
         o1=sum(p1),
         o2=max(p1[i] + phase2[i] for i in range(n)),

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 from functools import lru_cache
+from typing import Mapping
 
 import numpy as np
 
@@ -107,14 +108,16 @@ def _task_latency_cdf_on_grid(
     The task's latency is the sum of ``Exp(rate)`` phases: one on-hold
     phase per repetition (rates may differ when the allocation is not
     uniform) plus, optionally, one ``Exp(λ_p)`` per repetition.  The
-    phase-type cdf is evaluated exactly by uniformization.
+    phase-type cdf is evaluated exactly by uniformization, through the
+    process-level kernel cache so repeated profiles (sweeps, Pareto
+    fronts, exhaustive searches) are computed once.
     """
-    from ..stats.phase_type import hypoexponential_cdf
+    from ..perf.cache import cached_hypoexponential_cdf
 
     rates = list(onhold_rates)
     if include_processing:
         rates.extend([processing_rate] * len(onhold_rates))
-    return np.asarray(hypoexponential_cdf(rates, grid))
+    return cached_hypoexponential_cdf(rates, grid)
 
 
 def expected_job_latency(
@@ -141,7 +144,18 @@ def expected_job_latency(
             f"{repetition_mode!r}"
         )
     problem.validate_allocation(allocation)
-    # Group tasks by their full rate profile.
+    profiles = _rate_profiles(problem, allocation)
+    upper = _grid_upper(profiles, problem.num_tasks, include_processing)
+    grid = np.linspace(0.0, upper, grid_points)
+    return _expected_max_on_grid(
+        profiles, grid, include_processing, repetition_mode
+    )
+
+
+def _rate_profiles(
+    problem: HTuningProblem, allocation: Allocation
+) -> dict[tuple, int]:
+    """Distinct (onhold-rates, processing-rate) profiles with counts."""
     profiles: dict[tuple, int] = {}
     for task in problem.tasks:
         onhold = tuple(
@@ -149,19 +163,36 @@ def expected_job_latency(
         )
         key = (onhold, task.processing_rate)
         profiles[key] = profiles.get(key, 0) + 1
+    return profiles
 
-    # Shared grid wide enough for the slowest profile (the sequential
-    # mean is an upper bound for the parallel one).
+
+def _grid_upper(
+    profiles: Mapping[tuple, int], n_tasks: int, include_processing: bool
+) -> float:
+    """Grid width for the slowest profile (the sequential mean is an
+    upper bound for the parallel one)."""
     worst_mean = 0.0
     for (onhold, proc), _count in profiles.items():
         mean = sum(1.0 / r for r in onhold)
         if include_processing:
             mean += len(onhold) / proc
         worst_mean = max(worst_mean, mean)
-    n_tasks = problem.num_tasks
-    upper = worst_mean * (6.0 + 1.5 * math.log1p(n_tasks)) + 1e-9
-    grid = np.linspace(0.0, upper, grid_points)
+    return worst_mean * (6.0 + 1.5 * math.log1p(n_tasks)) + 1e-9
 
+
+def _expected_max_on_grid(
+    profiles: Mapping[tuple, int],
+    grid: np.ndarray,
+    include_processing: bool,
+    repetition_mode: str,
+) -> float:
+    """``E[max over tasks]`` by integrating ``1 − Π cdf`` on *grid*.
+
+    Shared by :func:`expected_job_latency` and the multi-allocation
+    scorer :func:`repro.perf.batch.evaluate_allocations`, so the
+    integration semantics (grid heuristic, log-product clamping) live
+    in exactly one place.
+    """
     log_prod = np.zeros_like(grid)
     for (onhold, proc), count in profiles.items():
         if repetition_mode == "sequential":
@@ -196,12 +227,29 @@ def sample_job_latencies(
     n_samples: int,
     rng: RandomState = None,
     include_processing: bool = True,
+    engine: str = "scalar",
 ) -> np.ndarray:
     """Draw *n_samples* iid realizations of the job latency.
 
-    Vectorized over samples: each task contributes the sum of its
-    phase draws; the job latency is the max across tasks.
+    ``engine="scalar"`` streams task by task (each task contributes the
+    sum of its phase draws, the job latency is the max across tasks);
+    ``engine="batch"`` delegates to
+    :func:`repro.perf.batch.sample_job_latencies_batch`, which draws
+    every phase of every task as one matrix.  The two engines consume
+    the RNG stream identically, so results are bit-identical
+    seed-for-seed — batch trades ``O(n_phases · n_samples)`` memory for
+    fewer RNG calls.
     """
+    if engine == "batch":
+        from ..perf.batch import sample_job_latencies_batch
+
+        return sample_job_latencies_batch(
+            problem, allocation, n_samples, rng, include_processing
+        )
+    if engine != "scalar":
+        raise ModelError(
+            f"unknown engine {engine!r}; expected 'scalar' or 'batch'"
+        )
     if n_samples < 1:
         raise ModelError(f"n_samples must be >= 1, got {n_samples}")
     problem.validate_allocation(allocation)
@@ -224,9 +272,10 @@ def simulate_job_latency(
     n_samples: int = 1000,
     rng: RandomState = None,
     include_processing: bool = True,
+    engine: str = "scalar",
 ) -> float:
     """Monte-Carlo estimate of the expected job latency."""
     draws = sample_job_latencies(
-        problem, allocation, n_samples, rng, include_processing
+        problem, allocation, n_samples, rng, include_processing, engine=engine
     )
     return float(draws.mean())

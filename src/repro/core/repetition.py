@@ -55,52 +55,16 @@ def budget_indexed_dp(
 
     Implementation notes: the state at budget ``x`` is
     ``(E0(x), prices(x))``; price vectors are tuples shared
-    structurally between states, so memory stays ``O(B'·n)``.
+    structurally between states, so memory stays ``O(B'·n)``.  The
+    sweep itself runs on :mod:`repro.perf.dp`'s precomputed cost
+    tables — bit-identical price vectors to the seed scan (certified
+    against :func:`repro.perf.reference.reference_budget_indexed_dp`),
+    several times faster, and with a one-pass multi-budget variant in
+    :func:`repro.perf.dp.budget_indexed_dp_sweep`.
     """
-    if not groups:
-        raise ModelError("need at least one group")
-    unit_costs = tuple(g.unit_cost for g in groups)
-    start_cost = sum(unit_costs)
-    if budget < start_cost:
-        raise InfeasibleAllocationError(budget, start_cost)
+    from ..perf.dp import budget_indexed_dp_fast
 
-    n = len(groups)
-    residual = budget - start_cost
-
-    # Memoized per-group cost ladders: cost_cache[i][p-1] = E_i(p).
-    cost_cache: list[list[float]] = [[group_cost_fn(g, 1)] for g in groups]
-
-    def cost(i: int, price: int) -> float:
-        ladder = cost_cache[i]
-        while len(ladder) < price:
-            ladder.append(group_cost_fn(groups[i], len(ladder) + 1))
-        return ladder[price - 1]
-
-    base_prices = tuple([1] * n)
-    base_value = sum(cost(i, 1) for i in range(n))
-    values: list[float] = [base_value]
-    prices_at: list[tuple[int, ...]] = [base_prices]
-
-    for x in range(1, residual + 1):
-        best_value = values[x - 1]
-        best_prices = prices_at[x - 1]
-        for i in range(n):
-            u = unit_costs[i]
-            if u > x:
-                continue
-            prev_prices = prices_at[x - u]
-            p = prev_prices[i]
-            candidate = values[x - u] - (cost(i, p) - cost(i, p + 1))
-            if candidate < best_value - 1e-15:
-                best_value = candidate
-                lst = list(prev_prices)
-                lst[i] = p + 1
-                best_prices = tuple(lst)
-        values.append(best_value)
-        prices_at.append(best_prices)
-
-    final = prices_at[residual]
-    return {g.key: final[i] for i, g in enumerate(groups)}
+    return budget_indexed_dp_fast(groups, budget, group_cost_fn)
 
 
 def greedy_marginal_allocation(

@@ -184,10 +184,14 @@ def fig2_experiment(
     scoring: str = "mc",
     n_samples: int = 1500,
     seed: RandomState = 0,
+    engine: str = "scalar",
 ) -> SweepResult:
     """One Fig. 2 subplot: a (scenario, pricing-case) budget sweep.
 
     ``scenario`` in {'homo', 'repe', 'heter'}, ``case`` in 'a'..'f'.
+    ``engine`` picks the Monte-Carlo sampler (``"batch"`` draws whole
+    replication batches as phase matrices; the curves are identical
+    seed-for-seed either way).
     """
     if scenario not in _FIG2_FACTORIES:
         raise ModelError(
@@ -204,6 +208,7 @@ def fig2_experiment(
         n_samples=n_samples,
         seed=seed,
         label=f"fig2-{scenario}({case})",
+        engine=engine,
     )
 
 

@@ -70,8 +70,17 @@ def evaluate_allocation(
     n_samples: int = 2000,
     rng: RandomState = None,
     include_processing: bool = True,
+    engine: str = "scalar",
 ) -> float:
-    """Score one allocation's expected job latency."""
+    """Score one allocation's expected job latency.
+
+    ``engine`` selects the Monte-Carlo sampler: ``"scalar"`` streams
+    task by task, ``"batch"`` draws the whole replication batch as one
+    phase matrix (:mod:`repro.perf.batch`).  Both consume the RNG
+    stream identically, so the score is the same either way — batch is
+    the faster choice for large jobs.  Numeric scoring ignores the
+    engine (it is already kernel-cached).
+    """
     if scoring == "mc":
         return simulate_job_latency(
             problem,
@@ -79,6 +88,7 @@ def evaluate_allocation(
             n_samples=n_samples,
             rng=rng,
             include_processing=include_processing,
+            engine=engine,
         )
     if scoring == "numeric":
         return expected_job_latency(
@@ -125,6 +135,7 @@ def run_budget_sweep(
     seed: RandomState = 0,
     include_processing: bool = True,
     label: str = "",
+    engine: str = "scalar",
 ) -> SweepResult:
     """Run *strategies* over *budgets* and collect latency curves.
 
@@ -140,6 +151,9 @@ def run_budget_sweep(
     seed:
         Base seed; each (budget, strategy) cell gets a derived
         substream so curves are independent yet reproducible.
+    engine:
+        Monte-Carlo sampling engine (``"scalar"`` or ``"batch"``); see
+        :func:`evaluate_allocation`.  Curves are identical either way.
     """
     unknown = [s for s in strategies if s not in STRATEGIES]
     if unknown:
@@ -163,6 +177,7 @@ def run_budget_sweep(
                 n_samples=n_samples,
                 rng=strat_rng,
                 include_processing=include_processing,
+                engine=engine,
             )
             series[name].append(latency)
     return SweepResult(

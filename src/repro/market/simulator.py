@@ -279,7 +279,11 @@ class AgentSimulator:
             raise SimulationError("job must contain at least one atomic task")
         trace = recorder if recorder is not None else TraceRecorder()
         queue = EventQueue()
-        open_tasks: list[PublishedTask] = []
+        # uid-keyed and insertion-ordered: the choice model still sees
+        # tasks in publish order, but removal is O(1) instead of
+        # list.remove's O(n) field-by-field equality scan (which made
+        # arrivals quadratic in the open-task pool size).
+        open_tasks: dict[int, PublishedTask] = {}
         order_by_id = {o.atomic_task_id: o for o in orders}
         next_rep: dict[int, int] = {o.atomic_task_id: 0 for o in orders}
         answers: dict[int, list[Any]] = {o.atomic_task_id: [] for o in orders}
@@ -298,7 +302,7 @@ class AgentSimulator:
             )
             task.mark_published(now)
             next_rep[order.atomic_task_id] += 1
-            open_tasks.append(task)
+            open_tasks[task.uid] = task
             trace.on_event(Event(now, EventKind.TASK_PUBLISHED, payload=task))
 
         for order in orders:
@@ -331,10 +335,12 @@ class AgentSimulator:
                         EventKind.WORKER_ARRIVED,
                     )
                 )
-                chosen = self.pool.choice_model.choose(open_tasks, self._rng)
+                chosen = self.pool.choice_model.choose(
+                    list(open_tasks.values()), self._rng
+                )
                 if chosen is None:
                     continue
-                open_tasks.remove(chosen)
+                del open_tasks[chosen.uid]
                 worker_id = self.pool.new_worker_id()
                 chosen.mark_accepted(now, worker_id=worker_id)
                 processing = float(

@@ -1,0 +1,58 @@
+"""Batched, cache-aware evaluation engine.
+
+Every headline experiment in the paper reduces to evaluating thousands
+of (allocation → expected/simulated latency) pairs.  This subsystem
+makes those sweeps array-shaped:
+
+* :mod:`~repro.perf.batch` — batched Monte-Carlo sampling
+  (:func:`sample_job_latencies_batch`, :class:`BatchAggregateSimulator`)
+  and multi-allocation scoring (:func:`evaluate_allocations`).  The
+  batch samplers are stream-compatible with their scalar counterparts:
+  same seed, bit-identical draws.
+* :mod:`~repro.perf.cache` — process-level memo caches for the
+  phase-type latency kernels (uniformization weight ladders and full
+  cdf grids), shared by every numeric-latency caller.
+* :mod:`~repro.perf.dp` — array-backed budget-indexed dynamic programs:
+  dense per-group cost tables, a single-pass multi-budget sweep, and
+  the Algorithm-3 closeness scan.  Outputs are bit-identical to the
+  seed implementations (kept in :mod:`~repro.perf.reference`).
+
+See ``docs/performance.md`` for when to pick which engine and how to
+size the caches.
+"""
+
+from .batch import (
+    BatchAggregateSimulator,
+    evaluate_allocations,
+    sample_job_latencies_batch,
+)
+from .cache import (
+    cached_hypoexponential_cdf,
+    cached_hypoexponential_sf,
+    clear_phase_caches,
+    configure_phase_cache,
+    phase_cache_stats,
+    survival_weights,
+)
+from .dp import (
+    budget_indexed_dp_fast,
+    budget_indexed_dp_sweep,
+    group_cost_table,
+    heterogeneous_price_scan,
+)
+
+__all__ = [
+    "BatchAggregateSimulator",
+    "budget_indexed_dp_fast",
+    "budget_indexed_dp_sweep",
+    "cached_hypoexponential_cdf",
+    "cached_hypoexponential_sf",
+    "clear_phase_caches",
+    "configure_phase_cache",
+    "evaluate_allocations",
+    "group_cost_table",
+    "heterogeneous_price_scan",
+    "phase_cache_stats",
+    "sample_job_latencies_batch",
+    "survival_weights",
+]

@@ -1,0 +1,154 @@
+"""Process-level memo caches for phase-type latency kernels.
+
+The paper's sweeps (Fig. 2 budget curves, Pareto fronts, exhaustive
+reference searches) evaluate :func:`repro.core.latency.expected_job_latency`
+thousands of times, and most of those evaluations share work at two
+levels:
+
+* **Uniformization weights** depend only on the *rate profile* — not on
+  the evaluation grid.  One :class:`~repro.stats.phase_type.WeightLadder`
+  per profile, extended in place as wider grids appear, removes the
+  dominant O(n_terms · n_phases) recurrence from every repeat call.
+* **Full cdf arrays** depend on (rate profile, grid).  Sweeps that
+  re-score the same allocation (Pareto fronts, repeated budgets,
+  :func:`repro.perf.batch.evaluate_allocations` with a shared grid) hit
+  this second layer and skip the kernel entirely.
+
+Both caches are process-global, bounded LRU, and safe to clear at any
+time (:func:`clear_phase_caches`); entries are returned as read-only
+arrays so a hit can never be corrupted by a caller.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import Lock
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from ..stats.phase_type import WeightLadder, _sf_from_ladder
+
+__all__ = [
+    "cached_hypoexponential_sf",
+    "cached_hypoexponential_cdf",
+    "survival_weights",
+    "phase_cache_stats",
+    "clear_phase_caches",
+    "configure_phase_cache",
+]
+
+_lock = Lock()
+
+#: rate profile -> WeightLadder (unbounded: one small entry per profile)
+_ladders: "OrderedDict[tuple, WeightLadder]" = OrderedDict()
+
+#: (rate profile, grid signature) -> sf array (bounded LRU)
+_sf_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+
+_max_sf_entries = 2048
+_max_ladders = 65536
+
+_stats = {"sf_hits": 0, "sf_misses": 0, "ladder_hits": 0, "ladder_misses": 0}
+
+
+def _rates_key(rates: Sequence[float]) -> tuple:
+    key = tuple(float(r) for r in rates)
+    if not key:
+        raise ModelError("need at least one phase rate")
+    return key
+
+
+def _grid_key(grid: np.ndarray) -> tuple:
+    # tobytes() makes the key exact for arbitrary grids; the (len,
+    # first, last) prefix keeps hash collisions between similar
+    # linspace grids from costing full-byte comparisons.
+    return (grid.shape[0], float(grid[0]), float(grid[-1]), grid.tobytes())
+
+
+def _ladder_for(key: tuple) -> WeightLadder:
+    ladder = _ladders.get(key)
+    if ladder is None:
+        _stats["ladder_misses"] += 1
+        ladder = WeightLadder(key)
+        _ladders[key] = ladder
+        while len(_ladders) > _max_ladders:
+            _ladders.popitem(last=False)
+    else:
+        _stats["ladder_hits"] += 1
+        _ladders.move_to_end(key)
+    return ladder
+
+
+def survival_weights(rates: Sequence[float], n_terms: int) -> np.ndarray:
+    """Cached uniformization weights ``w_0 .. w_{n_terms-1}``.
+
+    Keyed by the rate profile alone, so the same profile evaluated on
+    ever-wider grids keeps extending one ladder instead of recomputing
+    it from scratch.
+    """
+    with _lock:
+        return _ladder_for(_rates_key(rates)).get(n_terms)
+
+
+def cached_hypoexponential_sf(rates: Sequence[float], grid: np.ndarray) -> np.ndarray:
+    """Memoized ``P(Σ Exp(rates_i) > t)`` on *grid* (read-only array)."""
+    grid = np.asarray(grid, dtype=float)
+    rkey = _rates_key(rates)
+    key = (rkey, _grid_key(grid))
+    with _lock:
+        hit = _sf_cache.get(key)
+        if hit is not None:
+            _stats["sf_hits"] += 1
+            _sf_cache.move_to_end(key)
+            return hit
+        _stats["sf_misses"] += 1
+        ladder = _ladder_for(rkey)
+        # Computed under the lock: _sf_from_ladder extends the shared
+        # ladder in place, and WeightLadder is not itself thread-safe.
+        sf = _sf_from_ladder(ladder, grid)
+        sf.flags.writeable = False
+        _sf_cache[key] = sf
+        while len(_sf_cache) > _max_sf_entries:
+            _sf_cache.popitem(last=False)
+    return sf
+
+
+def cached_hypoexponential_cdf(rates: Sequence[float], grid: np.ndarray) -> np.ndarray:
+    """Memoized cdf on *grid*; complements :func:`cached_hypoexponential_sf`."""
+    return 1.0 - cached_hypoexponential_sf(rates, grid)
+
+
+def phase_cache_stats() -> dict:
+    """Counters + sizes of the process-level phase-kernel caches."""
+    with _lock:
+        return {
+            **_stats,
+            "sf_entries": len(_sf_cache),
+            "ladder_entries": len(_ladders),
+            "max_sf_entries": _max_sf_entries,
+        }
+
+
+def clear_phase_caches() -> None:
+    """Drop all cached kernels and reset the hit/miss counters."""
+    with _lock:
+        _ladders.clear()
+        _sf_cache.clear()
+        for k in _stats:
+            _stats[k] = 0
+
+
+def configure_phase_cache(max_sf_entries: int | None = None) -> None:
+    """Resize the cdf LRU (each entry holds one grid-sized float array)."""
+    global _max_sf_entries
+    if max_sf_entries is not None:
+        if max_sf_entries < 1:
+            raise ModelError(
+                f"max_sf_entries must be >= 1, got {max_sf_entries}"
+            )
+        with _lock:
+            _max_sf_entries = int(max_sf_entries)
+            while len(_sf_cache) > _max_sf_entries:
+                _sf_cache.popitem(last=False)

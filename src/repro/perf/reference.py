@@ -1,0 +1,123 @@
+"""Seed (pre-vectorization) implementations kept as baselines.
+
+These are verbatim copies of the scalar hot paths this subsystem
+replaced.  They exist so equivalence tests can certify that the
+array-based engines return *bit-identical* optimizer outputs, and so
+``benchmarks/bench_perf_engine.py`` can measure the speedup against the
+true seed code rather than against a strawman.  Nothing in the library
+itself should call them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import InfeasibleAllocationError, ModelError
+
+__all__ = ["reference_budget_indexed_dp", "reference_heterogeneous_prices"]
+
+
+def reference_budget_indexed_dp(
+    groups,
+    budget: int,
+    group_cost_fn: Callable,
+) -> dict[tuple, int]:
+    """Seed ``budget_indexed_dp``: lazily grown ladders, per-state scan."""
+    if not groups:
+        raise ModelError("need at least one group")
+    unit_costs = tuple(g.unit_cost for g in groups)
+    start_cost = sum(unit_costs)
+    if budget < start_cost:
+        raise InfeasibleAllocationError(budget, start_cost)
+
+    n = len(groups)
+    residual = budget - start_cost
+
+    cost_cache: list[list[float]] = [[group_cost_fn(g, 1)] for g in groups]
+
+    def cost(i: int, price: int) -> float:
+        ladder = cost_cache[i]
+        while len(ladder) < price:
+            ladder.append(group_cost_fn(groups[i], len(ladder) + 1))
+        return ladder[price - 1]
+
+    base_prices = tuple([1] * n)
+    base_value = sum(cost(i, 1) for i in range(n))
+    values: list[float] = [base_value]
+    prices_at: list[tuple[int, ...]] = [base_prices]
+
+    for x in range(1, residual + 1):
+        best_value = values[x - 1]
+        best_prices = prices_at[x - 1]
+        for i in range(n):
+            u = unit_costs[i]
+            if u > x:
+                continue
+            prev_prices = prices_at[x - u]
+            p = prev_prices[i]
+            candidate = values[x - u] - (cost(i, p) - cost(i, p + 1))
+            if candidate < best_value - 1e-15:
+                best_value = candidate
+                lst = list(prev_prices)
+                lst[i] = p + 1
+                best_prices = tuple(lst)
+        values.append(best_value)
+        prices_at.append(best_prices)
+
+    final = prices_at[residual]
+    return {g.key: final[i] for i, g in enumerate(groups)}
+
+
+def reference_heterogeneous_prices(problem) -> dict[tuple, int]:
+    """Seed Algorithm-3 price computation (ladder-based closeness scan)."""
+    from ..core.latency import group_onhold_latency, group_processing_latency
+    from ..core.objectives import utopia_point
+
+    groups = problem.groups()
+    unit_costs = tuple(g.unit_cost for g in groups)
+    start_cost = sum(unit_costs)
+    if problem.budget < start_cost:
+        raise InfeasibleAllocationError(problem.budget, start_cost)
+
+    utopia = utopia_point(problem)
+    n = len(groups)
+    phase2 = tuple(group_processing_latency(g) for g in groups)
+    ladders: list[list[float]] = [[group_onhold_latency(g, 1)] for g in groups]
+
+    def phase1(i: int, price: int) -> float:
+        ladder = ladders[i]
+        while len(ladder) < price:
+            ladder.append(group_onhold_latency(groups[i], len(ladder) + 1))
+        return ladder[price - 1]
+
+    def cl_of(prices: tuple[int, ...]) -> float:
+        p1 = [phase1(i, prices[i]) for i in range(n)]
+        o1 = sum(p1)
+        o2 = max(p1[i] + phase2[i] for i in range(n))
+        return abs(o1 - utopia.o1) + abs(o2 - utopia.o2)
+
+    residual = problem.budget - start_cost
+    base_prices = tuple([1] * n)
+    values: list[float] = [cl_of(base_prices)]
+    prices_at: list[tuple[int, ...]] = [base_prices]
+
+    for x in range(1, residual + 1):
+        best_value = values[x - 1]
+        best_prices = prices_at[x - 1]
+        for i in range(n):
+            u = unit_costs[i]
+            if u > x:
+                continue
+            prev = prices_at[x - u]
+            lst = list(prev)
+            lst[i] = prev[i] + 1
+            candidate_prices = tuple(lst)
+            candidate = cl_of(candidate_prices)
+            if candidate < best_value - 1e-15:
+                best_value = candidate
+                best_prices = candidate_prices
+        values.append(best_value)
+        prices_at.append(best_prices)
+
+    final = prices_at[residual]
+    return {g.key: final[i] for i, g in enumerate(groups)}

@@ -14,6 +14,15 @@ discrete uniformized chain has not been absorbed after ``n`` steps.
 The series is truncated when the Poisson tail is below ``tol``;
 every term is non-negative, so there is no cancellation and the result
 is accurate to the truncation tolerance for *any* rate multiset.
+
+Two performance-relevant pieces are factored out so the batch engine
+(:mod:`repro.perf.cache`) can reuse and memoize them:
+
+* :class:`WeightLadder` — the ``w_n`` series for one rate profile,
+  extensible in place (a longer grid only computes the *new* terms);
+* :func:`_poisson_mix_windows` — the ``E[w_N], N ~ Poisson(qt)``
+  accumulation, vectorized over all grid points in chunked windows
+  instead of one python iteration per point.
 """
 
 from __future__ import annotations
@@ -25,29 +34,129 @@ import numpy as np
 
 from ..errors import ModelError
 
-__all__ = ["hypoexponential_cdf", "hypoexponential_sf", "hypoexponential_mean"]
+__all__ = [
+    "WeightLadder",
+    "hypoexponential_cdf",
+    "hypoexponential_sf",
+    "hypoexponential_mean",
+]
+
+#: Upper bound on the element count of one window matrix in
+#: :func:`_poisson_mix_windows` (float64 → ~32 MB per temporary).
+_MIX_CHUNK_ELEMENTS = 4_000_000
 
 
-def _survival_weights(rates: Sequence[float], q: float, n_terms: int) -> np.ndarray:
-    """``w_n`` — non-absorption probabilities of the uniformized chain.
+class WeightLadder:
+    """``w_n`` — non-absorption probabilities of one uniformized chain.
 
     State j = "currently in phase j" (0-based); absorption = all phases
     done.  One uniformized step moves phase j forward with probability
-    ``rates[j]/q`` and stays put otherwise.
+    ``rates[j]/q`` and stays put otherwise.  The recurrence is kept
+    incremental: :meth:`get` extends the cached series in place, so a
+    caller that later needs more terms (a wider grid, a larger ``qt``)
+    only pays for the new ones.
     """
-    m = len(rates)
-    move = np.asarray(rates, dtype=float) / q
-    stay = 1.0 - move
-    v = np.zeros(m)
-    v[0] = 1.0
-    w = np.empty(n_terms)
-    for n in range(n_terms):
-        w[n] = v.sum()
-        nxt = v * stay
-        nxt[1:] += v[:-1] * move[:-1]
-        # mass v[m-1]*move[m-1] flows to absorption and is dropped
-        v = nxt
-    return w
+
+    def __init__(self, rates: Sequence[float], q: float | None = None) -> None:
+        rates = [float(r) for r in rates]
+        if not rates:
+            raise ModelError("need at least one phase rate")
+        if any(not math.isfinite(r) or r <= 0 for r in rates):
+            raise ModelError(f"all rates must be positive and finite, got {rates}")
+        self.q = float(q) if q is not None else max(rates)
+        move = np.asarray(rates, dtype=float) / self.q
+        self._move = move
+        self._stay = 1.0 - move
+        v = np.zeros(len(rates))
+        v[0] = 1.0
+        self._v = v
+        self._w = np.empty(0)
+
+    def get(self, n_terms: int) -> np.ndarray:
+        """First *n_terms* weights ``w_0 .. w_{n_terms-1}`` (read-only view)."""
+        done = len(self._w)
+        if n_terms > done:
+            w = np.empty(n_terms)
+            w[:done] = self._w
+            v, stay, move = self._v, self._stay, self._move
+            for n in range(done, n_terms):
+                w[n] = v.sum()
+                nxt = v * stay
+                nxt[1:] += v[:-1] * move[:-1]
+                # mass v[m-1]*move[m-1] flows to absorption and is dropped
+                v = nxt
+            self._v = v
+            self._w = w
+        out = self._w[:n_terms]
+        out.flags.writeable = False
+        return out
+
+    @property
+    def n_computed(self) -> int:
+        return len(self._w)
+
+
+def _survival_weights(rates: Sequence[float], q: float, n_terms: int) -> np.ndarray:
+    """One-shot ``w_n`` series (kept for tests / reference callers)."""
+    return WeightLadder(rates, q).get(n_terms)
+
+
+def _poisson_mix_windows(qt: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """``Σ_n pois(n; qt_i)·w_n = E[w_N], N ~ Poisson(qt_i)`` per point.
+
+    The Poisson mass concentrates in ``qt ± O(√qt)``; accumulating only
+    that window in log space avoids the ``exp(-qt)`` underflow of the
+    naive recurrence.  All windows are processed as chunked 2-D blocks
+    so the grid sweep is a handful of numpy calls instead of one python
+    iteration per grid point.
+    """
+    from scipy.special import gammaln
+
+    n_terms = len(w) - 1
+    qt = np.asarray(qt, dtype=float)
+    half = (12.0 * np.sqrt(qt + 1.0) + 25.0).astype(np.int64)
+    base = qt.astype(np.int64)
+    lo = np.maximum(0, base - half)
+    hi = np.minimum(n_terms, base + half)
+
+    acc = np.empty_like(qt)
+    log_qt = np.log(qt)
+    n_points = len(qt)
+    # Greedy chunks of consecutive points sharing one *union* window
+    # [lo_u, hi_u].  Within a chunk the Poisson factorials are a single
+    # 1-D gammaln over the union, and the mixture is one matrix-vector
+    # product.  Terms a point gains beyond its own window only *add*
+    # Poisson mass below the truncation tolerance.  For a monotone grid
+    # neighbouring windows almost coincide, so chunks stay dense; a
+    # scrambled grid degrades gracefully toward one point per chunk.
+    i = 0
+    while i < n_points:
+        lo_u = int(lo[i])
+        hi_u = int(hi[i])
+        j = i + 1
+        while j < n_points:
+            nl = min(lo_u, int(lo[j]))
+            nh = max(hi_u, int(hi[j]))
+            width_j = int(hi[j] - lo[j]) + 1
+            # Cap the union at ~2× the joining row's own window (else
+            # a wide-qt chunk pads every row to the full span) and the
+            # chunk matrix at the element budget.
+            if (nh - nl + 1) > 2 * width_j or (
+                nh - nl + 1
+            ) * (j - i + 1) > _MIX_CHUNK_ELEMENTS:
+                break
+            lo_u, hi_u = nl, nh
+            j += 1
+        blk = slice(i, j)
+        ns = np.arange(lo_u, hi_u + 1, dtype=float)
+        log_fact = gammaln(ns + 1.0)
+        log_pmf = np.multiply.outer(log_qt[blk], ns)
+        log_pmf -= qt[blk, None]
+        log_pmf -= log_fact[None, :]
+        np.exp(log_pmf, out=log_pmf)
+        acc[blk] = log_pmf @ w[lo_u : hi_u + 1]
+        i = j
+    return acc
 
 
 def hypoexponential_sf(rates: Sequence[float], t, tol: float = 1e-12):
@@ -62,44 +171,36 @@ def hypoexponential_sf(rates: Sequence[float], t, tol: float = 1e-12):
     tol:
         Poisson-tail truncation tolerance.
     """
-    rates = [float(r) for r in rates]
-    if not rates:
-        raise ModelError("need at least one phase rate")
-    if any(not math.isfinite(r) or r <= 0 for r in rates):
-        raise ModelError(f"all rates must be positive and finite, got {rates}")
+    ladder = WeightLadder(rates)
     t_arr = np.atleast_1d(np.asarray(t, dtype=float))
+    out = _sf_from_ladder(ladder, t_arr)
+    return out if np.ndim(t) else float(out[0])
+
+
+def _sf_from_ladder(ladder: WeightLadder, t_arr: np.ndarray) -> np.ndarray:
+    """Shared sf kernel: evaluate one rate profile's sf on *t_arr*.
+
+    Exposed (privately) so :mod:`repro.perf.cache` can run the same
+    computation against a process-level, incrementally extended ladder.
+    """
     out = np.ones_like(t_arr)
-    q = max(rates)
+    q = ladder.q
     # Guard the q·t product, not t alone: a subnormal t can underflow
     # to q·t == 0, which the log-space accumulation cannot represent
     # (sf is exactly 1 there anyway).
     positive = (q * t_arr) > 0
     if not np.any(positive):
-        result = np.where(t_arr < 0, 1.0, out)
-        return result if np.ndim(t) else float(result[0])
-
-    from scipy.special import gammaln
+        return np.where(t_arr < 0, 1.0, out)
 
     qt = q * t_arr[positive]
     qt_max = float(qt.max())
     # Terms needed so the Poisson(qt_max) tail beyond n_terms is < tol.
     n_terms = int(qt_max + 12.0 * math.sqrt(qt_max + 1.0) + 30.0)
-    w = _survival_weights(rates, q, n_terms + 1)
-
-    # Σ_n pois(n; qt)·w_n = E[w_N], N ~ Poisson(qt).  The Poisson mass
-    # concentrates in qt ± O(√qt); accumulating only that window in log
-    # space avoids the exp(-qt) underflow of the naive recurrence.
-    acc = np.empty_like(qt)
-    for idx, value in enumerate(qt):
-        half = int(12.0 * math.sqrt(value + 1.0) + 25.0)
-        lo = max(0, int(value) - half)
-        hi = min(n_terms, int(value) + half)
-        ns = np.arange(lo, hi + 1)
-        log_pmf = ns * math.log(value) - value - gammaln(ns + 1.0)
-        acc[idx] = float(np.exp(log_pmf) @ w[lo : hi + 1])
+    w = ladder.get(n_terms + 1)
+    acc = _poisson_mix_windows(qt, w)
     out[positive] = np.clip(acc, 0.0, 1.0)
     out[t_arr < 0] = 1.0
-    return out if np.ndim(t) else float(out[0])
+    return out
 
 
 def hypoexponential_cdf(rates: Sequence[float], t, tol: float = 1e-12):

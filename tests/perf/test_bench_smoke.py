@@ -1,0 +1,58 @@
+"""Tier-1 smoke variant of ``benchmarks/bench_perf_engine.py``.
+
+Runs the real benchmark functions at reduced size so every tier-1 run
+re-certifies (a) the scalar/batch equivalences the bench asserts and
+(b) that the batch engines actually are faster, keeping the perf
+trajectory honest without benchmark-scale runtimes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+_BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent.parent
+    / "benchmarks"
+    / "bench_perf_engine.py"
+)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location(
+        "bench_perf_engine", _BENCH_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_perf_engine", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_smoke_run_asserts_equivalence_and_speedup(bench, tmp_path):
+    # The bench functions raise if batch output ever diverges from the
+    # scalar engines, so a successful run is itself an equivalence check.
+    results = bench.run(n_samples=200, n_tasks=30, n_budgets=5, write=False)
+    mc = results["mc_job_sampling"]
+    dp = results["budget_indexed_dp_sweep"]
+    assert mc["bit_identical"]
+    assert dp["outputs_identical"]
+    # Event-level scalar simulation vs one matrix draw: even at smoke
+    # size the batch engine must win clearly.
+    assert mc["speedup"] > 3.0
+    # One DP pass vs 5 seed runs.
+    assert dp["speedup"] > 1.5
+
+
+def test_bench_writes_json(bench, tmp_path, monkeypatch):
+    monkeypatch.setattr(bench, "RESULT_PATH", tmp_path / "BENCH.json")
+    results = bench.run(n_samples=50, n_tasks=10, n_budgets=3, write=True)
+    import json
+
+    on_disk = json.loads((tmp_path / "BENCH.json").read_text())
+    assert set(on_disk) == set(results)
+    for section in on_disk.values():
+        assert section["speedup"] > 0

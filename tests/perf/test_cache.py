@@ -1,0 +1,118 @@
+"""Tests for the process-level phase-kernel caches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.perf.cache import (
+    cached_hypoexponential_cdf,
+    cached_hypoexponential_sf,
+    clear_phase_caches,
+    configure_phase_cache,
+    phase_cache_stats,
+    survival_weights,
+)
+from repro.stats.phase_type import (
+    WeightLadder,
+    hypoexponential_cdf,
+    hypoexponential_sf,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_phase_caches()
+    yield
+    clear_phase_caches()
+    configure_phase_cache(max_sf_entries=2048)
+
+
+class TestWeightLadder:
+    def test_matches_one_shot_weights(self):
+        rates = [3.0, 1.0, 1.0, 0.5]
+        ladder = WeightLadder(rates)
+        full = WeightLadder(rates).get(200)
+        # Extending in three steps must give the same series bitwise.
+        ladder.get(50)
+        ladder.get(120)
+        np.testing.assert_array_equal(ladder.get(200), full)
+        assert ladder.n_computed == 200
+
+    def test_weights_are_decreasing_probabilities(self):
+        w = WeightLadder([2.0, 1.0]).get(100)
+        assert w[0] == 1.0
+        assert np.all(np.diff(w) <= 1e-15)
+        assert np.all((w >= 0.0) & (w <= 1.0))
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            WeightLadder([])
+        with pytest.raises(ModelError):
+            WeightLadder([1.0, -2.0])
+
+
+class TestCachedKernels:
+    def test_sf_matches_uncached(self):
+        rates = (2.0, 1.0, 4.0)
+        grid = np.linspace(0.0, 12.0, 257)
+        np.testing.assert_allclose(
+            cached_hypoexponential_sf(rates, grid),
+            np.asarray(hypoexponential_sf(rates, grid)),
+            atol=1e-13,
+        )
+        np.testing.assert_allclose(
+            cached_hypoexponential_cdf(rates, grid),
+            np.asarray(hypoexponential_cdf(rates, grid)),
+            atol=1e-13,
+        )
+
+    def test_repeat_call_hits_cache(self):
+        rates = (2.0, 1.0)
+        grid = np.linspace(0.0, 8.0, 65)
+        first = cached_hypoexponential_sf(rates, grid)
+        stats0 = phase_cache_stats()
+        second = cached_hypoexponential_sf(rates, grid)
+        stats1 = phase_cache_stats()
+        assert second is first  # memoized object, not a recompute
+        assert stats1["sf_hits"] == stats0["sf_hits"] + 1
+
+    def test_different_grid_same_rates_reuses_ladder(self):
+        rates = (2.0, 1.0)
+        cached_hypoexponential_sf(rates, np.linspace(0.0, 5.0, 64))
+        stats0 = phase_cache_stats()
+        cached_hypoexponential_sf(rates, np.linspace(0.0, 9.0, 128))
+        stats1 = phase_cache_stats()
+        assert stats1["sf_misses"] == stats0["sf_misses"] + 1
+        assert stats1["ladder_hits"] == stats0["ladder_hits"] + 1
+
+    def test_result_is_read_only(self):
+        out = cached_hypoexponential_sf((1.0,), np.linspace(0.0, 4.0, 16))
+        with pytest.raises(ValueError):
+            out[0] = 0.5
+
+    def test_lru_eviction(self):
+        configure_phase_cache(max_sf_entries=2)
+        grid = np.linspace(0.0, 4.0, 16)
+        for r in (1.0, 2.0, 3.0):
+            cached_hypoexponential_sf((r,), grid)
+        assert phase_cache_stats()["sf_entries"] == 2
+        with pytest.raises(ModelError):
+            configure_phase_cache(max_sf_entries=0)
+
+    def test_survival_weights_cached(self):
+        a = survival_weights([2.0, 1.0], 50)
+        b = survival_weights([2.0, 1.0], 120)
+        np.testing.assert_array_equal(a, b[:50])
+        np.testing.assert_array_equal(
+            b, WeightLadder([2.0, 1.0]).get(120)
+        )
+
+    def test_clear_resets_everything(self):
+        cached_hypoexponential_sf((1.0,), np.linspace(0.0, 4.0, 16))
+        clear_phase_caches()
+        stats = phase_cache_stats()
+        assert stats["sf_entries"] == 0
+        assert stats["ladder_entries"] == 0
+        assert stats["sf_hits"] == 0

@@ -1,0 +1,139 @@
+"""Bit-exactness of the array-based DPs against the seed implementations.
+
+The vectorized engines must return *identical* price vectors — not just
+equal objective values — on randomized instances, including the
+multi-budget sweep and the Algorithm-3 closeness scan.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import HTuningProblem, TaskSpec
+from repro.core.heterogeneous import heterogeneous_algorithm
+from repro.core.latency import group_onhold_latency
+from repro.core.repetition import budget_indexed_dp
+from repro.errors import InfeasibleAllocationError, ModelError
+from repro.market import LinearPricing
+from repro.perf.dp import (
+    budget_indexed_dp_fast,
+    budget_indexed_dp_sweep,
+    group_cost_table,
+)
+from repro.perf.reference import (
+    reference_budget_indexed_dp,
+    reference_heterogeneous_prices,
+)
+
+
+def random_problem(rng, hetero=False):
+    n_groups = int(rng.integers(1, 5))
+    tasks, tid = [], 0
+    for gi in range(n_groups):
+        reps = int(rng.integers(1, 5))
+        count = int(rng.integers(1, 5))
+        proc = float(rng.uniform(0.5, 4.0))
+        pricing = LinearPricing(
+            slope=float(rng.uniform(0.2, 5.0)),
+            intercept=float(rng.uniform(0.2, 3.0)),
+        )
+        name = f"t{gi}" if hetero else "t0"
+        for _ in range(count):
+            tasks.append(
+                TaskSpec(tid, reps, pricing, proc, type_name=name)
+            )
+            tid += 1
+    start = sum(t.repetitions for t in tasks)
+    budget = start + int(rng.integers(0, 150))
+    return HTuningProblem(tasks, budget)
+
+
+class TestBudgetIndexedDP:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_identical_prices_on_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(6):
+            problem = random_problem(rng, hetero=True)
+            ref = reference_budget_indexed_dp(
+                problem.groups(), problem.budget, group_onhold_latency
+            )
+            fast = budget_indexed_dp_fast(
+                problem.groups(), problem.budget, group_onhold_latency
+            )
+            assert ref == fast
+
+    def test_public_entrypoint_uses_fast_path(self, linear_pricing):
+        tasks = [TaskSpec(i, 2, linear_pricing, 2.0) for i in range(4)]
+        problem = HTuningProblem(tasks, 60)
+        ref = reference_budget_indexed_dp(
+            problem.groups(), 60, group_onhold_latency
+        )
+        assert budget_indexed_dp(problem.groups(), 60, group_onhold_latency) == ref
+
+    def test_nonconvex_cost_function_still_identical(self, linear_pricing):
+        # The DP contract does not require convexity; equivalence must
+        # hold for any decreasing-ish (even oscillating) objective.
+        tasks = [
+            TaskSpec(i, 1 + i % 2, linear_pricing, 2.0) for i in range(5)
+        ]
+        problem = HTuningProblem(tasks, 50)
+
+        def wobble(group, price):
+            return (10.0 / price) + math.sin(price * group.unit_cost)
+
+        assert reference_budget_indexed_dp(
+            problem.groups(), 50, wobble
+        ) == budget_indexed_dp_fast(problem.groups(), 50, wobble)
+
+    def test_sweep_matches_per_budget_runs(self, linear_pricing):
+        tasks = [
+            TaskSpec(i, 1 + i % 3, linear_pricing, 2.0, type_name=f"t{i % 2}")
+            for i in range(6)
+        ]
+        problem = HTuningProblem(tasks, 300)
+        budgets = [15, 40, 77, 150, 300]
+        sweep = budget_indexed_dp_sweep(
+            problem.groups(), budgets, group_onhold_latency
+        )
+        assert set(sweep) == set(budgets)
+        for b in budgets:
+            assert sweep[b] == reference_budget_indexed_dp(
+                problem.groups(), b, group_onhold_latency
+            )
+
+    def test_sweep_rejects_infeasible_budget(self, linear_pricing):
+        tasks = [TaskSpec(i, 2, linear_pricing, 2.0) for i in range(4)]
+        problem = HTuningProblem(tasks, 100)
+        with pytest.raises(InfeasibleAllocationError):
+            budget_indexed_dp_sweep(
+                problem.groups(), [100, 7], group_onhold_latency
+            )
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            budget_indexed_dp_fast((), 10, lambda g, p: 0.0)
+        with pytest.raises(ModelError):
+            budget_indexed_dp_sweep((), [], lambda g, p: 0.0)
+
+    def test_cost_table_values(self, linear_pricing):
+        tasks = [TaskSpec(0, 2, linear_pricing, 2.0)]
+        (group,) = HTuningProblem(tasks, 20).groups()
+        table = group_cost_table(group, 4, group_onhold_latency)
+        expected = [group_onhold_latency(group, p) for p in range(1, 5)]
+        np.testing.assert_array_equal(table, expected)
+        with pytest.raises(ModelError):
+            group_cost_table(group, 0, group_onhold_latency)
+
+
+class TestHeterogeneousScan:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_identical_prices_on_random_instances(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        for _ in range(4):
+            problem = random_problem(rng, hetero=True)
+            ref = reference_heterogeneous_prices(problem)
+            result = heterogeneous_algorithm(problem, return_details=True)
+            assert result.group_prices == ref
