@@ -193,12 +193,15 @@ def build_parser() -> argparse.ArgumentParser:
     fig2.add_argument(
         "--scoring", choices=["mc", "numeric"], default="mc"
     )
+    from .perf.engine import DEFAULT_ENGINE, available_engines
+
     fig2.add_argument(
         "--engine",
-        choices=["scalar", "batch"],
-        default="scalar",
-        help="Monte-Carlo sampling engine: 'batch' draws whole "
-        "replication batches as phase matrices (same curves, faster)",
+        choices=list(available_engines()),
+        default=DEFAULT_ENGINE,
+        help="Monte-Carlo sampling engine (resolved through the "
+        "repro.perf.engine registry; all engines produce the same "
+        "curves seed-for-seed — they differ in speed and memory)",
     )
     fig3 = sub.add_parser("fig3", help="worker arrival moments")
     fig3.add_argument("--arrivals", type=int, default=20)

@@ -34,8 +34,16 @@ from .baselines import (
     uniform_price_heuristic,
 )
 from .even_allocation import even_allocation
-from .exhaustive import exact_group_dp, exhaustive_group_search
-from .heterogeneous import HAResult, heterogeneous_algorithm
+from .exhaustive import (
+    exact_group_dp,
+    exhaustive_group_search,
+    exhaustive_latency_search,
+)
+from .heterogeneous import (
+    HAResult,
+    heterogeneous_algorithm,
+    heterogeneous_algorithm_sweep,
+)
 from .latency import (
     erlang_max_constant,
     expected_job_latency,
@@ -51,14 +59,16 @@ from .objectives import (
     objective_o1,
     objective_o2,
     utopia_point,
+    utopia_point_sweep,
 )
 from .problem import Allocation, HTuningProblem, Scenario, TaskGroup, TaskSpec
 from .repetition import (
     budget_indexed_dp,
     greedy_marginal_allocation,
     repetition_algorithm,
+    repetition_algorithm_sweep,
 )
-from .tuner import STRATEGIES, Tuner
+from .tuner import STRATEGIES, SWEEP_STRATEGIES, Tuner, tune_budget_sweep
 
 __all__ = [
     "AdaptiveTuner",
@@ -77,10 +87,12 @@ __all__ = [
     "HTuningProblem",
     "ObjectivePoint",
     "STRATEGIES",
+    "SWEEP_STRATEGIES",
     "Scenario",
     "TaskGroup",
     "TaskSpec",
     "Tuner",
+    "tune_budget_sweep",
     "biased_allocation",
     "budget_indexed_dp",
     "closeness",
@@ -88,19 +100,23 @@ __all__ = [
     "even_allocation",
     "exact_group_dp",
     "exhaustive_group_search",
+    "exhaustive_latency_search",
     "expected_job_latency",
     "greedy_marginal_allocation",
     "group_onhold_latency",
     "group_processing_latency",
     "heterogeneous_algorithm",
+    "heterogeneous_algorithm_sweep",
     "objective_o1",
     "objective_o2",
     "rep_even_allocation",
     "repetition_algorithm",
+    "repetition_algorithm_sweep",
     "sample_job_latencies",
     "simulate_job_latency",
     "surrogate_onhold_objective",
     "task_even_allocation",
     "uniform_price_heuristic",
     "utopia_point",
+    "utopia_point_sweep",
 ]

@@ -22,7 +22,11 @@ from typing import Callable, Mapping
 from ..errors import InfeasibleAllocationError, ModelError
 from .problem import Allocation, HTuningProblem, TaskGroup
 
-__all__ = ["exact_group_dp", "exhaustive_group_search"]
+__all__ = [
+    "exact_group_dp",
+    "exhaustive_group_search",
+    "exhaustive_latency_search",
+]
 
 
 def exact_group_dp(
@@ -79,19 +83,11 @@ def exact_group_dp(
     return prices
 
 
-def exhaustive_group_search(
-    problem: HTuningProblem,
-    objective_fn: Callable[[HTuningProblem, Mapping[tuple, int]], float],
-    max_states: int = 2_000_000,
-) -> tuple[dict[tuple, int], float]:
-    """Brute-force the best group-uniform price vector.
-
-    ``objective_fn(problem, group_prices)`` may be arbitrary (e.g. the
-    closeness of Algorithm 3 or the exact numeric job latency).
-    Guards against combinatorial blowup via *max_states*.
-
-    Returns ``(prices, objective_value)``.
-    """
+def _iter_feasible_price_vectors(problem: HTuningProblem, max_states: int):
+    """Yield every within-budget group-uniform price vector, in product
+    order.  One shared enumerator: the per-group price bound, the
+    *max_states* blowup guard and the budget filter live here for both
+    exhaustive searches."""
     groups = problem.groups()
     budget = problem.budget
     start_cost = sum(g.unit_cost for g in groups)
@@ -109,18 +105,84 @@ def exhaustive_group_search(
                 f"exhaustive search would enumerate > {max_states} states; "
                 "shrink the instance or use exact_group_dp"
             )
+    unit_costs = [g.unit_cost for g in groups]
+    for combo in itertools.product(*ranges):
+        if sum(p * u for p, u in zip(combo, unit_costs)) <= budget:
+            yield combo
 
+
+def exhaustive_group_search(
+    problem: HTuningProblem,
+    objective_fn: Callable[[HTuningProblem, Mapping[tuple, int]], float],
+    max_states: int = 2_000_000,
+) -> tuple[dict[tuple, int], float]:
+    """Brute-force the best group-uniform price vector.
+
+    ``objective_fn(problem, group_prices)`` may be arbitrary (e.g. the
+    closeness of Algorithm 3 or the exact numeric job latency).
+    Guards against combinatorial blowup via *max_states*.
+
+    Returns ``(prices, objective_value)``.
+    """
+    groups = problem.groups()
     best_prices: dict[tuple, int] | None = None
     best_value = math.inf
-    for combo in itertools.product(*ranges):
-        spend = sum(p * g.unit_cost for p, g in zip(combo, groups))
-        if spend > budget:
-            continue
+    for combo in _iter_feasible_price_vectors(problem, max_states):
         prices = {g.key: p for g, p in zip(groups, combo)}
         value = objective_fn(problem, prices)
         if value < best_value - 1e-15:
             best_value = value
             best_prices = prices
     if best_prices is None:
-        raise InfeasibleAllocationError(budget, start_cost)
+        raise InfeasibleAllocationError(
+            problem.budget, sum(g.unit_cost for g in groups)
+        )
     return best_prices, best_value
+
+
+def exhaustive_latency_search(
+    problem: HTuningProblem,
+    include_processing: bool = True,
+    max_states: int = 100_000,
+) -> tuple[dict[tuple, int], float]:
+    """Brute-force the group-uniform allocation with the lowest exact
+    expected job latency.
+
+    Unlike :func:`exhaustive_group_search` with a latency objective —
+    which integrates every candidate on its own grid, one at a time —
+    this routes the whole candidate set through
+    :func:`repro.perf.batch.evaluate_allocations`: all survival
+    functions are integrated on **one shared grid**, so the
+    process-level cdf cache collapses every repeated (rates, grid)
+    profile across the sweep.  Same argmin (the candidates are
+    compared on a common grid; only the integration error differs
+    from per-candidate grids), constant-factor faster the more
+    profiles repeat.
+
+    Returns ``(prices, expected_latency)`` with the latency evaluated
+    on the shared grid.
+    """
+    from ..perf.batch import evaluate_allocations
+
+    groups = problem.groups()
+    combos = list(_iter_feasible_price_vectors(problem, max_states))
+    allocations = [
+        Allocation.from_group_prices(
+            problem, {g.key: p for g, p in zip(groups, combo)}
+        )
+        for combo in combos
+    ]
+    values = evaluate_allocations(
+        problem,
+        allocations,
+        scoring="numeric",
+        include_processing=include_processing,
+    )
+    best = 0
+    for i in range(1, len(values)):
+        if values[i] < values[best] - 1e-15:
+            best = i
+    return (
+        {g.key: p for g, p in zip(groups, combos[best])},
+        float(values[best]),
+    )

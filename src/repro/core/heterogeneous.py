@@ -19,12 +19,18 @@ new" (state ``x−1``) or "complete one increment of group i" (state
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from ..errors import InfeasibleAllocationError
 from .latency import group_onhold_latency, group_processing_latency
-from .objectives import ObjectivePoint, utopia_point
+from .objectives import ObjectivePoint, utopia_point, utopia_point_sweep
 from .problem import Allocation, HTuningProblem
 
-__all__ = ["heterogeneous_algorithm", "HAResult"]
+__all__ = [
+    "heterogeneous_algorithm",
+    "heterogeneous_algorithm_sweep",
+    "HAResult",
+]
 
 
 class HAResult:
@@ -116,3 +122,59 @@ def heterogeneous_algorithm(
         o2=max(p1[i] + phase2[i] for i in range(n)),
     )
     return HAResult(allocation, group_prices, utopia, achieved)
+
+
+def heterogeneous_algorithm_sweep(
+    family,
+    budgets: Sequence[int],
+) -> dict[int, Allocation]:
+    """Run Algorithm 3 (HA) for every budget of a sweep, sharing work.
+
+    *family* is a :class:`~repro.workloads.families.ProblemFamily`.
+    Three of HA's four ingredients are computed once for the whole
+    sweep: the utopia points (one multi-budget DP + one recorded
+    greedy walk, :func:`~repro.core.objectives.utopia_point_sweep`),
+    the price-independent phase-2 expectations, and the dense phase-1
+    tables (built once at the largest budget and shared by every
+    scan).  Only the closeness scan itself runs per budget — its tie
+    margin compares against budget-specific utopia coordinates, so
+    collapsing it across budgets could flip last-ulp ties.  Each
+    returned allocation is **bit-identical** to
+    ``heterogeneous_algorithm(family.problem_at(b))``.
+    """
+    from ..perf.dp import group_cost_table, heterogeneous_price_scan
+
+    budgets = [int(b) for b in budgets]
+    groups = family.groups
+    unit_costs = tuple(g.unit_cost for g in groups)
+    start_cost = sum(unit_costs)
+    for b in budgets:
+        if b < start_cost:
+            raise InfeasibleAllocationError(b, start_cost)
+
+    utopias = utopia_point_sweep(family, budgets)
+    phase2 = tuple(group_processing_latency(g) for g in groups)
+    max_residual = max(budgets) - start_cost
+    tables = [
+        group_cost_table(g, 2 + max_residual // u, group_onhold_latency)
+        for g, u in zip(groups, unit_costs)
+    ]
+
+    out: dict[int, Allocation] = {}
+    for b in budgets:
+        final, _ = heterogeneous_price_scan(
+            groups,
+            b - start_cost,
+            unit_costs,
+            group_onhold_latency,
+            phase2,
+            utopias[b].o1,
+            utopias[b].o2,
+            phase1_tables=tables,
+        )
+        problem = family.problem_at(b)
+        group_prices = {g.key: final[i] for i, g in enumerate(groups)}
+        allocation = Allocation.from_group_prices(problem, group_prices)
+        problem.validate_allocation(allocation)
+        out[b] = allocation
+    return out

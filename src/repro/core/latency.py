@@ -221,35 +221,18 @@ def _expected_max_on_grid(
 # ---------------------------------------------------------------------------
 
 
-def sample_job_latencies(
+def _sample_job_latencies_scalar(
     problem: HTuningProblem,
     allocation: Allocation,
     n_samples: int,
     rng: RandomState = None,
     include_processing: bool = True,
-    engine: str = "scalar",
 ) -> np.ndarray:
-    """Draw *n_samples* iid realizations of the job latency.
-
-    ``engine="scalar"`` streams task by task (each task contributes the
-    sum of its phase draws, the job latency is the max across tasks);
-    ``engine="batch"`` delegates to
-    :func:`repro.perf.batch.sample_job_latencies_batch`, which draws
-    every phase of every task as one matrix.  The two engines consume
-    the RNG stream identically, so results are bit-identical
-    seed-for-seed — batch trades ``O(n_phases · n_samples)`` memory for
-    fewer RNG calls.
-    """
-    if engine == "batch":
-        from ..perf.batch import sample_job_latencies_batch
-
-        return sample_job_latencies_batch(
-            problem, allocation, n_samples, rng, include_processing
-        )
-    if engine != "scalar":
-        raise ModelError(
-            f"unknown engine {engine!r}; expected 'scalar' or 'batch'"
-        )
+    """The seed sampler: stream task by task (each task contributes the
+    sum of its phase draws, the job latency is the max across tasks).
+    This is the body of the ``"scalar"`` engine in
+    :mod:`repro.perf.engine` and the stream-layout reference every
+    batch engine must reproduce bit-for-bit."""
     if n_samples < 1:
         raise ModelError(f"n_samples must be >= 1, got {n_samples}")
     problem.validate_allocation(allocation)
@@ -266,13 +249,37 @@ def sample_job_latencies(
     return job
 
 
+def sample_job_latencies(
+    problem: HTuningProblem,
+    allocation: Allocation,
+    n_samples: int,
+    rng: RandomState = None,
+    include_processing: bool = True,
+    engine=None,
+) -> np.ndarray:
+    """Draw *n_samples* iid realizations of the job latency.
+
+    ``engine`` is an :class:`repro.perf.engine.EvaluationEngine`
+    instance or a registered name (``"scalar"``, ``"batch"``,
+    ``"chunked-batch"``, ...); ``None`` uses the default engine.  All
+    registered engines consume the RNG stream identically, so results
+    are bit-identical seed-for-seed — they differ only in speed and
+    memory shape (see :mod:`repro.perf.engine`).
+    """
+    from ..perf.engine import get_engine
+
+    return get_engine(engine).sample(
+        problem, allocation, n_samples, rng, include_processing
+    )
+
+
 def simulate_job_latency(
     problem: HTuningProblem,
     allocation: Allocation,
     n_samples: int = 1000,
     rng: RandomState = None,
     include_processing: bool = True,
-    engine: str = "scalar",
+    engine=None,
 ) -> float:
     """Monte-Carlo estimate of the expected job latency."""
     draws = sample_job_latencies(

@@ -31,6 +31,7 @@ __all__ = [
     "objective_o2",
     "ObjectivePoint",
     "utopia_point",
+    "utopia_point_sweep",
     "closeness",
 ]
 
@@ -99,6 +100,58 @@ def _minimize_o2_prices(problem: HTuningProblem) -> dict[tuple, int]:
     return prices
 
 
+def _minimize_o2_prices_sweep(
+    groups, budgets: list[int]
+) -> dict[int, dict[tuple, int]]:
+    """:func:`_minimize_o2_prices` for every budget of a sweep, one walk.
+
+    The greedy's bump sequence depends only on its own history (each
+    step raises whichever group currently attains the max), never on
+    the remaining budget — the residual only decides where the walk
+    *stops*.  So one walk to ``max(budgets)`` records the bump
+    sequence, and every budget's prices are the prefix it can afford:
+    identical, bump for bump, to running the per-budget greedy.
+    """
+    start_cost = sum(g.unit_cost for g in groups)
+    for b in budgets:
+        if b < start_cost:
+            raise InfeasibleAllocationError(b, start_cost)
+    totals = {
+        g.key: group_onhold_latency(g, 1) + group_processing_latency(g)
+        for g in groups
+    }
+    prices = {g.key: 1 for g in groups}
+    residual = max(budgets) - start_cost
+    bumps: list[tuple[tuple, int]] = []  # (group key, unit cost)
+    while True:
+        affordable = [g for g in groups if g.unit_cost <= residual]
+        if not affordable:
+            break
+        worst = max(groups, key=lambda g: totals[g.key])
+        if worst.unit_cost > residual:
+            break
+        prices[worst.key] += 1
+        totals[worst.key] = (
+            group_onhold_latency(worst, prices[worst.key])
+            + group_processing_latency(worst)
+        )
+        bumps.append((worst.key, worst.unit_cost))
+        residual -= worst.unit_cost
+    out: dict[int, dict[tuple, int]] = {}
+    for b in budgets:
+        p = {g.key: 1 for g in groups}
+        r = b - start_cost
+        for key, cost in bumps:
+            # The per-budget greedy stops at the first bump it cannot
+            # afford (the bump target is the current max either way).
+            if cost > r:
+                break
+            p[key] += 1
+            r -= cost
+        out[b] = p
+    return out
+
+
 def utopia_point(problem: HTuningProblem) -> ObjectivePoint:
     """``UP = (O1*, O2*)`` — each objective optimized independently.
 
@@ -113,6 +166,32 @@ def utopia_point(problem: HTuningProblem) -> ObjectivePoint:
         o1=objective_o1(problem, o1_prices),
         o2=objective_o2(problem, o2_prices),
     )
+
+
+def utopia_point_sweep(family, budgets) -> dict[int, ObjectivePoint]:
+    """:func:`utopia_point` for every budget of a sweep, in one pass.
+
+    O1* comes from a single multi-budget DP
+    (:func:`repro.perf.dp.budget_indexed_dp_sweep`); O2* from a single
+    recorded greedy walk (:func:`_minimize_o2_prices_sweep`).  Each
+    entry is bit-identical to ``utopia_point(family.problem_at(b))``.
+    """
+    from ..perf.dp import budget_indexed_dp_sweep
+
+    budgets = [int(b) for b in budgets]
+    groups = family.groups
+    o1_by_budget = budget_indexed_dp_sweep(
+        groups, budgets, group_onhold_latency
+    )
+    o2_by_budget = _minimize_o2_prices_sweep(groups, budgets)
+    out: dict[int, ObjectivePoint] = {}
+    for b in budgets:
+        problem = family.problem_at(b)
+        out[b] = ObjectivePoint(
+            o1=objective_o1(problem, o1_by_budget[b]),
+            o2=objective_o2(problem, o2_by_budget[b]),
+        )
+    return out
 
 
 def closeness(

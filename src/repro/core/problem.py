@@ -205,10 +205,37 @@ class Allocation:
         return None
 
     @classmethod
+    def _trusted(cls, prices: dict[int, tuple[int, ...]]) -> "Allocation":
+        """Internal constructor for already-normalized price dicts.
+
+        Callers guarantee every value is a non-empty tuple of ints
+        >= 1 keyed by int task id — the group-uniform builders below
+        validate once per group instead of once per repetition, which
+        is what keeps budget sweeps (one allocation per budget) cheap.
+        """
+        if not prices:
+            raise ModelError("an allocation cannot be empty")
+        self = object.__new__(cls)
+        self._prices = prices
+        return self
+
+    @staticmethod
+    def _unit_price(price, label: str) -> int:
+        """Normalize one uniform price exactly like ``__init__`` does
+        per repetition (silent int truncation, >= 1 floor)."""
+        value = int(price)
+        if value < 1:
+            raise ModelError(
+                f"{label} has a price below the 1-unit minimum: {price}"
+            )
+        return value
+
+    @classmethod
     def uniform(cls, problem: "HTuningProblem", price: int) -> "Allocation":
         """Every repetition of every task gets *price* units."""
-        return cls(
-            {t.task_id: [price] * t.repetitions for t in problem.tasks}
+        value = cls._unit_price(price, "uniform allocation")
+        return cls._trusted(
+            {t.task_id: (value,) * t.repetitions for t in problem.tasks}
         )
 
     @classmethod
@@ -216,12 +243,14 @@ class Allocation:
         cls, problem: "HTuningProblem", group_prices: Mapping[tuple, int]
     ) -> "Allocation":
         """Build from per-group uniform repetition prices."""
-        prices: dict[int, list[int]] = {}
+        prices: dict[int, tuple[int, ...]] = {}
         for group in problem.groups():
-            price = group_prices[group.key]
+            price = cls._unit_price(
+                group_prices[group.key], f"group {group.key}"
+            )
             for task in group.tasks:
-                prices[task.task_id] = [price] * task.repetitions
-        return cls(prices)
+                prices[task.task_id] = (price,) * task.repetitions
+        return cls._trusted(prices)
 
 
 class HTuningProblem:
@@ -233,7 +262,12 @@ class HTuningProblem:
     :class:`~repro.errors.InfeasibleAllocationError`.
     """
 
-    def __init__(self, tasks: Iterable[TaskSpec], budget: int) -> None:
+    def __init__(
+        self,
+        tasks: Iterable[TaskSpec],
+        budget: int,
+        groups: Optional[tuple[TaskGroup, ...]] = None,
+    ) -> None:
         self.tasks: tuple[TaskSpec, ...] = tuple(tasks)
         if not self.tasks:
             raise ModelError("an H-Tuning problem needs at least one task")
@@ -246,7 +280,21 @@ class HTuningProblem:
         minimum = self.min_feasible_budget
         if self.budget < minimum:
             raise InfeasibleAllocationError(self.budget, minimum)
-        self._groups: Optional[tuple[TaskGroup, ...]] = None
+        if groups is not None:
+            # The groups must partition *these* task objects (identity,
+            # not equality: a partition of a different-but-similar task
+            # set would silently tune against the wrong pricing/rates).
+            own = {id(t) for t in self.tasks}
+            member_ids = [id(t) for g in groups for t in g.tasks]
+            if len(member_ids) != len(self.tasks) or set(member_ids) != own:
+                raise ModelError(
+                    "precomputed groups do not partition this problem's "
+                    "task set"
+                )
+        # `groups` lets a ProblemFamily share one grouping across every
+        # budget of a sweep instead of re-partitioning per problem; the
+        # tuple and its TaskGroups are immutable, so sharing is safe.
+        self._groups: Optional[tuple[TaskGroup, ...]] = groups
 
     @property
     def num_tasks(self) -> int:

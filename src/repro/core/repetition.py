@@ -24,13 +24,18 @@ certify this against :func:`repro.core.exhaustive.exact_group_dp`.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from ..errors import InfeasibleAllocationError, ModelError
 from .latency import group_onhold_latency
 from .problem import Allocation, HTuningProblem, Scenario, TaskGroup
 
-__all__ = ["repetition_algorithm", "budget_indexed_dp", "greedy_marginal_allocation"]
+__all__ = [
+    "repetition_algorithm",
+    "repetition_algorithm_sweep",
+    "budget_indexed_dp",
+    "greedy_marginal_allocation",
+]
 
 
 def _check_scenario(problem: HTuningProblem, strict: bool) -> None:
@@ -133,3 +138,34 @@ def repetition_algorithm(
     allocation = Allocation.from_group_prices(problem, prices)
     problem.validate_allocation(allocation)
     return allocation
+
+
+def repetition_algorithm_sweep(
+    family,
+    budgets: Sequence[int],
+) -> dict[int, Allocation]:
+    """Run Algorithm 2 (RA) for every budget of a sweep in one DP pass.
+
+    *family* is a :class:`~repro.workloads.families.ProblemFamily` (any
+    object exposing ``groups`` and ``problem_at(budget)`` works).  The
+    DP state at budget level ``x`` never depends on the terminal
+    budget, so one pass to ``max(budgets)`` serves every budget
+    (:func:`repro.perf.dp.budget_indexed_dp_sweep`); each returned
+    allocation is **bit-identical** to
+    ``repetition_algorithm(family.problem_at(b), strict_scenario=False)``.
+    """
+    from ..perf.dp import budget_indexed_dp_sweep
+
+    budgets = [int(b) for b in budgets]
+    prices_by_budget = budget_indexed_dp_sweep(
+        family.groups, budgets, group_onhold_latency
+    )
+    out: dict[int, Allocation] = {}
+    for budget in budgets:
+        problem = family.problem_at(budget)
+        allocation = Allocation.from_group_prices(
+            problem, prices_by_budget[budget]
+        )
+        problem.validate_allocation(allocation)
+        out[budget] = allocation
+    return out

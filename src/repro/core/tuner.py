@@ -11,7 +11,7 @@ the crowd-DB engine use:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from ..errors import ModelError
 from ..stats.rng import RandomState
@@ -22,11 +22,11 @@ from .baselines import (
     uniform_price_heuristic,
 )
 from .even_allocation import even_allocation
-from .heterogeneous import heterogeneous_algorithm
+from .heterogeneous import heterogeneous_algorithm, heterogeneous_algorithm_sweep
 from .problem import Allocation, HTuningProblem, Scenario
-from .repetition import repetition_algorithm
+from .repetition import repetition_algorithm, repetition_algorithm_sweep
 
-__all__ = ["Tuner", "STRATEGIES"]
+__all__ = ["Tuner", "STRATEGIES", "SWEEP_STRATEGIES", "tune_budget_sweep"]
 
 
 def _strategy_ea(problem: HTuningProblem, rng: RandomState) -> Allocation:
@@ -71,6 +71,38 @@ STRATEGIES: dict[str, Callable[[HTuningProblem, RandomState], Allocation]] = {
     "bias_1": _make_bias(0.67),
     "bias_2": _make_bias(0.75),
 }
+
+#: Strategies with a one-pass multi-budget implementation.  These are
+#: exactly the rng-free DP strategies: their per-budget allocation is a
+#: pure function of the (shared) groups and the budget, so a
+#: :class:`~repro.workloads.families.ProblemFamily` sweep can tune all
+#: budgets in one DP pass with bit-identical results.  Strategies with
+#: random tie-breaking (``ea``, ``bias_*``) must keep their per-cell
+#: RNG and stay on the per-budget path.
+SWEEP_STRATEGIES: dict[str, Callable] = {
+    "ra": repetition_algorithm_sweep,
+    "ha": heterogeneous_algorithm_sweep,
+}
+
+
+def tune_budget_sweep(
+    family, budgets: Sequence[int], strategy: str
+) -> Optional[dict[int, Allocation]]:
+    """One-pass ``budget -> Allocation`` map for a family sweep.
+
+    Returns ``None`` when *strategy* has no one-pass implementation
+    (callers then fall back to per-budget tuning); raises for names
+    not in :data:`STRATEGIES` at all.
+    """
+    if strategy not in STRATEGIES:
+        raise ModelError(
+            f"unknown strategy {strategy!r}; expected one of "
+            f"{sorted(STRATEGIES)}"
+        )
+    sweep = SWEEP_STRATEGIES.get(strategy)
+    if sweep is None:
+        return None
+    return sweep(family, budgets)
 
 
 class Tuner:

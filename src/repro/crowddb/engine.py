@@ -12,6 +12,11 @@ Ties the whole reproduction together, end to end:
 
 This is the "crowd-powered database with primitive tuning ability"
 the paper's conclusion describes.
+
+The platform decides which market engine serves the query
+(``"aggregate"``, ``"agent"``, or the vectorized ``"batch"`` engine —
+answer sampling included, so crowd queries no longer require the
+scalar event loop); :class:`QueryOutcome` records which one ran.
 """
 
 from __future__ import annotations
@@ -38,6 +43,8 @@ class QueryOutcome:
     allocation: Allocation
     job: JobResult
     strategy: str
+    #: Market engine that served the query ("aggregate"/"agent"/"batch").
+    engine: str = "aggregate"
 
     @property
     def latency(self) -> float:
@@ -90,6 +97,7 @@ class CrowdQueryEngine:
             allocation=outcome.allocation,
             job=outcome.job,
             strategy=outcome.strategy,
+            engine=outcome.engine,
         )
 
     def execute_tournament(self, operator: Any, budget: int) -> QueryOutcome:
@@ -140,6 +148,7 @@ class CrowdQueryEngine:
             allocation=last.allocation,
             job=job,
             strategy=last.strategy,
+            engine=last.engine,
         )
 
     @staticmethod
@@ -168,7 +177,11 @@ class CrowdQueryEngine:
         # Remap platform-assigned atomic ids back to question indices.
         job.answers = _remap_sequential(job.answers)
         return QueryOutcome(
-            result=None, allocation=allocation, job=job, strategy=strategy
+            result=None,
+            allocation=allocation,
+            job=job,
+            strategy=strategy,
+            engine=self.platform.engine_name,
         )
 
 

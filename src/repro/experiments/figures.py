@@ -9,14 +9,12 @@ paper-vs-measured comparison.
 
 from __future__ import annotations
 
-import functools
 import math
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
-from ..core.heterogeneous import heterogeneous_algorithm
 from ..core.latency import sample_job_latencies, simulate_job_latency
 from ..core.problem import Allocation, HTuningProblem, TaskSpec
 from ..core.tuner import STRATEGIES
@@ -38,12 +36,8 @@ from ..workloads.amt import (
     amt_task_type,
     amt_worker_pool,
 )
-from ..workloads.scenarios import (
-    PAPER_BUDGETS,
-    heterogeneous_workload,
-    homogeneity_workload,
-    repetition_workload,
-)
+from ..workloads.families import ProblemFamily, scenario_family
+from ..workloads.scenarios import PAPER_BUDGETS
 from .runner import SweepResult, run_budget_sweep
 
 __all__ = [
@@ -169,13 +163,6 @@ FIG2_STRATEGIES: dict[str, tuple[str, ...]] = {
     "heter": ("ha", "te", "re"),
 }
 
-_FIG2_FACTORIES = {
-    "homo": homogeneity_workload,
-    "repe": repetition_workload,
-    "heter": heterogeneous_workload,
-}
-
-
 def fig2_experiment(
     scenario: str,
     case: str,
@@ -184,24 +171,22 @@ def fig2_experiment(
     scoring: str = "mc",
     n_samples: int = 1500,
     seed: RandomState = 0,
-    engine: str = "scalar",
+    engine=None,
 ) -> SweepResult:
     """One Fig. 2 subplot: a (scenario, pricing-case) budget sweep.
 
     ``scenario`` in {'homo', 'repe', 'heter'}, ``case`` in 'a'..'f'.
-    ``engine`` picks the Monte-Carlo sampler (``"batch"`` draws whole
-    replication batches as phase matrices; the curves are identical
-    seed-for-seed either way).
+    The sweep runs over one :class:`ProblemFamily` — specs and groups
+    are built once and the DP strategies tune every budget in a single
+    pass — with curves byte-identical to the historical per-budget
+    rebuild.  ``engine`` picks the Monte-Carlo sampler (a registered
+    name such as ``"batch"`` or ``"chunked-batch"``, or an
+    :class:`~repro.perf.engine.EvaluationEngine`; the curves are
+    identical seed-for-seed whichever engine runs).
     """
-    if scenario not in _FIG2_FACTORIES:
-        raise ModelError(
-            f"unknown scenario {scenario!r}; expected {sorted(_FIG2_FACTORIES)}"
-        )
-    factory = functools.partial(
-        _FIG2_FACTORIES[scenario], case=case, n_tasks=n_tasks
-    )
+    family = scenario_family(scenario, case=case, n_tasks=n_tasks)
     return run_budget_sweep(
-        workload_factory=lambda b: factory(b),
+        family,
         budgets=budgets,
         strategies=FIG2_STRATEGIES[scenario],
         scoring=scoring,
@@ -452,6 +437,8 @@ def fig5c_experiment(
     equal-payment-per-type heuristic.  Latency is per-type completion
     (the paper plots OPT(t1..t3)/HEU(t1..t3) separately).
     """
+    from ..core.heterogeneous import heterogeneous_algorithm_sweep
+
     rng = ensure_rng(seed)
     base_pricing = amt_pricing_model()
     vote_counts = (4, 6, 8)
@@ -468,45 +455,59 @@ def fig5c_experiment(
         for t in types
     ]
 
-    def build_problem(budget: int) -> HTuningProblem:
-        specs = []
+    # One family for the whole sweep: the specs (and their pricing
+    # objects) are budget-independent, so they are built exactly once.
+    specs = [
+        TaskSpec(
+            task_id=idx,
+            repetitions=reps,
+            pricing=pricing,
+            processing_rate=ttype.processing_rate,
+            type_name=ttype.name,
+        )
         for idx, (ttype, reps, pricing) in enumerate(
             zip(types, repetitions, pricings)
-        ):
-            specs.append(
+        )
+    ]
+    family = ProblemFamily(specs, label="fig5c")
+    budgets = [int(b) for b in budgets]
+    # OPT (Algorithm 3) for every budget in one pass — HA consumes no
+    # randomness, so hoisting it out of the loop leaves the RNG stream
+    # (and therefore every simulated latency) bit-identical.
+    opt_allocations = heterogeneous_algorithm_sweep(family, budgets)
+
+    # Per-type single-task sub-families, hoisted out of the budget loop
+    # (the per-budget sub-problems differ only in their budget).
+    sub_families = [
+        ProblemFamily(
+            [
                 TaskSpec(
-                    task_id=idx,
-                    repetitions=reps,
-                    pricing=pricing,
-                    processing_rate=ttype.processing_rate,
-                    type_name=ttype.name,
+                    task_id=0,
+                    repetitions=task.repetitions,
+                    pricing=task.pricing,
+                    processing_rate=task.processing_rate,
+                    type_name=task.type_name,
                 )
-            )
-        return HTuningProblem(specs, budget)
+            ],
+            label=f"fig5c-{task.type_name}",
+        )
+        for task in family.tasks
+    ]
 
     series: dict[tuple[str, int], list[float]] = {
         (s, t): [] for s in ("opt", "heu") for t in range(3)
     }
     for budget in budgets:
-        problem = build_problem(int(budget))
+        problem = family.problem_at(budget)
         allocations = {
-            "opt": STRATEGIES["ha"](problem, rng),
+            "opt": opt_allocations[budget],
             "heu": STRATEGIES["uniform"](problem, rng),
         }
         for name, allocation in allocations.items():
             for t_index, task in enumerate(problem.tasks):
                 # Per-type latency: simulate just that task's chain.
-                sub_problem = HTuningProblem(
-                    [
-                        TaskSpec(
-                            task_id=0,
-                            repetitions=task.repetitions,
-                            pricing=task.pricing,
-                            processing_rate=task.processing_rate,
-                            type_name=task.type_name,
-                        )
-                    ],
-                    sum(allocation[task.task_id]),
+                sub_problem = sub_families[t_index].problem_at(
+                    sum(allocation[task.task_id])
                 )
                 sub_alloc = Allocation({0: list(allocation[task.task_id])})
                 latency = simulate_job_latency(

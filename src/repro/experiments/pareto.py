@@ -16,15 +16,16 @@ deadline-constrained relative [29]: inverting the frontier answers
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
 from ..core.latency import expected_job_latency
-from ..core.problem import HTuningProblem
-from ..core.tuner import Tuner
+from ..core.problem import Allocation, HTuningProblem
+from ..core.tuner import Tuner, tune_budget_sweep
 from ..errors import ModelError
 from ..stats.rng import RandomState
+from ..workloads.families import ProblemFamily, as_problem_family
 
 __all__ = ["FrontierPoint", "BudgetLatencyFrontier", "budget_latency_frontier",
            "min_budget_for_latency"]
@@ -78,30 +79,85 @@ class BudgetLatencyFrontier:
 
 
 def budget_latency_frontier(
-    workload_factory: Callable[[int], HTuningProblem],
+    workload: Union[ProblemFamily, Callable[[int], HTuningProblem]],
     budgets: Sequence[int],
     tuner: Optional[Tuner] = None,
     include_processing: bool = True,
+    shared_grid: bool = False,
 ) -> BudgetLatencyFrontier:
-    """Tune each budget and score the exact expected job latency."""
+    """Tune each budget and score the exact expected job latency.
+
+    *workload* is a :class:`~repro.workloads.families.ProblemFamily`
+    or a legacy ``budget -> HTuningProblem`` closure.  With a family,
+    the tuner's strategy is resolved once and — when it is one of the
+    rng-free DP strategies (``ra``/``ha``) — every budget is tuned in
+    a single DP pass, with allocations bit-identical to per-budget
+    tuning.
+
+    ``shared_grid=True`` scores all tuned allocations through
+    :func:`repro.perf.batch.evaluate_allocations` on one shared
+    integration grid (family workloads only): the process-level cdf
+    cache then collapses repeated rate profiles across the whole
+    frontier.  Shared-grid values can differ from the default
+    per-budget :func:`~repro.core.latency.expected_job_latency` calls
+    by integration error (same kernel, different grid), so the default
+    stays per-budget.
+    """
     if not budgets:
         raise ModelError("need at least one budget")
+    builder, family = as_problem_family(workload)
+    if shared_grid and family is None:
+        raise ModelError(
+            "shared_grid scoring needs a ProblemFamily workload (one "
+            "problem shape across budgets)"
+        )
     budgets = sorted(int(b) for b in budgets)
     tuner = tuner or Tuner(seed=0)
-    points = []
+
+    swept: Optional[dict[int, Allocation]] = None
+    if family is not None:
+        resolved = tuner.resolve_strategy(family.problem_at(budgets[0]))
+        if tuner.strategy != "auto" or resolved in ("ra", "ha"):
+            # Same tasks at every budget -> same resolved strategy.
+            swept = tune_budget_sweep(family, budgets, resolved)
+
+    entries: list[tuple[int, HTuningProblem, Allocation, str]] = []
     for budget in budgets:
-        problem = workload_factory(budget)
-        allocation = tuner.tune(problem)
-        latency = expected_job_latency(
-            problem, allocation, include_processing=include_processing
+        problem = builder(budget)
+        if swept is not None:
+            allocation = swept[budget]
+            problem.validate_allocation(allocation)
+        else:
+            allocation = tuner.tune(problem)
+        entries.append(
+            (budget, problem, allocation, tuner.resolve_strategy(problem))
         )
-        points.append(
-            FrontierPoint(
-                budget=budget,
-                latency=latency,
-                strategy=tuner.resolve_strategy(problem),
+
+    if shared_grid:
+        from ..perf.batch import evaluate_allocations
+
+        # One problem instance covers every budget: latency depends on
+        # the allocation only, and sharing the instance lets the batch
+        # scorer put every candidate on one grid.
+        base = family.problem_at(budgets[-1])
+        latencies = evaluate_allocations(
+            base,
+            [allocation for _, _, allocation, _ in entries],
+            scoring="numeric",
+            include_processing=include_processing,
+        )
+    else:
+        latencies = [
+            expected_job_latency(
+                problem, allocation, include_processing=include_processing
             )
-        )
+            for _, problem, allocation, _ in entries
+        ]
+
+    points = [
+        FrontierPoint(budget=budget, latency=float(latency), strategy=strategy)
+        for (budget, _, _, strategy), latency in zip(entries, latencies)
+    ]
     return BudgetLatencyFrontier(points=tuple(points))
 
 

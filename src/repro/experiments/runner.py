@@ -10,20 +10,29 @@ allocation's expected job latency.  Two scoring backends:
 * ``"numeric"`` — the exact numeric expectation
   (:func:`repro.core.latency.expected_job_latency`); noise-free, used
   by tests to check orderings without Monte-Carlo tolerance.
+
+Sweeps take their workload either as a
+:class:`~repro.workloads.families.ProblemFamily` (preferred — specs,
+pricing and groups are shared across budgets, and rng-free DP
+strategies are tuned for *all* budgets in one DP pass) or as a legacy
+``budget -> HTuningProblem`` closure (kept for workloads whose task
+set genuinely varies with the budget).  Both paths produce
+byte-identical results; the family path is just faster.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Optional, Sequence
+from typing import Callable, Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from ..core.latency import expected_job_latency, simulate_job_latency
 from ..core.problem import Allocation, HTuningProblem
-from ..core.tuner import STRATEGIES
+from ..core.tuner import STRATEGIES, tune_budget_sweep
 from ..errors import ModelError
 from ..stats.rng import RandomState, ensure_rng
+from ..workloads.families import ProblemFamily, as_problem_family
 
 __all__ = [
     "SweepResult",
@@ -70,16 +79,17 @@ def evaluate_allocation(
     n_samples: int = 2000,
     rng: RandomState = None,
     include_processing: bool = True,
-    engine: str = "scalar",
+    engine=None,
 ) -> float:
     """Score one allocation's expected job latency.
 
-    ``engine`` selects the Monte-Carlo sampler: ``"scalar"`` streams
-    task by task, ``"batch"`` draws the whole replication batch as one
-    phase matrix (:mod:`repro.perf.batch`).  Both consume the RNG
-    stream identically, so the score is the same either way — batch is
-    the faster choice for large jobs.  Numeric scoring ignores the
-    engine (it is already kernel-cached).
+    ``engine`` selects the Monte-Carlo sampler — a registered name
+    (``"scalar"``, ``"batch"``, ``"chunked-batch"``) or an
+    :class:`repro.perf.engine.EvaluationEngine` instance.  All
+    registered engines consume the RNG stream identically, so the
+    score is the same whichever is picked — they differ in speed and
+    memory shape.  Numeric scoring ignores the engine (it is already
+    kernel-cached).
     """
     if scoring == "mc":
         return simulate_job_latency(
@@ -127,7 +137,7 @@ def evaluate_allocation_with_ci(
 
 
 def run_budget_sweep(
-    workload_factory: Callable[[int], HTuningProblem],
+    workload: Union[ProblemFamily, Callable[[int], HTuningProblem]],
     budgets: Sequence[int],
     strategies: Sequence[str],
     scoring: str = "mc",
@@ -135,15 +145,20 @@ def run_budget_sweep(
     seed: RandomState = 0,
     include_processing: bool = True,
     label: str = "",
-    engine: str = "scalar",
+    engine=None,
 ) -> SweepResult:
     """Run *strategies* over *budgets* and collect latency curves.
 
     Parameters
     ----------
-    workload_factory:
-        ``budget -> HTuningProblem`` (e.g. a partial of the Fig. 2
-        workload factories).
+    workload:
+        A :class:`~repro.workloads.families.ProblemFamily` (preferred)
+        or a legacy ``budget -> HTuningProblem`` closure.  With a
+        family, specs/pricing/groups are shared across budgets and the
+        rng-free DP strategies (``ra``, ``ha``) are tuned for every
+        budget in **one** DP pass
+        (:func:`repro.core.tuner.tune_budget_sweep`); the curves are
+        byte-identical to the per-budget closure path either way.
     strategies:
         Names from :data:`repro.core.tuner.STRATEGIES`.
     scoring / n_samples:
@@ -152,24 +167,44 @@ def run_budget_sweep(
         Base seed; each (budget, strategy) cell gets a derived
         substream so curves are independent yet reproducible.
     engine:
-        Monte-Carlo sampling engine (``"scalar"`` or ``"batch"``); see
-        :func:`evaluate_allocation`.  Curves are identical either way.
+        Monte-Carlo sampling engine — a registered name or an
+        :class:`~repro.perf.engine.EvaluationEngine`; see
+        :func:`evaluate_allocation`.  Curves are identical for every
+        engine.
     """
     unknown = [s for s in strategies if s not in STRATEGIES]
     if unknown:
         raise ModelError(f"unknown strategies: {unknown}")
     if not budgets:
         raise ModelError("budget sweep needs at least one budget")
+    builder, family = as_problem_family(workload)
     base = ensure_rng(seed)
     cell_seed = base.integers(0, 2**62)
+
+    # One-pass tuning: strategies whose allocation is a pure function
+    # of (groups, budget) get all budgets from a single DP sweep.  The
+    # rng-consuming strategies keep their per-cell generator below, so
+    # the cell RNG protocol (and hence every curve) is unchanged.
+    swept: dict[str, dict[int, Allocation]] = {}
+    if family is not None:
+        for name in strategies:
+            allocations = tune_budget_sweep(
+                family, [int(b) for b in budgets], name
+            )
+            if allocations is not None:
+                swept[name] = allocations
+
     series: dict[str, list[float]] = {s: [] for s in strategies}
     for bi, budget in enumerate(budgets):
-        problem = workload_factory(int(budget))
+        problem = builder(int(budget))
         for si, name in enumerate(strategies):
             strat_rng = np.random.default_rng(
                 int(cell_seed) + 1_000_003 * bi + 7919 * si
             )
-            allocation = STRATEGIES[name](problem, strat_rng)
+            if name in swept:
+                allocation = swept[name][int(budget)]
+            else:
+                allocation = STRATEGIES[name](problem, strat_rng)
             latency = evaluate_allocation(
                 problem,
                 allocation,

@@ -279,11 +279,14 @@ class AgentSimulator:
             raise SimulationError("job must contain at least one atomic task")
         trace = recorder if recorder is not None else TraceRecorder()
         queue = EventQueue()
-        # uid-keyed and insertion-ordered: the choice model still sees
-        # tasks in publish order, but removal is O(1) instead of
-        # list.remove's O(n) field-by-field equality scan (which made
-        # arrivals quadratic in the open-task pool size).
-        open_tasks: dict[int, PublishedTask] = {}
+        # Incremental open-task index: the choice model keeps its own
+        # structure (a Fenwick weight tree for the built-in weighted
+        # models, a heap for greedy) in sync with publishes/removals,
+        # so an arrival costs O(log n) instead of materializing and
+        # scanning the whole open-task list.  Custom models without an
+        # index fall back to the insertion-ordered linear pool, which
+        # sees tasks exactly as the historical list did.
+        open_tasks = self.pool.choice_model.make_index()
         order_by_id = {o.atomic_task_id: o for o in orders}
         next_rep: dict[int, int] = {o.atomic_task_id: 0 for o in orders}
         answers: dict[int, list[Any]] = {o.atomic_task_id: [] for o in orders}
@@ -302,7 +305,7 @@ class AgentSimulator:
             )
             task.mark_published(now)
             next_rep[order.atomic_task_id] += 1
-            open_tasks[task.uid] = task
+            open_tasks.add(task)
             trace.on_event(Event(now, EventKind.TASK_PUBLISHED, payload=task))
 
         for order in orders:
@@ -335,12 +338,10 @@ class AgentSimulator:
                         EventKind.WORKER_ARRIVED,
                     )
                 )
-                chosen = self.pool.choice_model.choose(
-                    list(open_tasks.values()), self._rng
-                )
+                chosen = open_tasks.choose(self._rng)
                 if chosen is None:
                     continue
-                del open_tasks[chosen.uid]
+                open_tasks.discard(chosen)
                 worker_id = self.pool.new_worker_id()
                 chosen.mark_accepted(now, worker_id=worker_id)
                 processing = float(

@@ -15,6 +15,7 @@ a price-increasing rate — the regime the Linearity Hypothesis covers.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -27,6 +28,7 @@ from .task import PublishedTask
 
 __all__ = [
     "ChoiceModel",
+    "OpenTaskIndex",
     "PriceProportionalChoice",
     "SoftmaxChoice",
     "GreedyPriceChoice",
@@ -44,6 +46,287 @@ class ChoiceModel:
     ) -> Optional[PublishedTask]:
         """Return the chosen task or ``None`` if the worker walks away."""
         raise NotImplementedError
+
+    def make_index(self) -> "OpenTaskIndex":
+        """An incremental chooser over the open-task pool.
+
+        The agent simulator maintains one index per job instead of
+        materializing the open-task list on every arrival; the built-in
+        models return weight-tree indexes with ``O(log n)`` arrivals.
+        The default wraps :meth:`choose` over an insertion-ordered pool
+        (``O(n)`` per arrival), so custom subclasses keep working
+        unchanged.
+        """
+        return _LinearTaskIndex(self)
+
+
+class OpenTaskIndex:
+    """Incremental open-task pool a choice model selects from.
+
+    ``add``/``discard`` keep the pool in sync with the simulator's
+    publishes and acceptances; ``choose`` picks the arriving worker's
+    task (or ``None`` for walking away) and must consume the RNG
+    exactly as the owning model's :meth:`ChoiceModel.choose` does, so
+    seeded trajectories are independent of which path runs.
+    """
+
+    def add(self, task: PublishedTask) -> None:
+        raise NotImplementedError
+
+    def discard(self, task: PublishedTask) -> None:
+        raise NotImplementedError
+
+    def choose(self, rng: np.random.Generator) -> Optional[PublishedTask]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class _LinearTaskIndex(OpenTaskIndex):
+    """Fallback index: delegate to the model's list-based ``choose``."""
+
+    def __init__(self, model: ChoiceModel) -> None:
+        self._model = model
+        self._tasks: dict[int, PublishedTask] = {}
+
+    def add(self, task: PublishedTask) -> None:
+        self._tasks[task.uid] = task
+
+    def discard(self, task: PublishedTask) -> None:
+        self._tasks.pop(task.uid, None)
+
+    def choose(self, rng: np.random.Generator) -> Optional[PublishedTask]:
+        return self._model.choose(list(self._tasks.values()), rng)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+
+class _FenwickTree:
+    """Growable Fenwick (binary-indexed) tree over non-negative weights.
+
+    Supports ``O(log n)`` point updates, total sums, and
+    lower-bound descent (first index whose prefix sum exceeds a
+    threshold) — the three operations weighted task choice needs.
+    """
+
+    def __init__(self) -> None:
+        self._tree: list[float] = [0.0]  # 1-indexed; slot 0 unused
+        self._weights: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def append(self, weight: float) -> int:
+        """Add a new slot with *weight*; returns its index."""
+        self._weights.append(float(weight))
+        i = len(self._weights)  # 1-indexed position
+        # A new tree node aggregates the trailing block ending at i.
+        total = self._weights[i - 1]
+        k = 1
+        while i % (k << 1) == 0:
+            total += self._tree[i - k]
+            k <<= 1
+        self._tree.append(total)
+        return i - 1
+
+    def update(self, index: int, weight: float) -> None:
+        """Set slot *index* (0-based) to *weight*."""
+        delta = float(weight) - self._weights[index]
+        self._weights[index] = float(weight)
+        i = index + 1
+        n = len(self._weights)
+        while i <= n:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def total(self) -> float:
+        """Sum of all weights (tree association order)."""
+        n = len(self._weights)
+        acc = 0.0
+        i = n
+        while i > 0:
+            acc += self._tree[i]
+            i -= i & (-i)
+        return acc
+
+    def search(self, threshold: float) -> int:
+        """Smallest 0-based index whose prefix sum exceeds *threshold*.
+
+        Mirrors ``np.searchsorted(np.cumsum(w), u, side="right")`` up
+        to summation association; callers clamp the result like the
+        linear implementations do.
+        """
+        n = len(self._weights)
+        pos = 0
+        remaining = float(threshold)
+        bit = 1
+        while (bit << 1) <= n:
+            bit <<= 1
+        while bit > 0:
+            nxt = pos + bit
+            if nxt <= n and self._tree[nxt] <= remaining:
+                remaining -= self._tree[nxt]
+                pos = nxt
+            bit >>= 1
+        return pos  # 0-based: prefix through pos is <= threshold
+
+
+class _WeightedTaskIndex(OpenTaskIndex):
+    """Fenwick-tree index for proportional-weight choice models.
+
+    Selection draws one variate exactly like the linear implementation
+    (``uniform(0, total)``), then descends the tree in ``O(log n)``
+    instead of materializing a cumulative-sum array over the whole
+    pool.  Weight totals are accumulated in tree order rather than
+    numpy's pairwise order, which can differ in the last ulp — the
+    chosen *task* is the same almost surely, and the RNG stream
+    position is identical by construction, so seeded trajectories are
+    preserved (certified against the linear fallback in
+    ``tests/market/test_open_task_index.py``).
+
+    Slots are append-only with tombstoned (zero-weight) removals; a
+    job's slot count is bounded by its total repetitions.
+    """
+
+    def __init__(self, weight_fn, leave_weight: float = 0.0) -> None:
+        self._weight_fn = weight_fn
+        self._leave_weight = float(leave_weight)
+        self._tree = _FenwickTree()
+        self._slot_of: dict[int, int] = {}  # task uid -> slot
+        self._task_at: dict[int, PublishedTask] = {}  # slot -> task (live)
+
+    def add(self, task: PublishedTask) -> None:
+        slot = self._tree.append(self._weight_fn(task))
+        self._slot_of[task.uid] = slot
+        self._task_at[slot] = task
+
+    def discard(self, task: PublishedTask) -> None:
+        slot = self._slot_of.pop(task.uid, None)
+        if slot is None:
+            return
+        del self._task_at[slot]
+        self._tree.update(slot, 0.0)
+
+    def __len__(self) -> int:
+        return len(self._task_at)
+
+    def choose(self, rng: np.random.Generator) -> Optional[PublishedTask]:
+        if not self._task_at:
+            return None
+        task_total = self._tree.total()
+        total = task_total + self._leave_weight
+        if total <= 0:
+            return None
+        u = float(rng.uniform(0.0, total))
+        if u >= task_total:
+            return None
+        slot = self._tree.search(u)
+        if slot not in self._task_at:
+            # Clamp like the linear paths' min(idx, len-1): a
+            # floating-point edge can land past the last live slot.
+            slot = next(reversed(self._task_at))
+        return self._task_at[slot]
+
+
+class _SoftmaxTaskIndex(OpenTaskIndex):
+    """Weight-tree index for logit choice, with max-shift stabilization.
+
+    Logit selection is proportional selection over ``exp(utility)``,
+    but raw ``exp`` overflows for large β·log(price·attract.) and
+    underflows for very negative ones — the linear path avoids both by
+    shifting every utility by the pool max before exponentiating.
+    This index keeps the same protection incrementally: tree weights
+    are ``exp(u_i − ref)`` against a reference ``ref`` that tracks
+    ``max(max live utility, leave_utility)``; whenever the live max
+    drifts more than :data:`_REBASE_MARGIN` from ``ref``, the tree is
+    rebuilt against the new reference.  Shifted exponents are thus
+    bounded above by the margin (no overflow), and the best task's
+    weight never underflows, exactly matching the linear model's
+    numerics.  Rebuilds cost one O(n log n) pass and only fire when
+    the pool's utility range moves by more than the margin — the
+    worst case degrades to the seed's linear behaviour, never below.
+    """
+
+    _REBASE_MARGIN = 1.0
+
+    def __init__(self, beta: float, leave_utility: float) -> None:
+        self._beta = float(beta)
+        self._leave_utility = float(leave_utility)
+        self._ref = float(leave_utility)
+        self._tree = _FenwickTree()
+        self._slot_of: dict[int, int] = {}  # task uid -> slot
+        self._task_at: dict[int, PublishedTask] = {}  # slot -> task (live)
+        self._utility_of: dict[int, float] = {}  # task uid -> utility
+        self._util_heap: list[tuple[float, int]] = []  # (-utility, uid)
+
+    def _utility(self, task: PublishedTask) -> float:
+        return self._beta * math.log(task.price * task.task_type.attractiveness)
+
+    def _live_max_utility(self) -> float:
+        while self._util_heap:
+            neg_u, uid = self._util_heap[0]
+            if uid in self._slot_of:
+                return -neg_u
+            heapq.heappop(self._util_heap)  # stale entry
+        return -math.inf
+
+    def _append(self, task: PublishedTask, utility: float) -> None:
+        slot = self._tree.append(math.exp(min(utility - self._ref, 700.0)))
+        self._slot_of[task.uid] = slot
+        self._task_at[slot] = task
+
+    def _rebuild(self, ref: float) -> None:
+        self._ref = ref
+        tasks = list(self._task_at.values())
+        self._tree = _FenwickTree()
+        self._slot_of.clear()
+        self._task_at.clear()
+        for task in tasks:
+            self._append(task, self._utility_of[task.uid])
+
+    def add(self, task: PublishedTask) -> None:
+        utility = self._utility(task)
+        self._utility_of[task.uid] = utility
+        if utility - self._ref > self._REBASE_MARGIN:
+            # A new pool maximum: re-shift before the exponent grows.
+            # (Downward drift — the old max leaving — is handled at
+            # choose() time, where the weights actually matter.)
+            self._rebuild(max(utility, self._leave_utility))
+        self._append(task, utility)
+        heapq.heappush(self._util_heap, (-utility, task.uid))
+
+    def discard(self, task: PublishedTask) -> None:
+        slot = self._slot_of.pop(task.uid, None)
+        if slot is None:
+            return
+        del self._task_at[slot]
+        del self._utility_of[task.uid]
+        self._tree.update(slot, 0.0)
+
+    def __len__(self) -> int:
+        return len(self._task_at)
+
+    def choose(self, rng: np.random.Generator) -> Optional[PublishedTask]:
+        if not self._task_at:
+            return None
+        target = max(self._live_max_utility(), self._leave_utility)
+        if abs(target - self._ref) > self._REBASE_MARGIN:
+            self._rebuild(target)
+        task_total = self._tree.total()
+        total = task_total + math.exp(
+            min(self._leave_utility - self._ref, 700.0)
+        )
+        # One standard uniform — the exact stream consumption of
+        # Generator.choice(p=...) in the linear path.
+        u = float(rng.random()) * total
+        if u >= task_total:
+            return None
+        slot = self._tree.search(u)
+        if slot not in self._task_at:
+            slot = next(reversed(self._task_at))
+        return self._task_at[slot]
 
 
 @dataclass
@@ -77,6 +360,12 @@ class PriceProportionalChoice(ChoiceModel):
             return None
         idx = int(np.searchsorted(np.cumsum(weights), u, side="right"))
         return open_tasks[min(idx, len(open_tasks) - 1)]
+
+    def make_index(self) -> OpenTaskIndex:
+        return _WeightedTaskIndex(
+            lambda t: t.price * t.task_type.attractiveness,
+            leave_weight=self.leave_weight,
+        )
 
 
 @dataclass
@@ -113,6 +402,13 @@ class SoftmaxChoice(ChoiceModel):
             return None
         return open_tasks[idx]
 
+    def make_index(self) -> OpenTaskIndex:
+        # Logit choice is proportional choice over exp(utility); the
+        # index keeps the linear path's max-shift stabilization
+        # incrementally (see _SoftmaxTaskIndex), so extreme β or
+        # utilities neither overflow nor underflow.
+        return _SoftmaxTaskIndex(self.beta, self.leave_utility)
+
 
 @dataclass
 class GreedyPriceChoice(ChoiceModel):
@@ -127,6 +423,41 @@ class GreedyPriceChoice(ChoiceModel):
         if not open_tasks:
             return None
         return max(open_tasks, key=lambda t: (t.price, -t.uid))
+
+    def make_index(self) -> OpenTaskIndex:
+        return _GreedyTaskIndex()
+
+
+class _GreedyTaskIndex(OpenTaskIndex):
+    """Lazy-deletion heap over (price, -uid): O(log n) arrivals.
+
+    Exactly reproduces :class:`GreedyPriceChoice`'s ``max`` (highest
+    price, ties to the earliest-published task); consumes no RNG.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int]] = []  # (-price, uid)
+        self._live: dict[int, PublishedTask] = {}
+
+    def add(self, task: PublishedTask) -> None:
+        self._live[task.uid] = task
+        heapq.heappush(self._heap, (-task.price, task.uid))
+
+    def discard(self, task: PublishedTask) -> None:
+        self._live.pop(task.uid, None)
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def choose(self, rng: np.random.Generator) -> Optional[PublishedTask]:
+        while self._heap:
+            _, uid = self._heap[0]
+            task = self._live.get(uid)
+            if task is None:
+                heapq.heappop(self._heap)  # stale entry
+                continue
+            return task
+        return None
 
 
 class WorkerPool:

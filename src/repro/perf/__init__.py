@@ -16,9 +16,15 @@ makes those sweeps array-shaped:
   dense per-group cost tables, a single-pass multi-budget sweep, and
   the Algorithm-3 closeness scan.  Outputs are bit-identical to the
   seed implementations (kept in :mod:`~repro.perf.reference`).
+* :mod:`~repro.perf.engine` — the :class:`EvaluationEngine` registry:
+  scalar / batch / chunked-batch Monte-Carlo samplers behind one
+  interface, resolvable by name everywhere an ``engine=`` parameter is
+  accepted (CLI included).
 
 See ``docs/performance.md`` for when to pick which engine and how to
-size the caches.
+size the caches, and ``docs/architecture.md`` for how the engine
+registry and :class:`~repro.workloads.families.ProblemFamily` layer
+fit together.
 """
 
 from .batch import (
@@ -40,9 +46,23 @@ from .dp import (
     group_cost_table,
     heterogeneous_price_scan,
 )
+from .engine import (
+    BatchEngine,
+    ChunkedBatchEngine,
+    EvaluationEngine,
+    ScalarEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
 
 __all__ = [
     "BatchAggregateSimulator",
+    "BatchEngine",
+    "ChunkedBatchEngine",
+    "EvaluationEngine",
+    "ScalarEngine",
+    "available_engines",
     "budget_indexed_dp_fast",
     "budget_indexed_dp_sweep",
     "cached_hypoexponential_cdf",
@@ -50,9 +70,11 @@ __all__ = [
     "clear_phase_caches",
     "configure_phase_cache",
     "evaluate_allocations",
+    "get_engine",
     "group_cost_table",
     "heterogeneous_price_scan",
     "phase_cache_stats",
+    "register_engine",
     "sample_job_latencies_batch",
     "survival_weights",
 ]

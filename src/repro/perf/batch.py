@@ -22,7 +22,7 @@ loop-shaped:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -82,6 +82,7 @@ def sample_job_latencies_batch(
     n_samples: int,
     rng: RandomState = None,
     include_processing: bool = True,
+    chunk_rows: Optional[int] = None,
 ) -> np.ndarray:
     """Draw *n_samples* iid job-latency realizations in one RNG call.
 
@@ -92,18 +93,52 @@ def sample_job_latencies_batch(
     which reassociates and would break bit-identity) and a max.
     Memory is ``O(n_phases · n_samples)`` (the scalar path streams
     task by task).
+
+    ``chunk_rows`` streams the matrix in blocks of at most that many
+    phase rows, capping peak memory at ``chunk_rows × n_samples``
+    doubles.  The full matrix is filled row-major by the generator, so
+    drawing row blocks in order consumes the stream identically —
+    results are **bit-identical to the unchunked draw for every chunk
+    size** (each task's phases still accumulate strictly left to
+    right, even across block boundaries).
     """
     if n_samples < 1:
         raise ModelError(f"n_samples must be >= 1, got {n_samples}")
+    if chunk_rows is not None and chunk_rows < 1:
+        raise ModelError(f"chunk_rows must be >= 1, got {chunk_rows}")
     problem.validate_allocation(allocation)
     gen = ensure_rng(rng)
     scales, starts = _allocation_phase_layout(
         problem, allocation, include_processing
     )
-    draws = gen.standard_exponential((len(scales), n_samples))
-    draws *= scales[:, None]
-    totals = _segment_sum_sequential(draws, starts, axis=0)
-    return totals.max(axis=0)
+    n_rows = len(scales)
+    if chunk_rows is None or chunk_rows >= n_rows:
+        draws = gen.standard_exponential((n_rows, n_samples))
+        draws *= scales[:, None]
+        totals = _segment_sum_sequential(draws, starts, axis=0)
+        return totals.max(axis=0)
+
+    # Chunked path: stream row blocks, keeping one accumulator for the
+    # task currently being summed (tasks may straddle block edges) and
+    # folding finished tasks into the running job max.
+    is_start = np.zeros(n_rows, dtype=bool)
+    is_start[starts] = True
+    job = np.full(n_samples, -np.inf)
+    acc: Optional[np.ndarray] = None
+    for r0 in range(0, n_rows, chunk_rows):
+        r1 = min(r0 + chunk_rows, n_rows)
+        block = gen.standard_exponential((r1 - r0, n_samples))
+        block *= scales[r0:r1, None]
+        for r in range(r0, r1):
+            row = block[r - r0]
+            if is_start[r]:
+                if acc is not None:
+                    np.maximum(job, acc, out=job)
+                acc = row.copy()
+            else:
+                acc += row
+    np.maximum(job, acc, out=job)
+    return job
 
 
 class BatchAggregateSimulator:
@@ -118,24 +153,38 @@ class BatchAggregateSimulator:
     RNG stream, so with equal seeds sample ``j`` is bit-identical to
     the ``j``-th scalar ``run_job`` makespan.
 
-    The batch engine is a *latency* engine: per-repetition answer
-    sampling (payloads exposing ``sample_answer``) needs the scalar
-    simulator's per-task RNG interleaving and is rejected here.
+    The replication sampler (:meth:`sample_makespans`) is a *latency*
+    engine: per-repetition answer sampling (payloads exposing
+    ``sample_answer``) would interleave with the phase draws in the
+    scalar stream and is rejected there.  :meth:`run_job` is the
+    answer-capable single-realization entry point: it draws every
+    phase of the job as one vector, then samples answers in task
+    order, so crowd-DB queries and quality-aware payloads can leave
+    the scalar event loop (its RNG stream layout is its own — it is
+    deterministic seed-for-seed but not stream-compatible with
+    :class:`~repro.market.simulator.AggregateSimulator`).
     """
 
     def __init__(self, market, seed: RandomState = None) -> None:
         self.market = market
         self._rng = ensure_rng(seed)
 
-    def _order_layout(self, orders) -> tuple[np.ndarray, np.ndarray]:
+    def _order_layout(
+        self, orders, allow_payloads: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
         scales: list[float] = []
         starts: list[int] = []
         for order in orders:
             payload = order.payload
-            if payload is not None and hasattr(payload, "sample_answer"):
+            if (
+                not allow_payloads
+                and payload is not None
+                and hasattr(payload, "sample_answer")
+            ):
                 raise SimulationError(
-                    "BatchAggregateSimulator is latency-only; payloads with "
-                    "sample_answer need AggregateSimulator"
+                    "sample_makespans is latency-only; payloads with "
+                    "sample_answer need AggregateSimulator or "
+                    "BatchAggregateSimulator.run_job"
                 )
             starts.append(len(scales))
             rate_p = order.task_type.processing_rate
@@ -150,8 +199,17 @@ class BatchAggregateSimulator:
         orders: Sequence,
         n_samples: int,
         repetition_mode: str = "sequential",
+        chunk_samples: Optional[int] = None,
     ) -> np.ndarray:
-        """*n_samples* iid job makespans for *orders* (one matrix draw)."""
+        """*n_samples* iid job makespans for *orders* (one matrix draw).
+
+        ``chunk_samples`` streams the replication matrix in blocks of
+        at most that many samples (rows), capping memory at
+        ``chunk_samples × n_phases`` doubles.  Rows are filled in
+        sample-major order, so chunking consumes the RNG stream
+        identically — makespans are bit-identical to the unchunked
+        draw for every chunk size.
+        """
         if repetition_mode not in ("sequential", "parallel"):
             raise SimulationError(
                 f"repetition_mode must be 'sequential' or 'parallel', got "
@@ -162,7 +220,30 @@ class BatchAggregateSimulator:
             raise SimulationError("job must contain at least one atomic task")
         if n_samples < 1:
             raise SimulationError(f"n_samples must be >= 1, got {n_samples}")
+        if chunk_samples is not None and chunk_samples < 1:
+            raise SimulationError(
+                f"chunk_samples must be >= 1, got {chunk_samples}"
+            )
         scales, starts = self._order_layout(orders)
+        if chunk_samples is None or chunk_samples >= n_samples:
+            return self._makespan_block(
+                scales, starts, n_samples, repetition_mode
+            )
+        out = np.empty(n_samples)
+        for s0 in range(0, n_samples, chunk_samples):
+            s1 = min(s0 + chunk_samples, n_samples)
+            out[s0:s1] = self._makespan_block(
+                scales, starts, s1 - s0, repetition_mode
+            )
+        return out
+
+    def _makespan_block(
+        self,
+        scales: np.ndarray,
+        starts: np.ndarray,
+        n_samples: int,
+        repetition_mode: str,
+    ) -> np.ndarray:
         draws = self._rng.standard_exponential((n_samples, len(scales)))
         draws *= scales[None, :]
         if repetition_mode == "sequential":
@@ -175,6 +256,87 @@ class BatchAggregateSimulator:
             chains = draws[:, 0::2] + draws[:, 1::2]
             totals = np.maximum.reduceat(chains, starts // 2, axis=1)
         return totals.max(axis=1)
+
+    def run_job(
+        self,
+        orders: Sequence,
+        recorder=None,
+        start_time: float = 0.0,
+        repetition_mode: str = "sequential",
+    ):
+        """Run one realization of a job, answers included.
+
+        Drop-in counterpart of
+        :meth:`repro.market.simulator.AggregateSimulator.run_job`: all
+        phase latencies are drawn as one vector, then answers are
+        sampled per repetition in task order (through each payload's
+        ``sample_answer`` at the task type's accuracy).  Deterministic
+        given the simulator seed, but the stream layout differs from
+        the scalar simulator's per-repetition interleaving, so the two
+        engines' realizations are *statistically* (not bitwise)
+        equivalent.
+        """
+        from ..market.simulator import JobResult, _draw_answer
+        from ..market.task import PublishedTask
+        from ..market.trace import TraceRecorder
+
+        if repetition_mode not in ("sequential", "parallel"):
+            raise SimulationError(
+                f"repetition_mode must be 'sequential' or 'parallel', got "
+                f"{repetition_mode!r}"
+            )
+        orders = list(orders)
+        if not orders:
+            raise SimulationError("job must contain at least one atomic task")
+        scales, starts = self._order_layout(orders, allow_payloads=True)
+        draws = self._rng.standard_exponential(len(scales))
+        draws *= scales
+
+        trace = recorder if recorder is not None else TraceRecorder()
+        per_atomic: dict[int, float] = {}
+        answers: dict[int, list[Any]] = {}
+        total_paid = 0
+        for i, order in enumerate(orders):
+            row = int(starts[i])
+            collected: list[Any] = []
+            clock = float(start_time)
+            finish = float(start_time)
+            for rep_index, price in enumerate(order.prices):
+                onhold = float(draws[row])
+                processing = float(draws[row + 1])
+                row += 2
+                publish_at = (
+                    clock if repetition_mode == "sequential" else float(start_time)
+                )
+                task = PublishedTask(
+                    task_type=order.task_type,
+                    price=price,
+                    atomic_task_id=order.atomic_task_id,
+                    repetition_index=rep_index,
+                    payload=order.payload,
+                )
+                task.mark_published(publish_at)
+                task.mark_accepted(publish_at + onhold)
+                answer = _draw_answer(order, self._rng, order.task_type.accuracy)
+                done = publish_at + onhold + processing
+                task.mark_completed(done, answer=answer)
+                trace.on_task_done(task)
+                collected.append(answer)
+                total_paid += price
+                clock = done
+                finish = max(finish, done)
+            per_atomic[order.atomic_task_id] = (
+                clock if repetition_mode == "sequential" else finish
+            )
+            answers[order.atomic_task_id] = collected
+        makespan = max(per_atomic.values()) - float(start_time)
+        return JobResult(
+            trace=trace,
+            makespan=makespan,
+            per_atomic_completion=per_atomic,
+            answers=answers,
+            total_paid=total_paid,
+        )
 
     def mean_latency(
         self,

@@ -165,6 +165,7 @@ def heterogeneous_price_scan(
     phase2: Sequence[float],
     utopia_o1: float,
     utopia_o2: float,
+    phase1_tables: Sequence[np.ndarray] | None = None,
 ) -> tuple[tuple[int, ...], list[np.ndarray]]:
     """Algorithm 3's budget scan over precomputed latency tables.
 
@@ -178,12 +179,27 @@ def heterogeneous_price_scan(
     bit-identical; the closeness of each candidate is evaluated from
     table entries in one fused pass instead of rebuilding per-group
     latency lists through ladder calls.
+
+    ``phase1_tables`` may be passed in by multi-budget callers (the
+    one-pass sweep builds them once at the largest budget); each table
+    must cover at least ``2 + residual // unit_cost`` prices.  Larger
+    tables read the same entries, so sharing keeps results
+    bit-identical.
     """
     n = len(groups)
-    phase1_tables = [
-        group_cost_table(g, 2 + residual // u, group_cost_fn)
-        for g, u in zip(groups, unit_costs)
-    ]
+    if phase1_tables is None:
+        phase1_tables = [
+            group_cost_table(g, 2 + residual // u, group_cost_fn)
+            for g, u in zip(groups, unit_costs)
+        ]
+    else:
+        phase1_tables = list(phase1_tables)
+        for t, u in zip(phase1_tables, unit_costs):
+            if len(t) < 2 + residual // u:
+                raise ModelError(
+                    "shared phase-1 table too short for this residual; "
+                    f"need {2 + residual // u} entries, got {len(t)}"
+                )
     p1 = [t.tolist() for t in phase1_tables]
     ph2 = [float(v) for v in phase2]
     indices = range(n)

@@ -1,0 +1,205 @@
+"""First-class Monte-Carlo evaluation engines + a name registry.
+
+The experiment stack used to thread a stringly ``engine="scalar"``
+parameter from the CLI through the runner and figure harnesses down to
+:mod:`repro.core.latency`, where an ``if engine == ...`` chain picked
+the sampler.  Engines are now objects:
+
+* :class:`ScalarEngine` — the seed's task-by-task streaming sampler;
+  smallest memory footprint, the default.
+* :class:`BatchEngine` — one ``(n_phases, n_samples)`` matrix draw
+  (:func:`repro.perf.batch.sample_job_latencies_batch`); bit-identical
+  to scalar seed-for-seed.
+* :class:`ChunkedBatchEngine` — the batch draw streamed in phase-row
+  blocks, capping memory at ``chunk_rows × n_samples`` while staying
+  bit-identical to the unchunked batch (and therefore to scalar) for
+  every chunk size.
+
+String names keep working everywhere an ``engine=`` parameter is
+accepted — they resolve through :func:`get_engine`, so the CLI and any
+existing caller passing ``"scalar"``/``"batch"`` is unaffected, and
+new engines become available to every sweep path at once via
+:func:`register_engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import ModelError
+from ..stats.rng import RandomState
+
+__all__ = [
+    "EvaluationEngine",
+    "ScalarEngine",
+    "BatchEngine",
+    "ChunkedBatchEngine",
+    "register_engine",
+    "get_engine",
+    "available_engines",
+    "DEFAULT_ENGINE",
+]
+
+
+class EvaluationEngine:
+    """Strategy interface: draw job-latency realizations of an allocation.
+
+    Concrete engines differ only in *how* the phase exponentials are
+    drawn (streaming loop vs matrix vs chunked matrix); all registered
+    engines consume the RNG stream in the same order, so swapping
+    engines never changes an experiment's numbers.
+    """
+
+    #: Registry name; subclasses must set it.
+    name: str = ""
+
+    def sample(
+        self,
+        problem,
+        allocation,
+        n_samples: int,
+        rng: RandomState = None,
+        include_processing: bool = True,
+    ) -> np.ndarray:
+        """Return *n_samples* iid job-latency draws."""
+        raise NotImplementedError
+
+    def mean_latency(
+        self,
+        problem,
+        allocation,
+        n_samples: int,
+        rng: RandomState = None,
+        include_processing: bool = True,
+    ) -> float:
+        """Monte-Carlo mean of :meth:`sample`."""
+        return float(
+            self.sample(
+                problem, allocation, n_samples, rng, include_processing
+            ).mean()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ScalarEngine(EvaluationEngine):
+    """The seed sampler: stream task by task, O(n_samples) memory."""
+
+    name = "scalar"
+
+    def sample(
+        self, problem, allocation, n_samples, rng=None, include_processing=True
+    ) -> np.ndarray:
+        from ..core.latency import _sample_job_latencies_scalar
+
+        return _sample_job_latencies_scalar(
+            problem, allocation, n_samples, rng, include_processing
+        )
+
+
+class BatchEngine(EvaluationEngine):
+    """One phase-matrix draw per call; bit-identical to scalar.
+
+    ``chunk_rows`` streams the matrix in row blocks (see
+    :func:`repro.perf.batch.sample_job_latencies_batch`); ``None``
+    materializes the full matrix.
+    """
+
+    name = "batch"
+
+    def __init__(self, chunk_rows: Optional[int] = None) -> None:
+        if chunk_rows is not None and chunk_rows < 1:
+            raise ModelError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        self.chunk_rows = chunk_rows
+
+    def sample(
+        self, problem, allocation, n_samples, rng=None, include_processing=True
+    ) -> np.ndarray:
+        from .batch import sample_job_latencies_batch
+
+        return sample_job_latencies_batch(
+            problem,
+            allocation,
+            n_samples,
+            rng,
+            include_processing,
+            chunk_rows=self.chunk_rows,
+        )
+
+
+class ChunkedBatchEngine(BatchEngine):
+    """Batch sampling with bounded memory (default 64 phase rows).
+
+    Peak extra memory is ``chunk_rows × n_samples`` doubles instead of
+    ``n_phases × n_samples`` — the engine to pick when the full phase
+    matrix would not fit.  Results are bit-identical to ``batch`` (and
+    ``scalar``) for every chunk size.
+    """
+
+    name = "chunked-batch"
+
+    def __init__(self, chunk_rows: int = 64) -> None:
+        super().__init__(chunk_rows=chunk_rows)
+        if self.chunk_rows is None:
+            raise ModelError("ChunkedBatchEngine needs a chunk_rows value")
+
+
+#: Resolution order shown in CLI help / error messages.
+_REGISTRY: dict[str, EvaluationEngine] = {}
+
+#: Name of the engine used when callers pass nothing.
+DEFAULT_ENGINE = "scalar"
+
+
+def register_engine(
+    engine: EvaluationEngine, name: Optional[str] = None, replace: bool = False
+) -> EvaluationEngine:
+    """Add *engine* to the registry under *name* (default: its own).
+
+    Registered names are what ``--engine`` on the CLI and every
+    ``engine=`` parameter accept.  Pass ``replace=True`` to override an
+    existing binding (e.g. to re-tune the default chunk size).
+    """
+    key = name or engine.name
+    if not key:
+        raise ModelError("an evaluation engine needs a non-empty name")
+    if key in _REGISTRY and not replace:
+        raise ModelError(
+            f"engine {key!r} is already registered; pass replace=True to "
+            "override"
+        )
+    _REGISTRY[key] = engine
+    return engine
+
+
+def get_engine(engine: Union[str, EvaluationEngine, None]) -> EvaluationEngine:
+    """Resolve an ``engine=`` argument to an :class:`EvaluationEngine`.
+
+    Accepts an engine instance (returned as-is), a registered name, or
+    ``None`` (the default engine).  Unknown names raise
+    :class:`~repro.errors.ModelError` listing what is available.
+    """
+    if engine is None:
+        engine = DEFAULT_ENGINE
+    if isinstance(engine, EvaluationEngine):
+        return engine
+    resolved = _REGISTRY.get(engine)
+    if resolved is None:
+        raise ModelError(
+            f"unknown engine {engine!r}; expected one of "
+            f"{sorted(_REGISTRY)} or an EvaluationEngine instance"
+        )
+    return resolved
+
+
+def available_engines() -> tuple[str, ...]:
+    """Registered engine names, sorted (CLI choices come from here)."""
+    return tuple(sorted(_REGISTRY))
+
+
+register_engine(ScalarEngine())
+register_engine(BatchEngine())
+register_engine(ChunkedBatchEngine())

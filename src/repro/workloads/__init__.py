@@ -8,11 +8,22 @@ from .amt import (
     amt_task_type,
     amt_worker_pool,
 )
+from .families import (
+    ProblemFamily,
+    as_problem_family,
+    heterogeneous_family,
+    homogeneity_family,
+    repetition_family,
+    scenario_family,
+)
 from .generators import many_groups_problem, random_problem, skewed_repetition_problem
 from .scenarios import (
     PAPER_BUDGETS,
+    heterogeneous_tasks,
     heterogeneous_workload,
+    homogeneity_tasks,
     homogeneity_workload,
+    repetition_tasks,
     repetition_workload,
     scenario_workload,
 )
@@ -21,15 +32,24 @@ __all__ = [
     "AMT_VOTE_ATTRACTIVENESS",
     "AMT_VOTE_PROCESSING_SECONDS",
     "PAPER_BUDGETS",
+    "ProblemFamily",
     "amt_market",
     "amt_pricing_model",
     "amt_task_type",
     "amt_worker_pool",
+    "as_problem_family",
+    "heterogeneous_family",
+    "heterogeneous_tasks",
     "heterogeneous_workload",
+    "homogeneity_family",
+    "homogeneity_tasks",
     "homogeneity_workload",
     "many_groups_problem",
     "random_problem",
+    "repetition_family",
+    "repetition_tasks",
     "repetition_workload",
+    "scenario_family",
     "scenario_workload",
     "skewed_repetition_problem",
 ]

@@ -8,13 +8,20 @@ Fig. 2's grid: three scenarios × six λ_o(c) curves, 100 tasks, budgets
 * **Heterogeneous** — 50 tasks × 3 reps (λ_p = 2.0) + 50 tasks × 5
   reps (λ_p = 3.0).
 
-Each factory returns an :class:`~repro.core.problem.HTuningProblem`
-for a given budget and Fig. 2 pricing case.
+Two layers:
+
+* ``*_tasks`` builders return the budget-independent
+  :class:`~repro.core.problem.TaskSpec` lists — the inputs a
+  :class:`~repro.workloads.families.ProblemFamily` shares across a
+  whole budget sweep;
+* ``*_workload`` factories wrap them into a single-budget
+  :class:`~repro.core.problem.HTuningProblem` (the historical per-call
+  API, now routed through the family layer so both paths build the
+  exact same specs).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
 from ..core.problem import HTuningProblem, TaskSpec
@@ -23,6 +30,9 @@ from ..market.pricing import PricingModel, fig2_model
 
 __all__ = [
     "PAPER_BUDGETS",
+    "homogeneity_tasks",
+    "repetition_tasks",
+    "heterogeneous_tasks",
     "homogeneity_workload",
     "repetition_workload",
     "heterogeneous_workload",
@@ -33,16 +43,15 @@ __all__ = [
 PAPER_BUDGETS: tuple[int, ...] = tuple(range(1000, 5001, 500))
 
 
-def homogeneity_workload(
-    budget: int,
+def homogeneity_tasks(
     case: str = "a",
     n_tasks: int = 100,
     repetitions: int = 5,
     processing_rate: float = 2.0,
-) -> HTuningProblem:
-    """Scenario I instance: *n_tasks* identical tasks × *repetitions*."""
+) -> list[TaskSpec]:
+    """Scenario I task set: *n_tasks* identical tasks × *repetitions*."""
     pricing = fig2_model(case)
-    tasks = [
+    return [
         TaskSpec(
             task_id=i,
             repetitions=repetitions,
@@ -52,17 +61,15 @@ def homogeneity_workload(
         )
         for i in range(n_tasks)
     ]
-    return HTuningProblem(tasks, budget)
 
 
-def repetition_workload(
-    budget: int,
+def repetition_tasks(
     case: str = "a",
     n_tasks: int = 100,
     repetition_split: tuple[int, int] = (3, 5),
     processing_rate: float = 2.0,
-) -> HTuningProblem:
-    """Scenario II instance: half the tasks at each repetition count."""
+) -> list[TaskSpec]:
+    """Scenario II task set: half the tasks at each repetition count."""
     if len(repetition_split) != 2:
         raise ModelError("repetition_split must have two entries")
     pricing = fig2_model(case)
@@ -79,17 +86,16 @@ def repetition_workload(
                 type_name="repe",
             )
         )
-    return HTuningProblem(tasks, budget)
+    return tasks
 
 
-def heterogeneous_workload(
-    budget: int,
+def heterogeneous_tasks(
     case: str = "a",
     n_tasks: int = 100,
     repetition_split: tuple[int, int] = (3, 5),
     processing_rates: tuple[float, float] = (2.0, 3.0),
-) -> HTuningProblem:
-    """Scenario III instance: two groups differing in reps *and* λ_p."""
+) -> list[TaskSpec]:
+    """Scenario III task set: two groups differing in reps *and* λ_p."""
     if len(repetition_split) != 2 or len(processing_rates) != 2:
         raise ModelError("repetition_split and processing_rates need two entries")
     pricing = fig2_model(case)
@@ -106,18 +112,57 @@ def heterogeneous_workload(
                 type_name=f"heter-{which}",
             )
         )
-    return HTuningProblem(tasks, budget)
+    return tasks
+
+
+def homogeneity_workload(
+    budget: int,
+    case: str = "a",
+    n_tasks: int = 100,
+    repetitions: int = 5,
+    processing_rate: float = 2.0,
+) -> HTuningProblem:
+    """Scenario I instance: *n_tasks* identical tasks × *repetitions*."""
+    return HTuningProblem(
+        homogeneity_tasks(case, n_tasks, repetitions, processing_rate), budget
+    )
+
+
+def repetition_workload(
+    budget: int,
+    case: str = "a",
+    n_tasks: int = 100,
+    repetition_split: tuple[int, int] = (3, 5),
+    processing_rate: float = 2.0,
+) -> HTuningProblem:
+    """Scenario II instance: half the tasks at each repetition count."""
+    return HTuningProblem(
+        repetition_tasks(case, n_tasks, repetition_split, processing_rate),
+        budget,
+    )
+
+
+def heterogeneous_workload(
+    budget: int,
+    case: str = "a",
+    n_tasks: int = 100,
+    repetition_split: tuple[int, int] = (3, 5),
+    processing_rates: tuple[float, float] = (2.0, 3.0),
+) -> HTuningProblem:
+    """Scenario III instance: two groups differing in reps *and* λ_p."""
+    return HTuningProblem(
+        heterogeneous_tasks(case, n_tasks, repetition_split, processing_rates),
+        budget,
+    )
 
 
 def scenario_workload(scenario: str, budget: int, case: str = "a", **kwargs):
-    """Dispatch by scenario name: 'homo' | 'repe' | 'heter'."""
-    factories = {
-        "homo": homogeneity_workload,
-        "repe": repetition_workload,
-        "heter": heterogeneous_workload,
-    }
-    if scenario not in factories:
-        raise ModelError(
-            f"unknown scenario {scenario!r}; expected one of {sorted(factories)}"
-        )
-    return factories[scenario](budget, case=case, **kwargs)
+    """Dispatch by scenario name: 'homo' | 'repe' | 'heter'.
+
+    Builds the single-budget problem through the scenario's
+    :class:`~repro.workloads.families.ProblemFamily`, so ad-hoc calls
+    and budget sweeps share one spec-construction path.
+    """
+    from .families import scenario_family
+
+    return scenario_family(scenario, case=case, **kwargs).problem_at(budget)

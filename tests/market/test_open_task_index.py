@@ -1,0 +1,221 @@
+"""The weight-tree open-task indexes: O(log n) arrivals with seeded
+trajectories bit-identical to the historical linear scan."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.market import (
+    AgentSimulator,
+    TaskType,
+    TraceRecorder,
+    WorkerPool,
+)
+from repro.market.simulator import AtomicTaskOrder
+from repro.market.worker import (
+    ChoiceModel,
+    GreedyPriceChoice,
+    PriceProportionalChoice,
+    SoftmaxChoice,
+    _FenwickTree,
+    _LinearTaskIndex,
+)
+
+
+@pytest.fixture
+def vote_type():
+    return TaskType("vote", processing_rate=2.0)
+
+
+class TestFenwickTree:
+    def test_append_update_total(self):
+        tree = _FenwickTree()
+        for w in (1.0, 2.0, 3.0, 4.0):
+            tree.append(w)
+        assert tree.total() == pytest.approx(10.0)
+        tree.update(1, 0.0)  # tombstone
+        assert tree.total() == pytest.approx(8.0)
+        assert len(tree) == 4
+
+    def test_search_matches_cumsum_searchsorted(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            n = int(rng.integers(1, 50))
+            weights = rng.uniform(0.0, 4.0, n)
+            weights[rng.random(n) < 0.3] = 0.0  # tombstones
+            tree = _FenwickTree()
+            for w in weights:
+                tree.append(float(w))
+            total = weights.sum()
+            if total <= 0:
+                continue
+            cumsum = np.cumsum(weights)
+            for _ in range(5):
+                u = float(rng.uniform(0, total * (1 - 1e-12)))
+                expected = int(np.searchsorted(cumsum, u, side="right"))
+                assert tree.search(u) == expected
+
+    def test_search_skips_tombstones(self):
+        tree = _FenwickTree()
+        for w in (0.0, 5.0, 0.0, 3.0):
+            tree.append(w)
+        assert tree.search(0.0) == 1
+        assert tree.search(5.0) == 3  # lands in the second live slot
+
+
+def _run_trajectory(model, seed, n_tasks=30, force_linear=False):
+    """Full agent-simulator trajectory under *model*."""
+    if force_linear:
+        # The historical path: materialize the insertion-ordered list
+        # and call the model's linear choose() per arrival.
+        model.make_index = lambda: _LinearTaskIndex(model)
+    pool = WorkerPool(arrival_rate=5.0, choice_model=model)
+    sim = AgentSimulator(pool, seed=seed)
+    task_type = TaskType("vote", processing_rate=2.0)
+    orders = [
+        AtomicTaskOrder(
+            task_type=task_type,
+            prices=(1 + i % 5,) * (1 + i % 3),
+            atomic_task_id=i,
+        )
+        for i in range(n_tasks)
+    ]
+    recorder = TraceRecorder(keep_events=True)
+    result = sim.run_job(orders, recorder=recorder)
+    records = [
+        (r.atomic_task_id, r.repetition_index, r.accepted_at, r.completed_at)
+        for r in recorder.records
+    ]
+    return result.makespan, result.per_atomic_completion, records
+
+
+MODELS = [
+    lambda: PriceProportionalChoice(),
+    lambda: PriceProportionalChoice(leave_weight=3.0),
+    lambda: SoftmaxChoice(beta=1.5, leave_utility=0.3),
+    lambda: GreedyPriceChoice(),
+]
+
+
+class TestTrajectoryBitIdentity:
+    @pytest.mark.parametrize("make_model", MODELS)
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_tree_matches_linear_reference(self, make_model, seed):
+        """Seeded trajectories are bit-identical between the weight-tree
+        index and the historical linear scan, model by model."""
+        tree = _run_trajectory(make_model(), seed)
+        linear = _run_trajectory(make_model(), seed, force_linear=True)
+        assert tree == linear
+
+    def test_custom_model_uses_linear_fallback(self, vote_type):
+        class TakeFirst(ChoiceModel):
+            def choose(self, open_tasks, rng):
+                return open_tasks[0] if open_tasks else None
+
+        makespan, per_atomic, records = _run_trajectory(TakeFirst(), seed=4)
+        assert makespan > 0
+        assert len(per_atomic) == 30
+
+
+class TestIndexBookkeeping:
+    def test_weighted_index_add_discard(self, vote_type):
+        index = PriceProportionalChoice().make_index()
+        from repro.market.task import PublishedTask
+
+        tasks = [
+            PublishedTask(
+                task_type=vote_type,
+                price=p,
+                atomic_task_id=i,
+                repetition_index=0,
+            )
+            for i, p in enumerate((3, 5, 2))
+        ]
+        for t in tasks:
+            index.add(t)
+        assert len(index) == 3
+        index.discard(tasks[1])
+        assert len(index) == 2
+        index.discard(tasks[1])  # double discard is a no-op
+        assert len(index) == 2
+        rng = np.random.default_rng(0)
+        chosen = index.choose(rng)
+        assert chosen in (tasks[0], tasks[2])
+
+    def test_empty_index_consumes_no_rng(self):
+        index = PriceProportionalChoice().make_index()
+        rng = np.random.default_rng(0)
+        before = rng.bit_generator.state
+        assert index.choose(rng) is None
+        assert rng.bit_generator.state == before
+
+    def test_softmax_index_extreme_utilities_stay_finite(self):
+        """Regression: the index must keep the linear path's max-shift
+        stabilization — huge β·log(p·a) must not overflow, and deeply
+        negative utilities must not underflow every task to weight 0."""
+        from repro.market.task import PublishedTask
+
+        # Overflow case: (1e4)^120 would exceed float range raw.
+        rich = TaskType("rich", processing_rate=1.0, attractiveness=1e2)
+        model = SoftmaxChoice(beta=120.0, leave_utility=0.0)
+        index = model.make_index()
+        task = PublishedTask(
+            task_type=rich, price=100, atomic_task_id=0, repetition_index=0
+        )
+        index.add(task)  # must not raise OverflowError
+        assert index.choose(np.random.default_rng(0)) is task
+
+        # Underflow case: exp(-921) is 0.0 raw; the linear path still
+        # picks the task because the leave option sits even lower.
+        poor = TaskType("poor", processing_rate=1.0, attractiveness=0.01)
+        model = SoftmaxChoice(beta=200.0, leave_utility=-1000.0)
+        index = model.make_index()
+        task = PublishedTask(
+            task_type=poor, price=1, atomic_task_id=0, repetition_index=0
+        )
+        index.add(task)
+        assert index.choose(np.random.default_rng(0)) is task
+        assert model.choose([task], np.random.default_rng(0)) is task
+
+    def test_softmax_index_tracks_departing_maximum(self):
+        """Removing the dominant task re-shifts the reference so the
+        remaining pool keeps sane weights."""
+        from repro.market.task import PublishedTask
+
+        model = SoftmaxChoice(beta=100.0, leave_utility=-1e6)
+        index = model.make_index()
+        big_type = TaskType("big", processing_rate=1.0, attractiveness=100.0)
+        small_type = TaskType("small", processing_rate=1.0, attractiveness=0.1)
+        big = PublishedTask(
+            task_type=big_type, price=50, atomic_task_id=0, repetition_index=0
+        )
+        small = PublishedTask(
+            task_type=small_type, price=1, atomic_task_id=1, repetition_index=0
+        )
+        index.add(big)
+        index.add(small)
+        index.discard(big)
+        # After the max departs, `small` (now ~exp(-1081) against the
+        # stale reference) must still be selectable.
+        assert index.choose(np.random.default_rng(0)) is small
+
+    def test_greedy_index_prefers_price_then_publish_order(self, vote_type):
+        from repro.market.task import PublishedTask
+
+        index = GreedyPriceChoice().make_index()
+        a = PublishedTask(
+            task_type=vote_type, price=5, atomic_task_id=0, repetition_index=0
+        )
+        b = PublishedTask(
+            task_type=vote_type, price=5, atomic_task_id=1, repetition_index=0
+        )
+        c = PublishedTask(
+            task_type=vote_type, price=9, atomic_task_id=2, repetition_index=0
+        )
+        for t in (a, b, c):
+            index.add(t)
+        rng = np.random.default_rng(0)
+        assert index.choose(rng) is c
+        index.discard(c)
+        assert index.choose(rng) is a  # earliest uid wins the tie

@@ -1,0 +1,166 @@
+"""Unit tests for repro.perf.engine (registry) + chunked sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Allocation
+from repro.core.latency import sample_job_latencies
+from repro.errors import ModelError
+from repro.perf import (
+    BatchEngine,
+    ChunkedBatchEngine,
+    EvaluationEngine,
+    ScalarEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+    sample_job_latencies_batch,
+)
+from repro.perf.engine import _REGISTRY
+from repro.workloads import repetition_workload
+
+
+@pytest.fixture
+def problem():
+    return repetition_workload(budget=300, n_tasks=12)
+
+
+@pytest.fixture
+def allocation(problem):
+    return Allocation.uniform(problem, 2)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_engines()
+        assert {"scalar", "batch", "chunked-batch"} <= set(names)
+
+    def test_get_engine_by_name(self):
+        assert isinstance(get_engine("scalar"), ScalarEngine)
+        assert isinstance(get_engine("batch"), BatchEngine)
+        assert isinstance(get_engine("chunked-batch"), ChunkedBatchEngine)
+
+    def test_get_engine_passthrough(self):
+        engine = BatchEngine(chunk_rows=8)
+        assert get_engine(engine) is engine
+
+    def test_none_resolves_to_default(self):
+        assert get_engine(None).name == "scalar"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ModelError):
+            get_engine("vibes")
+
+    def test_register_requires_name_and_rejects_duplicates(self):
+        class Nameless(EvaluationEngine):
+            name = ""
+
+        with pytest.raises(ModelError):
+            register_engine(Nameless())
+        with pytest.raises(ModelError):
+            register_engine(ScalarEngine())  # "scalar" already bound
+
+    def test_register_replace(self):
+        custom = ChunkedBatchEngine(chunk_rows=4)
+        original = _REGISTRY["chunked-batch"]
+        try:
+            register_engine(custom, replace=True)
+            assert get_engine("chunked-batch") is custom
+        finally:
+            register_engine(original, replace=True)
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("name", ["scalar", "batch", "chunked-batch"])
+    def test_bit_identical_across_engines(self, problem, allocation, name):
+        ref = sample_job_latencies(
+            problem, allocation, 400, rng=np.random.default_rng(11)
+        )
+        out = get_engine(name).sample(
+            problem, allocation, 400, rng=np.random.default_rng(11)
+        )
+        assert np.array_equal(ref, out)
+
+    def test_engine_object_accepted_by_sample_job_latencies(
+        self, problem, allocation
+    ):
+        ref = sample_job_latencies(
+            problem, allocation, 100, rng=np.random.default_rng(2)
+        )
+        out = sample_job_latencies(
+            problem,
+            allocation,
+            100,
+            rng=np.random.default_rng(2),
+            engine=BatchEngine(chunk_rows=3),
+        )
+        assert np.array_equal(ref, out)
+
+    def test_invalid_chunk_rows(self):
+        with pytest.raises(ModelError):
+            BatchEngine(chunk_rows=0)
+
+
+class TestChunkedSamplingProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        chunk_rows=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_samples=st.integers(min_value=1, max_value=64),
+    )
+    def test_chunked_bit_identical_to_unchunked(
+        self, chunk_rows, seed, n_samples
+    ):
+        problem = repetition_workload(budget=200, n_tasks=8)
+        allocation = Allocation.uniform(problem, 2)
+        ref = sample_job_latencies_batch(
+            problem, allocation, n_samples, rng=np.random.default_rng(seed)
+        )
+        out = sample_job_latencies_batch(
+            problem,
+            allocation,
+            n_samples,
+            rng=np.random.default_rng(seed),
+            chunk_rows=chunk_rows,
+        )
+        assert np.array_equal(ref, out)
+
+    def test_chunk_rows_one_still_identical(self, problem, allocation):
+        ref = sample_job_latencies_batch(
+            problem, allocation, 50, rng=np.random.default_rng(0)
+        )
+        out = sample_job_latencies_batch(
+            problem, allocation, 50, rng=np.random.default_rng(0), chunk_rows=1
+        )
+        assert np.array_equal(ref, out)
+
+    def test_invalid_chunk_rows(self, problem, allocation):
+        with pytest.raises(ModelError):
+            sample_job_latencies_batch(
+                problem, allocation, 10, chunk_rows=0
+            )
+
+
+class TestChunkedMakespans:
+    def test_chunk_samples_bit_identical(self):
+        from repro.market import LinearPricing, MarketModel, TaskType
+        from repro.market.simulator import AtomicTaskOrder
+        from repro.perf import BatchAggregateSimulator
+
+        market = MarketModel(LinearPricing(slope=1.0, intercept=1.0))
+        task_type = TaskType("t", processing_rate=2.0)
+        orders = [
+            AtomicTaskOrder(task_type, (2,) * (1 + i % 3), i) for i in range(6)
+        ]
+        ref = BatchAggregateSimulator(market, seed=3).sample_makespans(
+            orders, 200
+        )
+        for chunk in (1, 7, 50, 199, 200, 500):
+            out = BatchAggregateSimulator(market, seed=3).sample_makespans(
+                orders, 200, chunk_samples=chunk
+            )
+            assert np.array_equal(ref, out), chunk
