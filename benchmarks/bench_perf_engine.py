@@ -20,14 +20,23 @@ Fig. 2-sized workload, against the seed implementations:
 * **Chunked batch sampling** — the scalar sampler vs the
   memory-bounded ``chunked-batch`` engine (bit-identity asserted for
   several chunk sizes).
+* **Deadline–cost frontier** — the seed scalar ``min_cost_for_deadline``
+  per deadline vs the batched deadline-kernel sweep
+  (``min_cost_for_deadline_sweep`` through ``deadline_cost_frontier``;
+  prices/costs/probabilities asserted identical).
 
 Run directly (``python benchmarks/bench_perf_engine.py``) to write
 ``BENCH_perf_engine.json`` at the repo root; the tier-1 suite runs a
 reduced smoke variant through ``tests/perf/test_bench_smoke.py``.
+CI's bench-drift job runs ``--quick --check BENCH_perf_engine.json``:
+reduced sizes, no JSON write, and a failure if any section loses the
+identity flags or regresses by more than the (generous) drift factor
+against the committed numbers.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import time
@@ -295,10 +304,77 @@ def bench_chunked_sampling(n_samples: int = 1000, n_tasks: int = 100) -> dict:
     }
 
 
+def bench_deadline_frontier(
+    n_tasks: int = 100, n_deadlines: int = 20, max_price: int = 50
+) -> dict:
+    """Seed per-deadline comparator vs the batched deadline-kernel sweep.
+
+    The reference is the preserved scalar ``min_cost_for_deadline``
+    (fresh kernel per probe, :mod:`repro.perf.reference`); the fast
+    path is ``deadline_cost_frontier`` over one family — shared
+    problem/groups, shared profile tables, batched ladder builds and
+    Poisson mixing, memoized completion terms.  The batched timing
+    clears the process-level phase caches first, so it measures a cold
+    sweep, not a warm rerun.
+    """
+    from repro.experiments.pareto import deadline_cost_frontier
+    from repro.perf import clear_phase_caches
+    from repro.perf.reference import reference_min_cost_for_deadline
+    from repro.workloads import repetition_family
+
+    family = repetition_family(n_tasks=n_tasks)
+    tasks = family.tasks
+    confidence = 0.9
+    deadlines = [float(d) for d in np.linspace(1.5, 12.0, n_deadlines)]
+
+    def reference():
+        return [
+            reference_min_cost_for_deadline(
+                tasks, d, confidence, max_price=max_price
+            )
+            for d in deadlines
+        ]
+
+    def batched():
+        clear_phase_caches()
+        return deadline_cost_frontier(
+            family, deadlines, confidence=confidence, max_price=max_price
+        )
+
+    seed_results = reference()
+    frontier = batched()
+    for seed, point in zip(seed_results, frontier.points):
+        if (
+            seed.group_prices != point.group_prices
+            or seed.cost != point.cost
+            or seed.achieved_probability != point.achieved_probability
+        ):
+            raise AssertionError(
+                f"batched deadline sweep diverged from the seed comparator "
+                f"at deadline {point.deadline}"
+            )
+    t_seed = _time(reference)
+    # The batched sweep is ~10× shorter per run, so scheduler noise is
+    # ~10× larger relative to it; more best-of repeats filter that out
+    # at negligible wall-clock cost.
+    t_batched = _time(batched, repeats=7)
+    return {
+        "workload": f"{n_deadlines} deadlines, {n_tasks} tasks, "
+        f"max_price={max_price}",
+        "seed_seconds": t_seed,
+        "batched_seconds": t_batched,
+        "seed_deadlines_per_sec": n_deadlines / t_seed,
+        "batched_deadlines_per_sec": n_deadlines / t_batched,
+        "speedup": t_seed / t_batched,
+        "outputs_identical": True,
+    }
+
+
 def run(
     n_samples: int = 1000,
     n_tasks: int = 100,
     n_budgets: int = 9,
+    n_deadlines: int = 20,
     write: bool = True,
 ) -> dict:
     results = {
@@ -307,23 +383,99 @@ def run(
         "budget_indexed_dp_sweep": bench_dp_sweep(n_tasks, n_budgets),
         "one_pass_strategy_sweep": bench_one_pass_sweep(n_tasks, n_budgets),
         "chunked_batch_sampling": bench_chunked_sampling(n_samples, n_tasks),
+        "deadline_frontier": bench_deadline_frontier(n_tasks, n_deadlines),
     }
     if write:
         RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
     return results
 
 
-def main() -> int:
-    results = run()
+#: ``--check`` tolerance: a section fails only when its fresh speedup
+#: drops below committed/DRIFT_FACTOR (and below the absolute floor of
+#: 1.0 it is merely reported) — generous on purpose, CI runners are
+#: noisy and quick mode runs reduced sizes.
+DRIFT_FACTOR = 10.0
+
+#: Identity keys a check run must see preserved, per section.
+_IDENTITY_KEYS = ("bit_identical", "outputs_identical")
+
+
+def check(results: dict, committed_path: pathlib.Path) -> list[str]:
+    """Compare a fresh run against the committed benchmark JSON.
+
+    Returns a list of human-readable failures (empty = healthy).  The
+    run itself already asserts every bit/output-identity contract; the
+    drift check adds (a) the identity flags must still be recorded
+    true and (b) no section's speedup may collapse by more than
+    :data:`DRIFT_FACTOR` versus the committed number while also
+    dropping below 1× (slower than the seed path it replaced).
+    """
+    committed = json.loads(committed_path.read_text())
+    failures: list[str] = []
+    for name, fresh in results.items():
+        base = committed.get(name)
+        if base is None:
+            continue  # new section, nothing committed to drift from
+        for key in _IDENTITY_KEYS:
+            if base.get(key, False) and not fresh.get(key, False):
+                failures.append(f"{name}: lost {key}")
+        required = base["speedup"] / DRIFT_FACTOR
+        if fresh["speedup"] < required and fresh["speedup"] < 1.0:
+            failures.append(
+                f"{name}: speedup {fresh['speedup']:.2f}x fell below "
+                f"{required:.2f}x (committed {base['speedup']:.2f}x / "
+                f"drift factor {DRIFT_FACTOR:g})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the repro.perf fast paths vs the seed code."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sizes, no JSON write (the CI bench-drift mode)",
+    )
+    parser.add_argument(
+        "--check",
+        type=pathlib.Path,
+        metavar="JSON",
+        help="compare against a committed benchmark JSON and exit "
+        "non-zero on large regressions",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        results = run(
+            n_samples=300,
+            n_tasks=50,
+            n_budgets=6,
+            n_deadlines=10,
+            write=False,
+        )
+    else:
+        results = run()
     print(json.dumps(results, indent=2))
-    print(f"\nwrote {RESULT_PATH}")
+    if not args.quick:
+        print(f"\nwrote {RESULT_PATH}")
     mc = results["mc_job_sampling"]["speedup"]
     dp = results["budget_indexed_dp_sweep"]["speedup"]
     op = results["one_pass_strategy_sweep"]["speedup"]
+    dl = results["deadline_frontier"]["speedup"]
     print(
         f"MC job sampling speedup: {mc:.1f}x; DP sweep speedup: {dp:.1f}x; "
-        f"one-pass strategy sweep speedup: {op:.1f}x"
+        f"one-pass strategy sweep speedup: {op:.1f}x; "
+        f"deadline frontier speedup: {dl:.1f}x"
     )
+    if args.check is not None:
+        failures = check(results, args.check)
+        if failures:
+            print("\nbench drift check FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("\nbench drift check passed")
     return 0
 
 

@@ -6,6 +6,7 @@ Usage::
     python -m repro table1               # motivation examples
     python -m repro fig2 --scenario homo --case a
     python -m repro fig3 | fig4 | fig5ab | fig5c
+    python -m repro deadline --scenario repe --confidence 0.9 0.95
     python -m repro all                  # everything (slow)
 
 Each command prints the same rows the corresponding figure/table plots
@@ -19,6 +20,7 @@ import sys
 from typing import Callable
 
 from .experiments import (
+    deadline_frontier_experiment,
     fig2_experiment,
     fig3_experiment,
     fig4_experiment,
@@ -162,6 +164,27 @@ def _cmd_fig5c(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_deadline(args: argparse.Namespace) -> None:
+    result = deadline_frontier_experiment(
+        scenario=args.scenario,
+        case=args.case,
+        n_tasks=args.tasks,
+        n_deadlines=args.points,
+        confidences=args.confidence,
+        max_price=args.max_price,
+        comparator=args.comparator,
+    )
+    print(
+        format_series(
+            "deadline",
+            [round(d, 4) for d in result.deadlines],
+            result.series,
+            title=f"Deadline–cost frontier {args.scenario}({args.case}) "
+            f"[{result.comparator}]",
+        )
+    )
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "table1": _cmd_table1,
     "fig2": _cmd_fig2,
@@ -169,6 +192,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "fig4": _cmd_fig4,
     "fig5ab": _cmd_fig5ab,
     "fig5c": _cmd_fig5c,
+    "deadline": _cmd_deadline,
 }
 
 
@@ -202,6 +226,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="Monte-Carlo sampling engine (resolved through the "
         "repro.perf.engine registry; all engines produce the same "
         "curves seed-for-seed — they differ in speed and memory)",
+    )
+    from .perf.deadline import (
+        DEFAULT_DEADLINE_COMPARATOR,
+        available_deadline_comparators,
+    )
+
+    deadline = sub.add_parser(
+        "deadline",
+        help="deadline–cost frontier (the [29] dual sweep)",
+    )
+    deadline.add_argument(
+        "--scenario", choices=["homo", "repe", "heter"], default="repe"
+    )
+    deadline.add_argument("--case", choices=list("abcdef"), default="a")
+    deadline.add_argument("--tasks", type=int, default=100)
+    deadline.add_argument("--points", type=int, default=10)
+    deadline.add_argument(
+        "--confidence",
+        type=float,
+        nargs="+",
+        default=[0.9],
+        help="target completion probabilities (one cost curve each)",
+    )
+    deadline.add_argument("--max-price", type=int, default=50)
+    deadline.add_argument(
+        "--comparator",
+        choices=list(available_deadline_comparators()),
+        default=DEFAULT_DEADLINE_COMPARATOR,
+        help="min-cost-for-deadline implementation (resolved through "
+        "the repro.perf.deadline registry; all comparators produce "
+        "identical curves — 'batched' shares kernels across the grid)",
     )
     fig3 = sub.add_parser("fig3", help="worker arrival moments")
     fig3.add_argument("--arrivals", type=int, default=20)

@@ -19,7 +19,9 @@ from .deadline import (
     DeadlineResult,
     completion_probability,
     latency_quantile,
+    latency_quantile_batch,
     min_cost_for_deadline,
+    min_cost_for_deadline_sweep,
 )
 from .quality import (
     QualityPlan,
@@ -79,8 +81,10 @@ __all__ = [
     "RoundOutcome",
     "completion_probability",
     "latency_quantile",
+    "latency_quantile_batch",
     "majority_correct_probability",
     "min_cost_for_deadline",
+    "min_cost_for_deadline_sweep",
     "plan_repetitions",
     "repetitions_for_quality",
     "HAResult",

@@ -14,45 +14,60 @@ faithful reproduction needs the comparator:
 * :func:`completion_probability` — ``P(job latency <= deadline)``
   evaluated exactly from the per-group phase-type cdfs.
 * :func:`latency_quantile` — inverse: the deadline achievable at a
-  given confidence under a given allocation.
+  given confidence under a given allocation;
+  :func:`latency_quantile_batch` evaluates a whole confidence vector
+  in one array bisection.
 
 Together with :mod:`repro.core.repetition` this exposes the paper's
 framing: [29] fixes the deadline and spends; H-Tuning fixes the spend
 and races.
+
+All hot paths route through the batched kernels of
+:mod:`repro.perf.deadline`: per-(group, price) completion terms are
+memoized over the process-level shared weight ladders, the greedy
+candidate scan is one array op per step, and quantile bisection is
+array-shaped.  Results are **bit-identical** to the seed scalar
+comparator, which is preserved as
+:func:`repro.perf.reference.reference_min_cost_for_deadline` and
+certified equal in ``tests/perf/test_deadline_kernel.py``.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Sequence
 
 import numpy as np
 
-from ..errors import BudgetError, ModelError
-from ..stats.phase_type import hypoexponential_cdf
-from .problem import Allocation, HTuningProblem, TaskGroup
+from ..errors import ModelError
+from .problem import Allocation, HTuningProblem
 
 __all__ = [
     "completion_probability",
     "latency_quantile",
+    "latency_quantile_batch",
     "DeadlineResult",
     "min_cost_for_deadline",
+    "min_cost_for_deadline_sweep",
 ]
 
 
-def _group_cdf_at(group: TaskGroup, price: int, deadline: float,
+def _group_cdf_at(group, price: int, deadline: float,
                   include_processing: bool = True) -> float:
     """``P(every task of the group finishes by deadline)``.
 
     One member task is a chain of k on-hold + k processing phases;
     members are independent, so the group cdf is the member cdf to the
-    n-th power.
+    n-th power.  Evaluated through the process-level shared ladders
+    (bit-identical to a fresh scalar kernel).
     """
+    from ..perf.cache import shared_ladder_sf
+
     rates = [group.onhold_rate(price)] * group.repetitions
     if include_processing:
         rates += [group.processing_rate] * group.repetitions
-    member = float(hypoexponential_cdf(rates, deadline))
+    member = 1.0 - float(shared_ladder_sf(rates, np.array([deadline]))[0])
     if member <= 0.0:
         return 0.0
     return member**group.size
@@ -83,37 +98,45 @@ def latency_quantile(
     confidence: float,
     include_processing: bool = True,
 ) -> float:
-    """Smallest deadline met with probability >= *confidence*."""
+    """Smallest deadline met with probability >= *confidence*.
+
+    Routed through the array bisection of
+    :func:`repro.perf.deadline.deadline_quantile_bisection` with a
+    length-1 confidence vector, which follows the exact float path of
+    the seed scalar bisection — same bracket doubling, same midpoint
+    sequence, bit-identical result — while sharing the per-group
+    weight ladders across every probe.
+    """
     if not 0.0 < confidence < 1.0:
         raise ModelError(f"confidence must be in (0,1), got {confidence}")
-    # Bracket: start from the sum of group means, double until the
-    # completion probability clears the target.
-    from .latency import group_onhold_latency, group_processing_latency
-
-    hi = sum(
-        group_onhold_latency(g, group_prices[g.key])
-        + (group_processing_latency(g) if include_processing else 0.0)
-        for g in problem.groups()
+    return float(
+        latency_quantile_batch(
+            problem, group_prices, [confidence], include_processing
+        )[0]
     )
-    hi = max(hi, 1e-9)
-    while (
-        completion_probability(problem, group_prices, hi, include_processing)
-        < confidence
-    ):
-        hi *= 2.0
-        if hi > 1e12:
-            raise ModelError("quantile search diverged; rates too small?")
-    lo = 0.0
-    for _ in range(80):
-        mid = 0.5 * (lo + hi)
-        if (
-            completion_probability(problem, group_prices, mid, include_processing)
-            >= confidence
-        ):
-            hi = mid
-        else:
-            lo = mid
-    return hi
+
+
+def latency_quantile_batch(
+    problem: HTuningProblem,
+    group_prices: dict[tuple, int],
+    confidences: Sequence[float],
+    include_processing: bool = True,
+) -> np.ndarray:
+    """Latency quantiles for a whole confidence vector at once.
+
+    One array bisection: each iteration evaluates every group's sf on
+    the full midpoint vector (one midpoint per confidence), so the
+    kernel cost per iteration is one array call per group regardless
+    of how many confidences are requested.  See
+    :func:`repro.perf.deadline.deadline_quantile_bisection` for the
+    exactness contract (length-1 vectors are bit-identical to the
+    scalar path; longer vectors agree to truncation tolerance).
+    """
+    from ..perf.deadline import deadline_quantile_bisection
+
+    return deadline_quantile_bisection(
+        problem.groups(), group_prices, confidences, include_processing
+    )
 
 
 @dataclass(frozen=True)
@@ -160,118 +183,163 @@ def min_cost_for_deadline(
     greedy ascent terminates at a price vector from which no single
     decrement stays feasible — a minimal feasible point; tests compare
     it against exhaustive search on small instances.
+
+    The ascent runs on a :class:`repro.perf.deadline.DeadlineKernel`:
+    every ``(group, price)`` completion term is computed once (through
+    the shared weight ladders) and the candidate scan scores all
+    groups' increments in one array op.  The greedy trajectory, the
+    trim, and every returned number are bit-identical to the seed
+    scalar comparator
+    (:func:`repro.perf.reference.reference_min_cost_for_deadline`).
     """
+    from ..perf.deadline import DeadlineKernel
+
     if deadline <= 0:
         raise ModelError(f"deadline must be positive, got {deadline}")
     if not 0.0 < confidence < 1.0:
         raise ModelError(f"confidence must be in (0,1), got {confidence}")
+    problem, groups = _deadline_problem(problem_tasks, max_price)
+    kernel = DeadlineKernel(
+        groups, deadline, include_processing, price_cap=max_price
+    )
+    return _min_cost_with_kernel(
+        problem, groups, kernel, confidence, max_price
+    )
+
+
+def min_cost_for_deadline_sweep(
+    problem_tasks,
+    deadlines: Sequence[float],
+    confidence: float = 0.9,
+    max_price: int = 1_000,
+    include_processing: bool = True,
+) -> dict[float, DeadlineResult]:
+    """:func:`min_cost_for_deadline` over a whole deadline grid.
+
+    Each deadline's result is **bit-identical** to the single-deadline
+    call; what is shared across the grid is everything that does not
+    depend on the deadline — the problem/group construction, the
+    per-(group, price) rate-profile table, and (via the process-level
+    cache) the uniformization weight ladders, which dominate a cold
+    comparator run.  Deadlines are processed largest-first so the
+    ladders are sized once at their widest need instead of being
+    rebuilt as the grid tightens; the returned dict is keyed by the
+    requested deadlines in their given order.
+    """
+    from ..perf.deadline import DeadlineKernel, processing_ceilings
+
+    if not 0.0 < confidence < 1.0:
+        raise ModelError(f"confidence must be in (0,1), got {confidence}")
+    deadlines = [float(d) for d in deadlines]
+    if not deadlines:
+        raise ModelError("need at least one deadline")
+    grid = sorted(set(deadlines), reverse=True)
+    if grid[-1] <= 0:
+        raise ModelError(f"deadline must be positive, got {grid[-1]}")
+    problem, groups = _deadline_problem(problem_tasks, max_price)
+    profile_table: dict = {}
+    ceilings = (
+        processing_ceilings(groups, grid) if include_processing else {}
+    )
+    results: dict[float, DeadlineResult] = {}
+    for deadline in grid:
+        kernel = DeadlineKernel(
+            groups,
+            deadline,
+            include_processing,
+            price_cap=max_price,
+            profile_table=profile_table,
+            ceiling=ceilings.get(deadline),
+        )
+        results[deadline] = _min_cost_with_kernel(
+            problem, groups, kernel, confidence, max_price
+        )
+    return {d: results[d] for d in deadlines}
+
+
+def _deadline_problem(problem_tasks, max_price: int):
+    """The dual problem's host instance: budget = every rep at max_price."""
     tasks = list(problem_tasks)
     if not tasks:
         raise ModelError("need at least one task")
     total_reps = sum(t.repetitions for t in tasks)
-    # Budget bound: every repetition at max_price.
     problem = HTuningProblem(tasks, budget=total_reps * max_price)
-    groups = problem.groups()
+    return problem, problem.groups()
 
-    prices = {g.key: 1 for g in groups}
+
+def _min_cost_with_kernel(
+    problem: HTuningProblem,
+    groups,
+    kernel,
+    confidence: float,
+    max_price: int,
+) -> DeadlineResult:
+    """The greedy ascent + trim, driven by one :class:`DeadlineKernel`."""
+    deadline = kernel.deadline
+    include_processing = kernel.include_processing
+    prices = np.ones(len(groups), dtype=np.int64)
+
+    def result_at(price_vec: np.ndarray) -> DeadlineResult:
+        group_prices = {
+            g.key: int(price_vec[i]) for i, g in enumerate(groups)
+        }
+        achieved = kernel.completion_probability(price_vec)
+        allocation = Allocation.from_group_prices(problem, group_prices)
+        return DeadlineResult(
+            allocation=allocation,
+            group_prices=group_prices,
+            cost=allocation.total_cost,
+            achieved_probability=achieved,
+            deadline=deadline,
+            confidence=confidence,
+        )
 
     if include_processing:
         # Feasibility ceiling: with infinitely fast acceptance the job
         # still needs its processing phases.  If even that misses the
         # target, no price vector is feasible — report immediately
         # instead of climbing the price ladder chasing vanishing gains.
-        ceiling = 1.0
-        for g in groups:
-            member = float(
-                hypoexponential_cdf(
-                    [g.processing_rate] * g.repetitions, deadline
-                )
-            )
-            ceiling *= member**g.size if member > 0 else 0.0
-        if ceiling < confidence:
-            achieved = completion_probability(
-                problem, prices, deadline, include_processing
-            )
-            allocation = Allocation.from_group_prices(problem, prices)
-            return DeadlineResult(
-                allocation=allocation,
-                group_prices=prices,
-                cost=allocation.total_cost,
-                achieved_probability=achieved,
-                deadline=deadline,
-                confidence=confidence,
-            )
-    log_terms = {
-        g.key: _safe_log(_group_cdf_at(g, 1, deadline, include_processing))
-        for g in groups
-    }
+        if kernel.processing_ceiling() < confidence:
+            return result_at(prices)
+
+    kernel.prewarm(prices)
+    cur_terms = kernel.log_terms(prices)
     target_log = math.log(confidence)
 
-    def total_log() -> float:
-        return sum(log_terms.values())
-
-    while total_log() < target_log:
-        best_gain = -math.inf
-        best_group: Optional[TaskGroup] = None
-        best_new = 0.0
-        for g in groups:
-            p = prices[g.key]
-            if p >= max_price:
-                continue
-            new_term = _safe_log(
-                _group_cdf_at(g, p + 1, deadline, include_processing)
-            )
-            gain = (new_term - log_terms[g.key]) / g.unit_cost
-            if gain > best_gain:
-                best_gain = gain
-                best_group = g
-                best_new = new_term
-        if best_group is None or best_gain <= 1e-15:
+    # `sum` over a python list matches the seed's left-to-right dict
+    # accumulation (numpy's pairwise reduction would not).
+    while sum(cur_terms.tolist()) < target_log:
+        best, best_gain, best_new = kernel.best_increment(
+            prices, cur_terms, max_price
+        )
+        if best < 0 or best_gain <= 1e-15:
             # No increment helps measurably: further spend chases a
             # vanishing tail (acceptance already effectively instant).
             break
-        prices[best_group.key] += 1
-        log_terms[best_group.key] = best_new
+        prices[best] += 1
+        cur_terms[best] = best_new
 
     # Trim: drop any unit whose removal keeps feasibility (makes the
-    # greedy point minimal).
+    # greedy point minimal).  Every probe is a memo lookup.
     improved = True
     while improved:
         improved = False
-        for g in groups:
-            p = prices[g.key]
+        for gi in range(len(groups)):
+            p = int(prices[gi])
             if p <= 1:
                 continue
-            trial = dict(prices)
-            trial[g.key] = p - 1
             if (
-                completion_probability(
-                    problem, trial, deadline, include_processing
-                )
+                kernel.completion_probability(prices, override=(gi, p - 1))
                 >= confidence
             ):
-                prices[g.key] = p - 1
-                log_terms[g.key] = _safe_log(
-                    _group_cdf_at(g, p - 1, deadline, include_processing)
-                )
+                prices[gi] = p - 1
+                cur_terms[gi] = kernel.log_term(gi, p - 1)
                 improved = True
 
-    achieved = completion_probability(
-        problem, prices, deadline, include_processing
-    )
-    allocation = Allocation.from_group_prices(problem, prices)
-    cost = allocation.total_cost
-    return DeadlineResult(
-        allocation=allocation,
-        group_prices=prices,
-        cost=cost,
-        achieved_probability=achieved,
-        deadline=deadline,
-        confidence=confidence,
-    )
+    return result_at(prices)
 
 
-def _safe_log(x: float) -> float:
-    if x <= 0.0:
-        return -1e30
-    return math.log(x)
+#: Sweep capability marker the frontier harness looks up: a comparator
+#: with a ``deadline_sweep`` attribute can tune a whole grid with
+#: shared tables (see :func:`repro.experiments.pareto.deadline_cost_frontier`).
+min_cost_for_deadline.deadline_sweep = min_cost_for_deadline_sweep

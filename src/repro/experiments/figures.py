@@ -38,7 +38,7 @@ from ..workloads.amt import (
 )
 from ..workloads.families import ProblemFamily, scenario_family
 from ..workloads.scenarios import PAPER_BUDGETS
-from .runner import SweepResult, run_budget_sweep
+from .runner import DeadlineSweepResult, SweepResult, run_budget_sweep
 
 __all__ = [
     "motivation_example_1",
@@ -54,6 +54,7 @@ __all__ = [
     "Fig5abResult",
     "fig5c_experiment",
     "Fig5cResult",
+    "deadline_frontier_experiment",
 ]
 
 
@@ -194,6 +195,60 @@ def fig2_experiment(
         seed=seed,
         label=f"fig2-{scenario}({case})",
         engine=engine,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deadline–cost frontier — the [29] comparator's dual sweep
+# ---------------------------------------------------------------------------
+
+
+def deadline_frontier_experiment(
+    scenario: str = "repe",
+    case: str = "a",
+    n_tasks: int = 100,
+    n_deadlines: int = 10,
+    confidences: Sequence[float] = (0.9,),
+    max_price: int = 50,
+    deadlines: Optional[Sequence[float]] = None,
+    comparator=None,
+) -> DeadlineSweepResult:
+    """Deadline–cost curves on a Fig. 2 workload (the [29] dual).
+
+    Where Fig. 2 fixes budgets and plots tuned latency, this sweep
+    fixes deadlines and plots the cheapest spend meeting each at the
+    target confidence(s).  When *deadlines* is omitted the grid spans
+    the workload's own latency range: from the quantile achievable at
+    a generous uniform price (tight end) to the quantile at the
+    one-unit floor (loose end), so every scenario/case lands on its
+    interesting region automatically.  ``comparator`` resolves through
+    the deadline-comparator registry exactly as engine strings do.
+    """
+    from ..core.deadline import latency_quantile_batch
+    from .runner import run_deadline_sweep
+
+    family = scenario_family(scenario, case=case, n_tasks=n_tasks)
+    if not confidences:
+        raise ModelError("need at least one confidence")
+    if deadlines is None:
+        if n_deadlines < 2:
+            raise ModelError(f"need >= 2 deadlines, got {n_deadlines}")
+        conf = max(float(c) for c in confidences)
+        problem = family.problem_at(
+            family.total_repetitions * max(int(max_price), 1)
+        )
+        rich = {g.key: max(int(max_price) // 2, 1) for g in problem.groups()}
+        floor = {g.key: 1 for g in problem.groups()}
+        tight = float(latency_quantile_batch(problem, rich, [conf])[0])
+        loose = float(latency_quantile_batch(problem, floor, [conf])[0])
+        deadlines = np.linspace(tight, loose, int(n_deadlines))
+    return run_deadline_sweep(
+        family,
+        deadlines=[float(d) for d in deadlines],
+        confidences=confidences,
+        max_price=max_price,
+        comparator=comparator,
+        label=f"deadline-{scenario}({case})",
     )
 
 

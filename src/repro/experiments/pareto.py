@@ -1,4 +1,4 @@
-"""Budget–latency trade-off exploration.
+"""Budget–latency trade-off exploration (both directions).
 
 The H-Tuning problem fixes the budget and minimizes latency; a
 requester deciding *how much* to spend needs the whole frontier.
@@ -7,28 +7,42 @@ the expected job latency, producing the curve a practitioner reads off
 before committing money — plus the "knee" heuristic (max curvature
 point) that marks where extra spend stops paying.
 
-This also doubles as the bridge between the paper and its
-deadline-constrained relative [29]: inverting the frontier answers
-"what is the cheapest budget whose tuned latency meets deadline D?"
-(:func:`min_budget_for_latency`).
+The deadline-constrained relative [29] asks the dual question:
+:func:`deadline_cost_frontier` sweeps a deadline grid and reports the
+cheapest spend meeting each deadline at a target confidence — the
+curve [29]'s requester reads before committing to an SLA.  The sweep
+resolves its comparator through the
+:mod:`repro.perf.deadline` registry (``"batched"`` shares ladders and
+profile tables across the whole grid; ``"reference"`` is the preserved
+seed comparator) and both produce identical curves.
+
+:func:`min_budget_for_latency` bridges the two framings: the cheapest
+budget whose *tuned expected latency* meets a target.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 from ..core.latency import expected_job_latency
-from ..core.problem import Allocation, HTuningProblem
+from ..core.problem import Allocation, HTuningProblem, TaskSpec
 from ..core.tuner import Tuner, tune_budget_sweep
 from ..errors import ModelError
 from ..stats.rng import RandomState
 from ..workloads.families import ProblemFamily, as_problem_family
 
-__all__ = ["FrontierPoint", "BudgetLatencyFrontier", "budget_latency_frontier",
-           "min_budget_for_latency"]
+__all__ = [
+    "FrontierPoint",
+    "BudgetLatencyFrontier",
+    "budget_latency_frontier",
+    "DeadlineFrontierPoint",
+    "DeadlineCostFrontier",
+    "deadline_cost_frontier",
+    "min_budget_for_latency",
+]
 
 
 @dataclass(frozen=True)
@@ -159,6 +173,135 @@ def budget_latency_frontier(
         for (budget, _, _, strategy), latency in zip(entries, latencies)
     ]
     return BudgetLatencyFrontier(points=tuple(points))
+
+
+@dataclass(frozen=True)
+class DeadlineFrontierPoint:
+    """One (deadline, cheapest cost) point of the dual frontier."""
+
+    deadline: float
+    cost: int
+    achieved_probability: float
+    feasible: bool
+    group_prices: dict = None
+
+
+@dataclass(frozen=True)
+class DeadlineCostFrontier:
+    """A swept deadline–cost curve (the [29] dual of the budget curve)."""
+
+    points: tuple[DeadlineFrontierPoint, ...]
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ModelError("frontier needs at least one point")
+
+    @property
+    def deadlines(self) -> tuple[float, ...]:
+        return tuple(p.deadline for p in self.points)
+
+    @property
+    def costs(self) -> tuple[int, ...]:
+        return tuple(p.cost for p in self.points)
+
+    def feasible_points(self) -> tuple[DeadlineFrontierPoint, ...]:
+        return tuple(p for p in self.points if p.feasible)
+
+    def is_monotone(self) -> bool:
+        """Cost should never increase with a looser deadline (checked
+        over the feasible region — infeasible points report the
+        floor allocation, not a price)."""
+        costs = [p.cost for p in self.feasible_points()]
+        return all(a >= b for a, b in zip(costs, costs[1:]))
+
+    def cheapest_feasible(self) -> Optional[DeadlineFrontierPoint]:
+        """The tightest deadline worth buying: the first feasible point."""
+        feasible = self.feasible_points()
+        return feasible[0] if feasible else None
+
+    def knee(self) -> DeadlineFrontierPoint:
+        """Diminishing-returns deadline (same chord heuristic as the
+        budget frontier, on the feasible region)."""
+        feasible = self.feasible_points()
+        if len(feasible) < 3:
+            return feasible[-1] if feasible else self.points[-1]
+        x = np.asarray([p.deadline for p in feasible], dtype=float)
+        y = np.asarray([p.cost for p in feasible], dtype=float)
+        x_n = (x - x[0]) / max(x[-1] - x[0], 1e-12)
+        y_n = (y - y[-1]) / max(y[0] - y[-1], 1e-12)
+        chord = y_n[0] + (y_n[-1] - y_n[0]) * x_n
+        idx = int(np.argmax(chord - y_n))
+        return feasible[idx]
+
+
+def deadline_cost_frontier(
+    workload: Union[ProblemFamily, Iterable[TaskSpec]],
+    deadlines: Sequence[float],
+    confidence: float = 0.9,
+    max_price: int = 1_000,
+    include_processing: bool = True,
+    comparator: Union[str, Callable, None] = None,
+) -> DeadlineCostFrontier:
+    """Cheapest spend per deadline — the dual of the budget frontier.
+
+    *workload* is a :class:`~repro.workloads.families.ProblemFamily`
+    (its task set is used; the budget axis is the output here) or any
+    iterable of :class:`~repro.core.problem.TaskSpec`.
+
+    ``comparator`` resolves through the
+    :func:`repro.perf.deadline.get_deadline_comparator` registry — a
+    registered name (``"batched"``, ``"reference"``, or anything added
+    via :func:`~repro.perf.deadline.register_deadline_comparator`) or
+    a callable with the :func:`~repro.core.deadline.min_cost_for_deadline`
+    signature.  A comparator carrying a ``deadline_sweep`` attribute
+    (the default batched one does) tunes the whole grid in one sweep
+    with shared ladders and profile tables; results are identical to
+    per-deadline calls either way.
+    """
+    from ..perf.deadline import get_deadline_comparator
+
+    if len(deadlines) == 0:
+        raise ModelError("need at least one deadline")
+    tasks = (
+        workload.tasks
+        if isinstance(workload, ProblemFamily)
+        else tuple(workload)
+    )
+    grid = sorted(float(d) for d in deadlines)
+    fn = get_deadline_comparator(comparator)
+    sweep = getattr(fn, "deadline_sweep", None)
+    if sweep is not None:
+        by_deadline = sweep(
+            tasks,
+            grid,
+            confidence=confidence,
+            max_price=max_price,
+            include_processing=include_processing,
+        )
+        results = [by_deadline[d] for d in grid]
+    else:
+        results = [
+            fn(
+                tasks,
+                deadline=d,
+                confidence=confidence,
+                max_price=max_price,
+                include_processing=include_processing,
+            )
+            for d in grid
+        ]
+    points = tuple(
+        DeadlineFrontierPoint(
+            deadline=d,
+            cost=result.cost,
+            achieved_probability=result.achieved_probability,
+            feasible=result.feasible,
+            group_prices=result.group_prices,
+        )
+        for d, result in zip(grid, results)
+    )
+    return DeadlineCostFrontier(points=points, confidence=confidence)
 
 
 def min_budget_for_latency(

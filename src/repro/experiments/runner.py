@@ -36,7 +36,9 @@ from ..workloads.families import ProblemFamily, as_problem_family
 
 __all__ = [
     "SweepResult",
+    "DeadlineSweepResult",
     "run_budget_sweep",
+    "run_deadline_sweep",
     "evaluate_allocation",
     "evaluate_allocation_with_ci",
 ]
@@ -70,6 +72,111 @@ class SweepResult:
         for i, b in enumerate(self.budgets):
             rows.append((b, *(self.series[n][i] for n in names)))
         return rows
+
+
+@dataclass
+class DeadlineSweepResult:
+    """Cost series per confidence over a deadline sweep (the [29] dual).
+
+    ``series`` maps a confidence label (``f"p{confidence:g}"``) to the
+    per-deadline cheapest costs; ``feasible`` carries the matching
+    feasibility flags (an infeasible cell reports the floor allocation
+    cost, not an attainable price).
+    """
+
+    deadlines: tuple[float, ...]
+    series: dict[str, tuple[int, ...]]
+    feasible: dict[str, tuple[bool, ...]]
+    comparator: str
+    label: str = ""
+
+    def best_deadline_at(self, budget: int, confidence_label: str) -> float:
+        """Tightest feasible deadline affordable within *budget*."""
+        for deadline, cost, ok in zip(
+            self.deadlines,
+            self.series[confidence_label],
+            self.feasible[confidence_label],
+        ):
+            if ok and cost <= budget:
+                return deadline
+        raise ModelError(
+            f"no feasible deadline within budget {budget} for "
+            f"{confidence_label}"
+        )
+
+    def as_rows(self) -> list[tuple]:
+        """Rows (deadline, cost-per-confidence...) for reporting."""
+        names = sorted(self.series)
+        rows = []
+        for i, d in enumerate(self.deadlines):
+            rows.append((d, *(self.series[n][i] for n in names)))
+        return rows
+
+
+def run_deadline_sweep(
+    workload,
+    deadlines: Sequence[float],
+    confidences: Sequence[float] = (0.9,),
+    max_price: int = 1_000,
+    include_processing: bool = True,
+    comparator=None,
+    label: str = "",
+) -> DeadlineSweepResult:
+    """Run the deadline–cost comparator over a deadline grid.
+
+    The dual of :func:`run_budget_sweep`: instead of tuning strategies
+    at fixed budgets and scoring latency, it fixes deadlines (one
+    curve per target *confidence*) and reports the cheapest spend
+    meeting each ([29]'s problem).  ``comparator`` is a registered
+    deadline-comparator name or callable, resolved exactly as engine
+    strings are (see
+    :func:`repro.perf.deadline.get_deadline_comparator`); the batched
+    default shares kernels across the whole grid.
+    """
+    from ..perf.deadline import (
+        DEFAULT_DEADLINE_COMPARATOR,
+        get_deadline_comparator,
+    )
+    from .pareto import deadline_cost_frontier
+
+    if not deadlines:
+        raise ModelError("deadline sweep needs at least one deadline")
+    if not confidences:
+        raise ModelError("deadline sweep needs at least one confidence")
+    get_deadline_comparator(comparator)  # fail fast on unknown names
+    if isinstance(comparator, str):
+        comparator_name = comparator
+    elif comparator is None:
+        comparator_name = DEFAULT_DEADLINE_COMPARATOR
+    else:
+        comparator_name = getattr(comparator, "__name__", "custom")
+    grid = tuple(sorted(float(d) for d in deadlines))
+    series: dict[str, tuple[int, ...]] = {}
+    feasible: dict[str, tuple[bool, ...]] = {}
+    for confidence in confidences:
+        name = f"p{float(confidence):g}"
+        if name in series:
+            raise ModelError(
+                f"duplicate confidence label {name!r}: confidences must "
+                "be distinct at %g precision"
+            )
+        frontier = deadline_cost_frontier(
+            workload,
+            grid,
+            confidence=float(confidence),
+            max_price=max_price,
+            include_processing=include_processing,
+            comparator=comparator,
+        )
+        series[name] = frontier.costs
+        feasible[name] = tuple(p.feasible for p in frontier.points)
+    return DeadlineSweepResult(
+        deadlines=grid,
+        series=series,
+        feasible=feasible,
+        comparator=comparator_name,
+        label=label,
+    )
 
 
 def evaluate_allocation(

@@ -260,9 +260,25 @@ class _SoftmaxTaskIndex(OpenTaskIndex):
         self._task_at: dict[int, PublishedTask] = {}  # slot -> task (live)
         self._utility_of: dict[int, float] = {}  # task uid -> utility
         self._util_heap: list[tuple[float, int]] = []  # (-utility, uid)
+        # Per-(type, price) memo tables.  A job publishes many
+        # repetitions of few task types at few prices, so β·log(p·a)
+        # and the powered weight (p·a)^β·e^{-ref} repeat heavily.
+        # Utilities depend only on (attractiveness, price) — cached for
+        # the index's lifetime; the powered weights also depend on the
+        # shift reference, so that table is invalidated whenever the
+        # pool's composition moves the reference (see _rebuild).
+        self._util_cache: dict[tuple[float, int], float] = {}
+        self._weight_cache: dict[tuple[float, int], float] = {}
 
     def _utility(self, task: PublishedTask) -> float:
-        return self._beta * math.log(task.price * task.task_type.attractiveness)
+        key = (task.task_type.attractiveness, task.price)
+        utility = self._util_cache.get(key)
+        if utility is None:
+            utility = self._beta * math.log(
+                task.price * task.task_type.attractiveness
+            )
+            self._util_cache[key] = utility
+        return utility
 
     def _live_max_utility(self) -> float:
         while self._util_heap:
@@ -273,12 +289,21 @@ class _SoftmaxTaskIndex(OpenTaskIndex):
         return -math.inf
 
     def _append(self, task: PublishedTask, utility: float) -> None:
-        slot = self._tree.append(math.exp(min(utility - self._ref, 700.0)))
+        key = (task.task_type.attractiveness, task.price)
+        weight = self._weight_cache.get(key)
+        if weight is None:
+            weight = math.exp(min(utility - self._ref, 700.0))
+            self._weight_cache[key] = weight
+        slot = self._tree.append(weight)
         self._slot_of[task.uid] = slot
         self._task_at[slot] = task
 
     def _rebuild(self, ref: float) -> None:
         self._ref = ref
+        # The cached powered weights embed the old reference shift;
+        # a pool-composition change that moves the reference must
+        # invalidate them (the ref-independent utility cache survives).
+        self._weight_cache.clear()
         tasks = list(self._task_at.values())
         self._tree = _FenwickTree()
         self._slot_of.clear()

@@ -20,6 +20,12 @@ makes those sweeps array-shaped:
   scalar / batch / chunked-batch Monte-Carlo samplers behind one
   interface, resolvable by name everywhere an ``engine=`` parameter is
   accepted (CLI included).
+* :mod:`~repro.perf.deadline` — batched kernels for the
+  deadline-constrained comparator: memoized per-(group, price)
+  completion terms over the shared ladders, a one-array-op greedy
+  candidate scan, array-bisection quantiles, and the deadline
+  comparator registry (``"batched"`` / ``"reference"``) consumed by
+  ``deadline_cost_frontier`` and the CLI.
 
 See ``docs/performance.md`` for when to pick which engine and how to
 size the caches, and ``docs/architecture.md`` for how the engine
@@ -38,7 +44,15 @@ from .cache import (
     clear_phase_caches,
     configure_phase_cache,
     phase_cache_stats,
+    shared_ladder_sf,
     survival_weights,
+)
+from .deadline import (
+    DeadlineKernel,
+    available_deadline_comparators,
+    deadline_quantile_bisection,
+    get_deadline_comparator,
+    register_deadline_comparator,
 )
 from .dp import (
     budget_indexed_dp_fast,
@@ -60,8 +74,10 @@ __all__ = [
     "BatchAggregateSimulator",
     "BatchEngine",
     "ChunkedBatchEngine",
+    "DeadlineKernel",
     "EvaluationEngine",
     "ScalarEngine",
+    "available_deadline_comparators",
     "available_engines",
     "budget_indexed_dp_fast",
     "budget_indexed_dp_sweep",
@@ -69,12 +85,16 @@ __all__ = [
     "cached_hypoexponential_sf",
     "clear_phase_caches",
     "configure_phase_cache",
+    "deadline_quantile_bisection",
     "evaluate_allocations",
+    "get_deadline_comparator",
     "get_engine",
     "group_cost_table",
     "heterogeneous_price_scan",
     "phase_cache_stats",
+    "register_deadline_comparator",
     "register_engine",
     "sample_job_latencies_batch",
+    "shared_ladder_sf",
     "survival_weights",
 ]

@@ -28,11 +28,18 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import ModelError
-from ..stats.phase_type import WeightLadder, _sf_from_ladder
+from ..stats.phase_type import (
+    WeightLadder,
+    _sf_from_ladder,
+    _sf_rows_at,
+    batch_weight_ladders,
+)
 
 __all__ = [
     "cached_hypoexponential_sf",
     "cached_hypoexponential_cdf",
+    "shared_ladder_sf",
+    "shared_ladder_sf_batch",
     "survival_weights",
     "phase_cache_stats",
     "clear_phase_caches",
@@ -54,7 +61,13 @@ _stats = {"sf_hits": 0, "sf_misses": 0, "ladder_hits": 0, "ladder_misses": 0}
 
 
 def _rates_key(rates: Sequence[float]) -> tuple:
-    key = tuple(float(r) for r in rates)
+    if type(rates) is tuple:
+        # Fast path for pre-normalized profiles (the deadline sweep
+        # tables).  Tuples of np.float64 are fine too: they hash and
+        # compare equal to the float tuples they mirror.
+        key = rates
+    else:
+        key = tuple(float(r) for r in rates)
     if not key:
         raise ModelError("need at least one phase rate")
     return key
@@ -118,6 +131,93 @@ def cached_hypoexponential_sf(rates: Sequence[float], grid: np.ndarray) -> np.nd
 def cached_hypoexponential_cdf(rates: Sequence[float], grid: np.ndarray) -> np.ndarray:
     """Memoized cdf on *grid*; complements :func:`cached_hypoexponential_sf`."""
     return 1.0 - cached_hypoexponential_sf(rates, grid)
+
+
+def shared_ladder_sf(rates: Sequence[float], grid: np.ndarray) -> np.ndarray:
+    """sf on *grid* through the shared ladder, without the grid LRU.
+
+    The deadline kernels (:mod:`repro.perf.deadline`) probe one rate
+    profile at thousands of *distinct* scalar deadlines (greedy price
+    ascent, quantile bisection midpoints).  Those grids never repeat,
+    so storing each in the bounded cdf LRU would only evict useful
+    entries; what *does* pay is reusing the profile's weight ladder,
+    the dominant per-probe cost.  This entry point shares the ladder
+    (extending it in place like every other caller) and skips the grid
+    cache.  Values are bit-identical to :func:`hypoexponential_sf` on
+    the same points — the ladder recurrence is deterministic and
+    per-call term counts depend only on the grid.
+    """
+    grid = np.asarray(grid, dtype=float)
+    with _lock:
+        ladder = _ladder_for(_rates_key(rates))
+        # Under the lock: _sf_from_ladder extends the shared ladder in
+        # place, and WeightLadder is not itself thread-safe.
+        return _sf_from_ladder(ladder, grid)
+
+
+def _build_for_t(keys, ts, _mix_terms) -> int:
+    """Build missing/short ladders for *keys* at times *ts* (lock held).
+
+    Each key's requirement is sized from its own ``q·t`` — the exact
+    bound the sf evaluation will request — so a ladder already long
+    enough is never touched.  A too-short ladder is rebuilt rather
+    than extended: the recurrence is deterministic, so the rebuild's
+    prefix is bitwise the ladder it replaces, and one batched rebuild
+    (:func:`~repro.stats.phase_type.batch_weight_ladders`) beats the
+    per-term scalar extension it avoids.
+    """
+    needs: dict[tuple, int] = {}
+    for key, t in zip(keys, ts):
+        if t <= 0:
+            continue
+        ladder = _ladders.get(key)
+        need = _mix_terms(max(key) * t) + 1
+        if ladder is None or ladder.n_computed < need:
+            if needs.get(key, 0) < need:
+                needs[key] = need
+    if needs:
+        build = list(needs)
+        for key, ladder in zip(
+            build, batch_weight_ladders(build, max(needs.values()))
+        ):
+            _stats["ladder_misses"] += 1
+            _ladders[key] = ladder
+        while len(_ladders) > _max_ladders:
+            _ladders.popitem(last=False)
+    return len(needs)
+
+
+def shared_ladder_sf_batch(
+    profiles: Sequence[Sequence[float]],
+    t,
+    warm: bool = False,
+) -> np.ndarray:
+    """sf of many (profile, time) rows through the shared ladders.
+
+    One padded-window pass (:func:`repro.stats.phase_type._sf_rows_at`)
+    instead of one :func:`shared_ladder_sf` call per profile; row *i*
+    is bit-identical to ``shared_ladder_sf(profiles[i], [t_i])[0]``.
+    *t* is a scalar shared by all rows or an array with one entry per
+    profile (a deadline sweep's ceiling terms batch the whole grid
+    this way).
+
+    ``warm=True`` batch-builds missing (or too-short) ladders first in
+    one lock-step recurrence — how the deadline kernels fill whole
+    candidate-price blocks with one lock acquisition and one key pass.
+    Each ladder's requirement is sized from its **own** ``q·t`` (the
+    same bound the sf evaluation will request), so a ladder already
+    long enough for this *t* is never rebuilt just because it shares a
+    batch with a hotter profile.
+    """
+    from ..stats.phase_type import _mix_terms
+
+    keys = [_rates_key(p) for p in profiles]
+    t_arr = np.broadcast_to(np.asarray(t, dtype=float), (len(keys),))
+    with _lock:
+        if warm:
+            _build_for_t(keys, t_arr.tolist(), _mix_terms)
+        ladders = [_ladder_for(k) for k in keys]
+        return _sf_rows_at(ladders, t_arr)
 
 
 def phase_cache_stats() -> dict:

@@ -10,11 +10,18 @@ itself should call them.
 
 from __future__ import annotations
 
-from typing import Callable
+import math
+from typing import Callable, Optional
 
 from ..errors import InfeasibleAllocationError, ModelError
 
-__all__ = ["reference_budget_indexed_dp", "reference_heterogeneous_prices"]
+__all__ = [
+    "reference_budget_indexed_dp",
+    "reference_heterogeneous_prices",
+    "reference_completion_probability",
+    "reference_latency_quantile",
+    "reference_min_cost_for_deadline",
+]
 
 
 def reference_budget_indexed_dp(
@@ -66,6 +73,214 @@ def reference_budget_indexed_dp(
 
     final = prices_at[residual]
     return {g.key: final[i] for i, g in enumerate(groups)}
+
+
+# ---------------------------------------------------------------------------
+# seed deadline comparator (pre repro.perf.deadline)
+# ---------------------------------------------------------------------------
+
+
+def _reference_safe_log(x: float) -> float:
+    if x <= 0.0:
+        return -1e30
+    return math.log(x)
+
+
+def _reference_group_cdf_at(
+    group, price: int, deadline: float, include_processing: bool = True
+) -> float:
+    """Seed ``_group_cdf_at``: fresh scalar kernel per probe."""
+    from ..stats.phase_type import hypoexponential_cdf
+
+    rates = [group.onhold_rate(price)] * group.repetitions
+    if include_processing:
+        rates += [group.processing_rate] * group.repetitions
+    member = float(hypoexponential_cdf(rates, deadline))
+    if member <= 0.0:
+        return 0.0
+    return member**group.size
+
+
+def reference_completion_probability(
+    problem,
+    group_prices: dict[tuple, int],
+    deadline: float,
+    include_processing: bool = True,
+) -> float:
+    """Seed ``completion_probability``: per-group scalar cdf product."""
+    if deadline < 0:
+        raise ModelError(f"deadline must be >= 0, got {deadline}")
+    prob = 1.0
+    for group in problem.groups():
+        prob *= _reference_group_cdf_at(
+            group, group_prices[group.key], deadline, include_processing
+        )
+        if prob == 0.0:
+            return 0.0
+    return prob
+
+
+def reference_latency_quantile(
+    problem,
+    group_prices: dict[tuple, int],
+    confidence: float,
+    include_processing: bool = True,
+) -> float:
+    """Seed ``latency_quantile``: scalar bracketing + 80-step bisection."""
+    from ..core.latency import group_onhold_latency, group_processing_latency
+
+    if not 0.0 < confidence < 1.0:
+        raise ModelError(f"confidence must be in (0,1), got {confidence}")
+    hi = sum(
+        group_onhold_latency(g, group_prices[g.key])
+        + (group_processing_latency(g) if include_processing else 0.0)
+        for g in problem.groups()
+    )
+    hi = max(hi, 1e-9)
+    while (
+        reference_completion_probability(
+            problem, group_prices, hi, include_processing
+        )
+        < confidence
+    ):
+        hi *= 2.0
+        if hi > 1e12:
+            raise ModelError("quantile search diverged; rates too small?")
+    lo = 0.0
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if (
+            reference_completion_probability(
+                problem, group_prices, mid, include_processing
+            )
+            >= confidence
+        ):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def reference_min_cost_for_deadline(
+    problem_tasks,
+    deadline: float,
+    confidence: float = 0.9,
+    max_price: int = 1_000,
+    include_processing: bool = True,
+):
+    """Seed ``min_cost_for_deadline``: scalar greedy ascent + trim.
+
+    Every probe builds a fresh scalar kernel; the candidate scan and
+    the minimality trim re-derive identical ``(group, price)`` terms
+    exactly as the pre-kernel implementation did.  The kernel-backed
+    comparator is certified bit-identical against this function.
+    """
+    from ..core.deadline import DeadlineResult
+    from ..core.problem import Allocation, HTuningProblem
+    from ..stats.phase_type import hypoexponential_cdf
+
+    if deadline <= 0:
+        raise ModelError(f"deadline must be positive, got {deadline}")
+    if not 0.0 < confidence < 1.0:
+        raise ModelError(f"confidence must be in (0,1), got {confidence}")
+    tasks = list(problem_tasks)
+    if not tasks:
+        raise ModelError("need at least one task")
+    total_reps = sum(t.repetitions for t in tasks)
+    problem = HTuningProblem(tasks, budget=total_reps * max_price)
+    groups = problem.groups()
+
+    prices = {g.key: 1 for g in groups}
+
+    if include_processing:
+        ceiling = 1.0
+        for g in groups:
+            member = float(
+                hypoexponential_cdf(
+                    [g.processing_rate] * g.repetitions, deadline
+                )
+            )
+            ceiling *= member**g.size if member > 0 else 0.0
+        if ceiling < confidence:
+            achieved = reference_completion_probability(
+                problem, prices, deadline, include_processing
+            )
+            allocation = Allocation.from_group_prices(problem, prices)
+            return DeadlineResult(
+                allocation=allocation,
+                group_prices=prices,
+                cost=allocation.total_cost,
+                achieved_probability=achieved,
+                deadline=deadline,
+                confidence=confidence,
+            )
+    log_terms = {
+        g.key: _reference_safe_log(
+            _reference_group_cdf_at(g, 1, deadline, include_processing)
+        )
+        for g in groups
+    }
+    target_log = math.log(confidence)
+
+    def total_log() -> float:
+        return sum(log_terms.values())
+
+    while total_log() < target_log:
+        best_gain = -math.inf
+        best_group = None
+        best_new = 0.0
+        for g in groups:
+            p = prices[g.key]
+            if p >= max_price:
+                continue
+            new_term = _reference_safe_log(
+                _reference_group_cdf_at(g, p + 1, deadline, include_processing)
+            )
+            gain = (new_term - log_terms[g.key]) / g.unit_cost
+            if gain > best_gain:
+                best_gain = gain
+                best_group = g
+                best_new = new_term
+        if best_group is None or best_gain <= 1e-15:
+            break
+        prices[best_group.key] += 1
+        log_terms[best_group.key] = best_new
+
+    improved = True
+    while improved:
+        improved = False
+        for g in groups:
+            p = prices[g.key]
+            if p <= 1:
+                continue
+            trial = dict(prices)
+            trial[g.key] = p - 1
+            if (
+                reference_completion_probability(
+                    problem, trial, deadline, include_processing
+                )
+                >= confidence
+            ):
+                prices[g.key] = p - 1
+                log_terms[g.key] = _reference_safe_log(
+                    _reference_group_cdf_at(
+                        g, p - 1, deadline, include_processing
+                    )
+                )
+                improved = True
+
+    achieved = reference_completion_probability(
+        problem, prices, deadline, include_processing
+    )
+    allocation = Allocation.from_group_prices(problem, prices)
+    return DeadlineResult(
+        allocation=allocation,
+        group_prices=prices,
+        cost=allocation.total_cost,
+        achieved_probability=achieved,
+        deadline=deadline,
+        confidence=confidence,
+    )
 
 
 def reference_heterogeneous_prices(problem) -> dict[tuple, int]:

@@ -36,6 +36,7 @@ from ..errors import ModelError
 
 __all__ = [
     "WeightLadder",
+    "batch_weight_ladders",
     "hypoexponential_cdf",
     "hypoexponential_sf",
     "hypoexponential_mean",
@@ -44,6 +45,34 @@ __all__ = [
 #: Upper bound on the element count of one window matrix in
 #: :func:`_poisson_mix_windows` (float64 → ~32 MB per temporary).
 _MIX_CHUNK_ELEMENTS = 4_000_000
+
+#: The truncation tolerance the historical window constants (12σ half
+#: width, +30/+25 slack) were sized for.
+_DEFAULT_TOL = 1e-12
+
+
+def _tail_width(tol: float) -> float:
+    """Poisson-window half-width multiplier for truncation tolerance *tol*.
+
+    The historical bound used a fixed ``12·√(qt+1)`` half-width, sized
+    for the ``1e-12`` default; the window grows ~√log(1/tol), so the
+    multiplier scales as ``12·√(log₁₀(1/tol)/12)``.  At the default the
+    scale is **exactly** 1.0 (``-log10(1e-12)`` evaluates to 12.0 in
+    IEEE double), keeping default results bit-identical to the
+    historical constants.
+    """
+    if not 0.0 < tol < 1.0:
+        raise ModelError(f"tol must be in (0, 1), got {tol}")
+    return 12.0 * math.sqrt(max(-math.log10(tol), 1.0) / 12.0)
+
+
+def _mix_terms(qt_max: float, tol: float = _DEFAULT_TOL) -> int:
+    """Terms so the Poisson(qt_max) tail beyond the bound is < *tol*.
+
+    Shared by :func:`_sf_from_ladder` and the deadline kernels' batch
+    ladder warming, so both size ladders from the same formula.
+    """
+    return int(qt_max + _tail_width(tol) * math.sqrt(qt_max + 1.0) + 30.0)
 
 
 class WeightLadder:
@@ -101,12 +130,77 @@ def _survival_weights(rates: Sequence[float], q: float, n_terms: int) -> np.ndar
     return WeightLadder(rates, q).get(n_terms)
 
 
-def _poisson_mix_windows(qt: np.ndarray, w: np.ndarray) -> np.ndarray:
+def batch_weight_ladders(
+    rate_rows: Sequence[Sequence[float]], n_terms: int
+) -> list[WeightLadder]:
+    """Many profiles' weight ladders from one vectorized recurrence.
+
+    The recurrence advances every row in lock-step as
+    ``(n_rows, n_phases)`` matrix ops, so the python-level iteration
+    count is ``n_terms`` instead of ``n_rows · n_terms``.  Rows with
+    fewer phases are padded to the widest row with extra phases at the
+    row's own uniformization rate ``q``: flow is strictly forward, so
+    the padded tail receives mass but never feeds back — the real
+    phases evolve bitwise as in the unpadded recurrence, and each
+    row's weights/state are read from its real-phase prefix only.
+
+    Each returned :class:`WeightLadder` is pre-filled with *n_terms*
+    terms **bit-identical** to what its own scalar :meth:`get` would
+    compute — the per-row ops are the same IEEE operations and numpy's
+    last-axis reduction matches the 1-D ``v.sum()`` association — and
+    carries the exact recurrence state, so later extension to more
+    terms continues the same series.
+    """
+    if n_terms < 0:
+        raise ModelError(f"n_terms must be >= 0, got {n_terms}")
+    ladders = [WeightLadder(row) for row in rate_rows]
+    if not ladders:
+        return ladders
+    widths = [len(ladder._move) for ladder in ladders]
+    m_max = max(widths)
+    q = np.array([ladder.q for ladder in ladders])
+    rates = np.repeat(q[:, None], m_max, axis=1)
+    for i, row in enumerate(rate_rows):
+        rates[i, : widths[i]] = [float(r) for r in row]
+    move = rates / q[:, None]
+    stay = 1.0 - move
+    move_head = move[:, :-1].copy()
+    # All recurrence states are stacked and summed once at the end:
+    # the last-axis reduction of the stack is bitwise the per-step
+    # ``v.sum()``, and the loop body shrinks to three out= ufunc calls
+    # on views hoisted out of the loop.
+    states = np.empty((n_terms + 1, len(ladders), m_max))
+    states[0] = 0.0
+    states[0, :, 0] = 1.0
+    rows = list(states)
+    heads = [r[:, :-1] for r in rows]
+    tails = [r[:, 1:] for r in rows]
+    flow = np.empty_like(move_head)
+    for n in range(n_terms):
+        nxt = rows[n + 1]
+        np.multiply(rows[n], stay, out=nxt)
+        np.multiply(heads[n], move_head, out=flow)
+        np.add(tails[n + 1], flow, out=tails[n + 1])
+    for i, ladder in enumerate(ladders):
+        m = widths[i]
+        if n_terms:
+            ladder._w = states[:n_terms, i, :m].sum(axis=1)
+        else:
+            ladder._w = np.empty(0)
+        ladder._v = states[n_terms, i, :m].copy()
+    return ladders
+
+
+def _poisson_mix_windows(
+    qt: np.ndarray, w: np.ndarray, tol: float = _DEFAULT_TOL
+) -> np.ndarray:
     """``Σ_n pois(n; qt_i)·w_n = E[w_N], N ~ Poisson(qt_i)`` per point.
 
     The Poisson mass concentrates in ``qt ± O(√qt)``; accumulating only
     that window in log space avoids the ``exp(-qt)`` underflow of the
-    naive recurrence.  All windows are processed as chunked 2-D blocks
+    naive recurrence.  The window half-width scales with *tol* (see
+    :func:`_tail_width`); the 1e-12 default reproduces the historical
+    constants exactly.  All windows are processed as chunked 2-D blocks
     so the grid sweep is a handful of numpy calls instead of one python
     iteration per grid point.
     """
@@ -114,7 +208,7 @@ def _poisson_mix_windows(qt: np.ndarray, w: np.ndarray) -> np.ndarray:
 
     n_terms = len(w) - 1
     qt = np.asarray(qt, dtype=float)
-    half = (12.0 * np.sqrt(qt + 1.0) + 25.0).astype(np.int64)
+    half = (_tail_width(tol) * np.sqrt(qt + 1.0) + 25.0).astype(np.int64)
     base = qt.astype(np.int64)
     lo = np.maximum(0, base - half)
     hi = np.minimum(n_terms, base + half)
@@ -159,7 +253,71 @@ def _poisson_mix_windows(qt: np.ndarray, w: np.ndarray) -> np.ndarray:
     return acc
 
 
-def hypoexponential_sf(rates: Sequence[float], t, tol: float = 1e-12):
+def _sf_rows_at(
+    ladders: Sequence[WeightLadder], t, tol: float = _DEFAULT_TOL
+) -> np.ndarray:
+    """sf of many (rate profile, time) rows, one padded pass.
+
+    *t* is a scalar shared by every row or an array with one entry per
+    row (a deadline sweep batches every grid point's
+    processing-ceiling term this way).  Row *i* is **bit-identical**
+    to ``_sf_from_ladder(ladders[i], np.array([t_i]))[0]``: the
+    per-row window bounds use the same formulas, the log-pmf
+    construction applies the same elementwise operation sequence, and
+    the final accumulation is the same ``(1, W) @ w`` product per row.
+    The batching only amortizes the python/ufunc dispatch over rows —
+    the deadline kernels use it to fill a whole block of candidate
+    prices' completion terms per call.
+    """
+    from scipy.special import gammaln
+
+    n_rows = len(ladders)
+    out = np.ones(n_rows)
+    t_arr = np.broadcast_to(
+        np.asarray(t, dtype=float), (n_rows,)
+    )
+    qs = np.array([ladder.q for ladder in ladders])
+    qt_all = qs * t_arr
+    # A negative t has sf exactly 1 and a zero qt cannot enter the
+    # log-space mixing — both match the scalar kernel's guards.
+    idx = np.nonzero(qt_all > 0)[0]
+    if idx.size == 0:
+        return out
+
+    width = _tail_width(tol)
+    qt = qt_all[idx]
+    n_terms = (qt + width * np.sqrt(qt + 1.0) + 30.0).astype(np.int64)
+    half = (width * np.sqrt(qt + 1.0) + 25.0).astype(np.int64)
+    base = qt.astype(np.int64)
+    lo = np.maximum(0, base - half)
+    hi = np.minimum(n_terms, base + half)
+    weights = [
+        ladders[int(i)].get(int(n) + 1) for i, n in zip(idx, n_terms)
+    ]
+    span = int((hi - lo).max()) + 1
+    ns = (lo[:, None] + np.arange(span)[None, :]).astype(float)
+    # gammaln over the union range once, gathered per row: the gathered
+    # values are bitwise the per-row gammaln(ns + 1.0) (same float
+    # inputs), at a fraction of the transcendental calls.
+    lo_min = int(lo.min())
+    union = np.arange(lo_min, int((lo + span - 1).max()) + 1, dtype=float)
+    log_fact_union = gammaln(union + 1.0)
+    log_fact = log_fact_union[
+        (lo - lo_min)[:, None] + np.arange(span)[None, :]
+    ]
+    log_pmf = np.log(qt)[:, None] * ns
+    log_pmf -= qt[:, None]
+    log_pmf -= log_fact
+    np.exp(log_pmf, out=log_pmf)
+    acc = np.empty(idx.size)
+    for r in range(idx.size):
+        w = int(hi[r] - lo[r]) + 1
+        acc[r] = (log_pmf[r : r + 1, :w] @ weights[r][lo[r] : hi[r] + 1])[0]
+    out[idx] = np.clip(acc, 0.0, 1.0)
+    return out
+
+
+def hypoexponential_sf(rates: Sequence[float], t, tol: float = _DEFAULT_TOL):
     """Survival function ``P(Σ Exp(rates_i) > t)`` by uniformization.
 
     Parameters
@@ -169,15 +327,21 @@ def hypoexponential_sf(rates: Sequence[float], t, tol: float = 1e-12):
     t:
         Scalar or array of evaluation times.
     tol:
-        Poisson-tail truncation tolerance.
+        Poisson-tail truncation tolerance: both the ``n_terms``
+        truncation of the weight series and the per-point mixing
+        windows are sized so the neglected Poisson mass is below
+        *tol*.  The 1e-12 default is bit-identical to the historical
+        fixed bound.
     """
     ladder = WeightLadder(rates)
     t_arr = np.atleast_1d(np.asarray(t, dtype=float))
-    out = _sf_from_ladder(ladder, t_arr)
+    out = _sf_from_ladder(ladder, t_arr, tol=tol)
     return out if np.ndim(t) else float(out[0])
 
 
-def _sf_from_ladder(ladder: WeightLadder, t_arr: np.ndarray) -> np.ndarray:
+def _sf_from_ladder(
+    ladder: WeightLadder, t_arr: np.ndarray, tol: float = _DEFAULT_TOL
+) -> np.ndarray:
     """Shared sf kernel: evaluate one rate profile's sf on *t_arr*.
 
     Exposed (privately) so :mod:`repro.perf.cache` can run the same
@@ -194,16 +358,15 @@ def _sf_from_ladder(ladder: WeightLadder, t_arr: np.ndarray) -> np.ndarray:
 
     qt = q * t_arr[positive]
     qt_max = float(qt.max())
-    # Terms needed so the Poisson(qt_max) tail beyond n_terms is < tol.
-    n_terms = int(qt_max + 12.0 * math.sqrt(qt_max + 1.0) + 30.0)
+    n_terms = _mix_terms(qt_max, tol)
     w = ladder.get(n_terms + 1)
-    acc = _poisson_mix_windows(qt, w)
+    acc = _poisson_mix_windows(qt, w, tol=tol)
     out[positive] = np.clip(acc, 0.0, 1.0)
     out[t_arr < 0] = 1.0
     return out
 
 
-def hypoexponential_cdf(rates: Sequence[float], t, tol: float = 1e-12):
+def hypoexponential_cdf(rates: Sequence[float], t, tol: float = _DEFAULT_TOL):
     """cdf ``P(Σ Exp(rates_i) <= t)``; see :func:`hypoexponential_sf`."""
     sf = hypoexponential_sf(rates, t, tol=tol)
     return 1.0 - sf

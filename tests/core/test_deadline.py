@@ -11,7 +11,9 @@ from repro import HTuningProblem, TaskSpec
 from repro.core import (
     completion_probability,
     latency_quantile,
+    latency_quantile_batch,
     min_cost_for_deadline,
+    min_cost_for_deadline_sweep,
 )
 from repro.core.latency import sample_job_latencies
 from repro.core.problem import Allocation
@@ -173,3 +175,142 @@ class TestMinCostForDeadline:
             min_cost_for_deadline(tasks, deadline=0.0)
         with pytest.raises(ModelError):
             min_cost_for_deadline(tasks, deadline=1.0, confidence=1.5)
+
+    def test_matches_exhaustive_without_processing(self, pricing):
+        """Exhaustive cross-check with the processing phases excluded —
+        the pure acceptance-side dual of [29]."""
+        tasks = make_tasks(pricing, spec=((2, 1, 2.0), (1, 2, 1.0)))
+        deadline, confidence = 2.5, 0.75
+        result = min_cost_for_deadline(
+            tasks,
+            deadline=deadline,
+            confidence=confidence,
+            max_price=12,
+            include_processing=False,
+        )
+        assert result.feasible
+        problem = HTuningProblem(tasks, budget=10_000)
+        groups = problem.groups()
+        best_cost = None
+        for combo in itertools.product(range(1, 13), repeat=len(groups)):
+            prices = {g.key: p for g, p in zip(groups, combo)}
+            if (
+                completion_probability(
+                    problem, prices, deadline, include_processing=False
+                )
+                >= confidence
+            ):
+                cost = sum(p * g.unit_cost for g, p in zip(groups, combo))
+                best_cost = cost if best_cost is None else min(best_cost, cost)
+        assert best_cost is not None
+        assert result.cost == best_cost
+
+    def test_infeasible_ceiling_returns_floor_immediately(self, pricing):
+        """When processing alone busts the deadline, the early return
+        reports the one-unit floor allocation without climbing."""
+        tasks = make_tasks(pricing, spec=((3, 2, 0.01),))
+        result = min_cost_for_deadline(
+            tasks, deadline=0.5, confidence=0.9, max_price=50
+        )
+        assert not result.feasible
+        assert all(p == 1 for p in result.group_prices.values())
+        assert result.cost == sum(t.repetitions for t in tasks)
+        # Without the price-independent processing phases the same
+        # instance is purchasable: the ceiling no longer applies.
+        no_proc = min_cost_for_deadline(
+            tasks,
+            deadline=0.5,
+            confidence=0.9,
+            max_price=200,
+            include_processing=False,
+        )
+        assert no_proc.feasible
+
+    def test_max_price_saturation(self, pricing):
+        """An unmeetable target under a low cap saturates every group
+        at max_price and honestly reports infeasibility."""
+        tasks = make_tasks(pricing, spec=((2, 2, 5.0),))
+        result = min_cost_for_deadline(
+            tasks,
+            deadline=0.4,
+            confidence=0.99,
+            max_price=3,
+            include_processing=False,
+        )
+        assert not result.feasible
+        assert all(p == 3 for p in result.group_prices.values())
+        # Lifting the cap makes the same target affordable.
+        lifted = min_cost_for_deadline(
+            tasks,
+            deadline=0.4,
+            confidence=0.99,
+            max_price=400,
+            include_processing=False,
+        )
+        assert lifted.feasible
+        assert lifted.cost > result.cost
+
+
+class TestDeadlineSweep:
+    def test_sweep_matches_single_calls(self, pricing):
+        tasks = make_tasks(pricing)
+        deadlines = [2.0, 3.5, 5.0, 8.0]
+        swept = min_cost_for_deadline_sweep(
+            tasks, deadlines, confidence=0.8, max_price=20
+        )
+        assert list(swept) == deadlines
+        for deadline in deadlines:
+            single = min_cost_for_deadline(
+                tasks, deadline, confidence=0.8, max_price=20
+            )
+            assert swept[deadline].group_prices == single.group_prices
+            assert swept[deadline].cost == single.cost
+            assert (
+                swept[deadline].achieved_probability
+                == single.achieved_probability
+            )
+
+    def test_sweep_preserves_requested_order(self, pricing):
+        tasks = make_tasks(pricing)
+        deadlines = [5.0, 2.0, 8.0]
+        swept = min_cost_for_deadline_sweep(
+            tasks, deadlines, confidence=0.8, max_price=20
+        )
+        assert list(swept) == deadlines
+
+    def test_sweep_validation(self, pricing):
+        tasks = make_tasks(pricing)
+        with pytest.raises(ModelError):
+            min_cost_for_deadline_sweep(tasks, [])
+        with pytest.raises(ModelError):
+            min_cost_for_deadline_sweep(tasks, [1.0, -2.0])
+
+
+class TestLatencyQuantileBatch:
+    def test_single_confidence_matches_scalar(self, pricing):
+        tasks = make_tasks(pricing)
+        problem = HTuningProblem(tasks, budget=1000)
+        prices = {g.key: 3 for g in problem.groups()}
+        batch = latency_quantile_batch(problem, prices, [0.9])
+        assert float(batch[0]) == latency_quantile(problem, prices, 0.9)
+
+    def test_vector_confidences_are_monotone_and_consistent(self, pricing):
+        tasks = make_tasks(pricing)
+        problem = HTuningProblem(tasks, budget=1000)
+        prices = {g.key: 3 for g in problem.groups()}
+        confs = [0.25, 0.5, 0.9, 0.99]
+        batch = latency_quantile_batch(problem, prices, confs)
+        assert all(a < b for a, b in zip(batch, batch[1:]))
+        for conf, quantile in zip(confs, batch):
+            assert completion_probability(
+                problem, prices, float(quantile)
+            ) == pytest.approx(conf, abs=1e-3)
+
+    def test_validation(self, pricing):
+        tasks = make_tasks(pricing)
+        problem = HTuningProblem(tasks, budget=1000)
+        prices = {g.key: 3 for g in problem.groups()}
+        with pytest.raises(ModelError):
+            latency_quantile_batch(problem, prices, [])
+        with pytest.raises(ModelError):
+            latency_quantile_batch(problem, prices, [0.5, 1.0])

@@ -4,14 +4,16 @@ from __future__ import annotations
 
 import functools
 
+import numpy as np
 import pytest
 
 from repro.errors import ModelError
 from repro.experiments import (
     budget_latency_frontier,
+    deadline_cost_frontier,
     min_budget_for_latency,
 )
-from repro.workloads import homogeneity_workload
+from repro.workloads import homogeneity_workload, repetition_family
 
 
 @pytest.fixture
@@ -49,6 +51,106 @@ class TestBudgetLatencyFrontier:
     def test_empty_budgets_rejected(self, factory):
         with pytest.raises(ModelError):
             budget_latency_frontier(factory, budgets=[])
+
+
+class TestDeadlineCostFrontier:
+    """The dual sweep: cheapest spend per deadline."""
+
+    @pytest.fixture
+    def family(self):
+        return repetition_family(n_tasks=12)
+
+    def test_feasible_region_monotone(self, family):
+        frontier = deadline_cost_frontier(
+            family, np.linspace(2.0, 12.0, 6), confidence=0.9, max_price=25
+        )
+        assert frontier.is_monotone()
+        assert frontier.deadlines == tuple(
+            sorted(frontier.deadlines)
+        )
+
+    def test_comparators_produce_identical_curves(self, family):
+        deadlines = [2.5, 4.0, 7.0, 10.0]
+        batched = deadline_cost_frontier(
+            family, deadlines, confidence=0.85, max_price=20
+        )
+        reference = deadline_cost_frontier(
+            family,
+            deadlines,
+            confidence=0.85,
+            max_price=20,
+            comparator="reference",
+        )
+        assert batched.costs == reference.costs
+        assert [p.achieved_probability for p in batched.points] == [
+            p.achieved_probability for p in reference.points
+        ]
+        assert [p.group_prices for p in batched.points] == [
+            p.group_prices for p in reference.points
+        ]
+
+    def test_task_list_workload_equals_family(self, family):
+        deadlines = [3.0, 6.0]
+        via_family = deadline_cost_frontier(
+            family, deadlines, confidence=0.8, max_price=15
+        )
+        via_tasks = deadline_cost_frontier(
+            list(family.tasks), deadlines, confidence=0.8, max_price=15
+        )
+        assert via_family.costs == via_tasks.costs
+
+    def test_unsorted_deadlines_are_sorted(self, family):
+        frontier = deadline_cost_frontier(
+            family, [8.0, 2.0, 5.0], confidence=0.8, max_price=15
+        )
+        assert frontier.deadlines == (2.0, 5.0, 8.0)
+
+    def test_points_carry_prices_and_feasibility(self, family):
+        frontier = deadline_cost_frontier(
+            family, [6.0], confidence=0.8, max_price=25
+        )
+        point = frontier.points[0]
+        assert point.group_prices is not None
+        assert point.feasible == (
+            point.achieved_probability >= frontier.confidence
+        )
+
+    def test_knee_and_cheapest_feasible(self, family):
+        frontier = deadline_cost_frontier(
+            family, np.linspace(2.0, 14.0, 8), confidence=0.9, max_price=25
+        )
+        cheapest = frontier.cheapest_feasible()
+        if cheapest is not None:
+            assert cheapest.feasible
+            assert cheapest.deadline == min(
+                p.deadline for p in frontier.feasible_points()
+            )
+        assert frontier.knee() in frontier.points
+
+    def test_empty_deadlines_rejected(self, family):
+        with pytest.raises(ModelError):
+            deadline_cost_frontier(family, [])
+
+    def test_unknown_comparator_rejected(self, family):
+        with pytest.raises(ModelError):
+            deadline_cost_frontier(family, [2.0], comparator="bogus")
+
+    def test_sweep_rejects_duplicate_confidence_labels(self, family):
+        from repro.experiments import (
+            deadline_frontier_experiment,
+            run_deadline_sweep,
+        )
+
+        with pytest.raises(ModelError):
+            run_deadline_sweep(
+                family, [3.0], confidences=(0.9, 0.9), max_price=10
+            )
+        # Empty confidences are rejected with the library error even
+        # when the deadline grid is auto-generated.
+        with pytest.raises(ModelError):
+            deadline_frontier_experiment(
+                n_tasks=6, n_deadlines=3, confidences=(), max_price=8
+            )
 
 
 class TestMinBudgetForLatency:

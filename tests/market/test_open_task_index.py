@@ -200,6 +200,76 @@ class TestIndexBookkeeping:
         # stale reference) must still be selectable.
         assert index.choose(np.random.default_rng(0)) is small
 
+    def test_softmax_powered_weight_cache_hits_per_type_price(self):
+        """Many repetitions of few (type, price) pairs must share one
+        cached utility / powered weight, not recompute per task."""
+        from repro.market.task import PublishedTask
+
+        model = SoftmaxChoice(beta=1.5, leave_utility=0.2)
+        index = model.make_index()
+        task_type = TaskType("vote", processing_rate=2.0)
+        tasks = [
+            PublishedTask(
+                task_type=task_type,
+                price=1 + i % 3,
+                atomic_task_id=i,
+                repetition_index=0,
+            )
+            for i in range(30)
+        ]
+        for task in tasks:
+            index.add(task)
+        # 3 distinct prices of one type -> 3 cache rows, not 30.
+        assert len(index._util_cache) == 3
+        assert len(index._weight_cache) == 3
+        # Cached weights must be exactly what the uncached formula gives.
+        for (attractiveness, price), weight in index._weight_cache.items():
+            import math
+
+            utility = model.beta * math.log(price * attractiveness)
+            assert weight == math.exp(min(utility - index._ref, 700.0))
+
+    def test_softmax_weight_cache_invalidated_on_rebase(self):
+        """A pool-composition change that moves the shift reference
+        must drop the powered-weight table (utilities survive)."""
+        from repro.market.task import PublishedTask
+
+        model = SoftmaxChoice(beta=100.0, leave_utility=-1e6)
+        index = model.make_index()
+        small_type = TaskType("small", processing_rate=1.0, attractiveness=0.1)
+        big_type = TaskType("big", processing_rate=1.0, attractiveness=100.0)
+        small = PublishedTask(
+            task_type=small_type, price=1, atomic_task_id=0, repetition_index=0
+        )
+        index.add(small)
+        stale = dict(index._weight_cache)
+        assert stale
+        big = PublishedTask(
+            task_type=big_type, price=50, atomic_task_id=1, repetition_index=0
+        )
+        index.add(big)  # new maximum -> rebase -> weight table rebuilt
+        assert index._ref != -1e6
+        key = (small_type.attractiveness, small.price)
+        assert index._weight_cache[key] != stale[key]
+        # Utility cache is reference-independent and must survive.
+        assert key in index._util_cache
+        # Behaviour unchanged: the dominant task is still chosen.
+        assert index.choose(np.random.default_rng(0)) is big
+
+    def test_softmax_cache_trajectory_bit_identity_many_duplicates(self):
+        """A workload with heavy (type, price) duplication — the case
+        the cache accelerates — must keep seeded trajectories bitwise
+        equal to the historical linear scan."""
+        model = SoftmaxChoice(beta=2.0, leave_utility=0.5)
+        cached = _run_trajectory(model, seed=11, n_tasks=60)
+        linear = _run_trajectory(
+            SoftmaxChoice(beta=2.0, leave_utility=0.5),
+            seed=11,
+            n_tasks=60,
+            force_linear=True,
+        )
+        assert cached == linear
+
     def test_greedy_index_prefers_price_then_publish_order(self, vote_type):
         from repro.market.task import PublishedTask
 

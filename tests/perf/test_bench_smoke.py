@@ -35,17 +35,23 @@ def bench():
 def test_smoke_run_asserts_equivalence_and_speedup(bench, tmp_path):
     # The bench functions raise if batch output ever diverges from the
     # scalar engines, so a successful run is itself an equivalence check.
-    results = bench.run(n_samples=200, n_tasks=30, n_budgets=5, write=False)
+    results = bench.run(
+        n_samples=200, n_tasks=30, n_budgets=5, n_deadlines=6, write=False
+    )
     mc = results["mc_job_sampling"]
     dp = results["budget_indexed_dp_sweep"]
     one_pass = results["one_pass_strategy_sweep"]
     chunked = results["chunked_batch_sampling"]
+    deadline = results["deadline_frontier"]
     assert mc["bit_identical"]
     assert dp["outputs_identical"]
     # The sweep bench raises internally if any one-pass allocation or
     # chunked sample diverges from the per-budget/scalar reference.
     assert one_pass["outputs_identical"]
     assert chunked["bit_identical"]
+    # The deadline bench raises internally if any sweep point diverges
+    # from the seed comparator.
+    assert deadline["outputs_identical"]
     # Event-level scalar simulation vs one matrix draw: even at smoke
     # size the batch engine must win clearly.
     assert mc["speedup"] > 3.0
@@ -53,6 +59,8 @@ def test_smoke_run_asserts_equivalence_and_speedup(bench, tmp_path):
     assert dp["speedup"] > 1.5
     # One strategy-level DP pass vs 5 factory+tune runs.
     assert one_pass["speedup"] > 1.0
+    # Shared deadline kernels vs per-deadline fresh scalar kernels.
+    assert deadline["speedup"] > 1.5
 
 
 def test_bench_writes_json(bench, tmp_path, monkeypatch):

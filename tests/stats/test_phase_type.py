@@ -14,6 +14,12 @@ from repro.stats import (
     hypoexponential_mean,
     hypoexponential_sf,
 )
+from repro.stats.phase_type import (
+    WeightLadder,
+    _sf_from_ladder,
+    _sf_rows_at,
+    batch_weight_ladders,
+)
 
 
 class TestHypoexponentialCdf:
@@ -97,3 +103,110 @@ class TestHypoexponentialCdf:
             hypoexponential_cdf([1.0, -2.0], 1.0)
         with pytest.raises(ModelError):
             hypoexponential_mean([0.0])
+
+
+class TestTolTruncation:
+    """The tol parameter must actually steer the truncation bounds."""
+
+    RATES = [1.0, 2.0, 3.0]
+    T = 5.0
+
+    def _terms_for(self, tol) -> tuple[int, float]:
+        ladder = WeightLadder(self.RATES)
+        value = float(
+            _sf_from_ladder(ladder, np.array([self.T]), tol=tol)[0]
+        )
+        return ladder.n_computed, value
+
+    def test_looser_tol_truncates_earlier(self):
+        loose, v_loose = self._terms_for(1e-4)
+        default, v_default = self._terms_for(1e-12)
+        tight, v_tight = self._terms_for(1e-30)
+        assert loose < default < tight
+        # Looser truncation still lands within its own tolerance.
+        assert v_loose == pytest.approx(v_default, abs=1e-4)
+        assert v_tight == pytest.approx(v_default, abs=1e-12)
+
+    def test_default_tol_is_bit_identical_to_implicit(self):
+        implicit = hypoexponential_sf(self.RATES, self.T)
+        explicit = hypoexponential_sf(self.RATES, self.T, tol=1e-12)
+        assert implicit == explicit
+
+    def test_tol_threads_through_cdf(self):
+        loose = hypoexponential_cdf(self.RATES, self.T, tol=1e-3)
+        default = hypoexponential_cdf(self.RATES, self.T)
+        assert loose == pytest.approx(default, abs=1e-3)
+
+    def test_tol_validation(self):
+        for bad in (0.0, -1e-3, 1.0, 2.0):
+            with pytest.raises(ModelError):
+                hypoexponential_sf(self.RATES, self.T, tol=bad)
+
+
+class TestBatchWeightLadders:
+    """The lock-step batch recurrence must be bitwise the scalar ladder."""
+
+    def test_bitwise_identical_to_scalar(self):
+        rows = [tuple([0.5 + 0.3 * p] * 3 + [2.0] * 3) for p in range(12)]
+        n_terms = 200
+        ladders = batch_weight_ladders(rows, n_terms)
+        for row, ladder in zip(rows, ladders):
+            reference = WeightLadder(row)
+            assert np.array_equal(ladder.get(n_terms), reference.get(n_terms))
+            assert np.array_equal(ladder._v, reference._v)
+
+    def test_mixed_phase_counts_are_padded_exactly(self):
+        rows = [
+            (1.0, 2.0),
+            (0.7, 0.7, 3.0, 3.0, 3.0),
+            (2.5,),
+            (4.0, 0.2, 1.1),
+        ]
+        n_terms = 150
+        ladders = batch_weight_ladders(rows, n_terms)
+        for row, ladder in zip(rows, ladders):
+            reference = WeightLadder(row)
+            assert np.array_equal(ladder.get(n_terms), reference.get(n_terms))
+            assert np.array_equal(ladder._v, reference._v)
+
+    def test_extension_continues_the_series(self):
+        rows = [(1.0, 3.0), (2.0, 2.0)]
+        ladders = batch_weight_ladders(rows, 50)
+        for row, ladder in zip(rows, ladders):
+            assert np.array_equal(
+                ladder.get(120), WeightLadder(row).get(120)
+            )
+
+    def test_empty_and_zero_terms(self):
+        assert batch_weight_ladders([], 10) == []
+        (ladder,) = batch_weight_ladders([(1.0, 2.0)], 0)
+        assert ladder.n_computed == 0
+        assert np.array_equal(ladder.get(30), WeightLadder((1.0, 2.0)).get(30))
+
+    def test_rejects_negative_terms(self):
+        with pytest.raises(ModelError):
+            batch_weight_ladders([(1.0,)], -1)
+
+
+class TestSfRowsAt:
+    """The padded-window scalar-t batch must match per-row evaluation."""
+
+    def test_rows_bitwise_match_single_calls(self):
+        rows = [
+            (1.0, 2.0, 2.0),
+            (5.0, 0.4, 0.4),
+            (2.2, 2.2, 2.2),
+            (0.9,),
+        ]
+        for t in (0.0, 0.3, 2.0, 9.0):
+            ladders = [WeightLadder(row) for row in rows]
+            batch = _sf_rows_at(ladders, t)
+            for row, value in zip(rows, batch):
+                single = float(
+                    _sf_from_ladder(WeightLadder(row), np.array([t]))[0]
+                )
+                assert value == single
+
+    def test_negative_t_is_all_ones(self):
+        ladders = [WeightLadder((1.0, 2.0)), WeightLadder((3.0,))]
+        assert np.array_equal(_sf_rows_at(ladders, -1.0), np.ones(2))

@@ -75,3 +75,47 @@ class TestCommands:
         assert main(["fig5c"]) == 0
         out = capsys.readouterr().out
         assert "OPT t1" in out
+
+    def test_deadline_frontier(self, capsys):
+        assert (
+            main(
+                [
+                    "deadline",
+                    "--tasks",
+                    "10",
+                    "--points",
+                    "4",
+                    "--confidence",
+                    "0.8",
+                    "0.9",
+                    "--max-price",
+                    "15",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Deadline–cost frontier" in out
+        assert "p0.8" in out
+        assert "p0.9" in out
+
+    def test_deadline_comparator_choices_come_from_registry(self, capsys):
+        assert (
+            main(
+                [
+                    "deadline",
+                    "--tasks",
+                    "8",
+                    "--points",
+                    "3",
+                    "--comparator",
+                    "reference",
+                    "--max-price",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        assert "[reference]" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["deadline", "--comparator", "bogus"])
