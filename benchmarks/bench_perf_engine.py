@@ -24,14 +24,21 @@ Fig. 2-sized workload, against the seed implementations:
   per deadline vs the batched deadline-kernel sweep
   (``min_cost_for_deadline_sweep`` through ``deadline_cost_frontier``;
   prices/costs/probabilities asserted identical).
+* **Agent-market replications** — the seed per-event agent loop run
+  once per replication vs the lock-step structure-of-arrays engine
+  (``run_replications(engine="agent-batch")``) on a Fig. 3-sized job;
+  trajectories asserted trace-for-trace identical, with the null
+  recorder's fast path measured alongside the full-trace run.
 
 Run directly (``python benchmarks/bench_perf_engine.py``) to write
-``BENCH_perf_engine.json`` at the repo root; the tier-1 suite runs a
-reduced smoke variant through ``tests/perf/test_bench_smoke.py``.
-CI's bench-drift job runs ``--quick --check BENCH_perf_engine.json``:
-reduced sizes, no JSON write, and a failure if any section loses the
-identity flags or regresses by more than the (generous) drift factor
-against the committed numbers.
+``BENCH_perf_engine.json`` at the repo root; ``--sections NAME ...``
+reruns just the named sections (merging them over the committed JSON).
+The tier-1 suite runs a reduced smoke variant through
+``tests/perf/test_bench_smoke.py``.  CI's bench-drift job runs
+``--quick --check BENCH_perf_engine.json``: reduced sizes, no JSON
+write, and a failure if any section loses the identity flags or
+regresses by more than the (generous) drift factor against the
+committed numbers.
 """
 
 from __future__ import annotations
@@ -370,23 +377,158 @@ def bench_deadline_frontier(
     }
 
 
+def bench_agent_market_replications(
+    n_replications: int = 64, n_arrivals: int = 20
+) -> dict:
+    """Seed per-replication agent event loop vs the lock-step SoA engine.
+
+    A Fig. 3-sized job (*n_arrivals* single-repetition dot-filter
+    tasks at $0.05 on the calibrated AMT market) replicated across
+    *n_replications* independent seeds.  The reference is the
+    preserved seed loop (:func:`~repro.perf.reference.reference_agent_run_job`,
+    one full ``TraceRecorder`` per replication — the only trace mode
+    the seed engine offers); the fast path is
+    ``run_replications(engine="agent-batch")`` with the shared null
+    recorder, the configuration a latency/answer replication study
+    uses.  ``batched_traced_seconds`` reports the lock-step engine
+    producing the *full* per-replication traces, and the run first
+    certifies trace-for-trace equality between both engines on that
+    configuration (same makespans, payments, arrival epochs, and
+    per-record timestamps — ``bit_identical``).
+    """
+    from repro.market.simulator import AgentSimulator, AtomicTaskOrder
+    from repro.market.trace import NULL_RECORDER, TraceRecorder
+    from repro.perf.reference import reference_agent_run_job
+    from repro.stats.rng import ensure_rng
+    from repro.workloads.amt import amt_task_type, amt_worker_pool
+
+    task_type = amt_task_type(votes=4)
+    orders = [
+        AtomicTaskOrder(task_type=task_type, prices=(5,), atomic_task_id=i)
+        for i in range(n_arrivals)
+    ]
+    seeds = list(range(n_replications))
+
+    def reference():
+        sim = AgentSimulator(amt_worker_pool(), seed=0, max_sim_time=1e9)
+        return [
+            reference_agent_run_job(sim, orders, rng=ensure_rng(s))
+            for s in seeds
+        ]
+
+    def batched(recorders):
+        sim = AgentSimulator(amt_worker_pool(), seed=0, max_sim_time=1e9)
+        return sim.run_replications(
+            orders, seeds=seeds, recorders=recorders, engine="agent-batch"
+        )
+
+    def record_key(record):
+        return (
+            record.atomic_task_id,
+            record.repetition_index,
+            record.type_name,
+            record.price,
+            record.published_at,
+            record.accepted_at,
+            record.completed_at,
+        )
+
+    ref_results = reference()
+    fast_results = batched([TraceRecorder() for _ in seeds])
+    for ref, fast in zip(ref_results, fast_results):
+        if (
+            ref.makespan != fast.makespan
+            or ref.per_atomic_completion != fast.per_atomic_completion
+            or ref.total_paid != fast.total_paid
+            or ref.answers != fast.answers
+            or ref.trace.worker_arrival_times
+            != fast.trace.worker_arrival_times
+            or [record_key(r) for r in ref.trace.records]
+            != [record_key(r) for r in fast.trace.records]
+        ):
+            raise AssertionError(
+                "agent-batch replication trajectories diverged from the "
+                "seed event loop"
+            )
+
+    t_reference = _time(reference, repeats=3)
+    t_batched = _time(lambda: batched(NULL_RECORDER), repeats=9)
+    t_traced = _time(lambda: batched(None), repeats=5)
+    return {
+        "workload": f"{n_replications} replications x {n_arrivals} tasks "
+        "(fig3-sized job, AMT market)",
+        "reference_seconds": t_reference,
+        "batched_seconds": t_batched,
+        "batched_traced_seconds": t_traced,
+        "reference_replications_per_sec": n_replications / t_reference,
+        "batched_replications_per_sec": n_replications / t_batched,
+        "speedup": t_reference / t_batched,
+        "traced_speedup": t_reference / t_traced,
+        "bit_identical": True,
+        "note": "batched_seconds uses the NullTraceRecorder fast path "
+        "(the replication-study configuration); batched_traced_seconds "
+        "materializes full per-replication traces",
+    }
+
+
+#: Section name -> (bench callable, arguments it takes from run()).
+_SECTIONS = {
+    "mc_job_sampling": lambda p: bench_mc_sampling(
+        p["n_samples"], p["n_tasks"]
+    ),
+    "allocation_sampling": lambda p: bench_allocation_sampling(
+        p["n_samples"], p["n_tasks"]
+    ),
+    "budget_indexed_dp_sweep": lambda p: bench_dp_sweep(
+        p["n_tasks"], p["n_budgets"]
+    ),
+    "one_pass_strategy_sweep": lambda p: bench_one_pass_sweep(
+        p["n_tasks"], p["n_budgets"]
+    ),
+    "chunked_batch_sampling": lambda p: bench_chunked_sampling(
+        p["n_samples"], p["n_tasks"]
+    ),
+    "deadline_frontier": lambda p: bench_deadline_frontier(
+        p["n_tasks"], p["n_deadlines"]
+    ),
+    "agent_market_replications": lambda p: bench_agent_market_replications(
+        p["n_replications"]
+    ),
+}
+
+
 def run(
     n_samples: int = 1000,
     n_tasks: int = 100,
     n_budgets: int = 9,
     n_deadlines: int = 20,
+    n_replications: int = 64,
     write: bool = True,
+    sections=None,
 ) -> dict:
-    results = {
-        "mc_job_sampling": bench_mc_sampling(n_samples, n_tasks),
-        "allocation_sampling": bench_allocation_sampling(n_samples, n_tasks),
-        "budget_indexed_dp_sweep": bench_dp_sweep(n_tasks, n_budgets),
-        "one_pass_strategy_sweep": bench_one_pass_sweep(n_tasks, n_budgets),
-        "chunked_batch_sampling": bench_chunked_sampling(n_samples, n_tasks),
-        "deadline_frontier": bench_deadline_frontier(n_tasks, n_deadlines),
+    params = {
+        "n_samples": n_samples,
+        "n_tasks": n_tasks,
+        "n_budgets": n_budgets,
+        "n_deadlines": n_deadlines,
+        "n_replications": n_replications,
     }
+    if sections is None:
+        sections = list(_SECTIONS)
+    unknown = [s for s in sections if s not in _SECTIONS]
+    if unknown:
+        raise SystemExit(
+            f"unknown bench sections {unknown}; known: {sorted(_SECTIONS)}"
+        )
+    results = {name: _SECTIONS[name](params) for name in sections}
     if write:
-        RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+        # A filtered run refreshes only its sections: merge over the
+        # committed file so `--sections x` never drops the others.
+        payload = results
+        if len(results) < len(_SECTIONS) and RESULT_PATH.exists():
+            payload = json.loads(RESULT_PATH.read_text())
+            payload.update(results)
+        RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     return results
 
 
@@ -445,6 +587,15 @@ def main(argv: list[str] | None = None) -> int:
         help="compare against a committed benchmark JSON and exit "
         "non-zero on large regressions",
     )
+    parser.add_argument(
+        "--sections",
+        nargs="+",
+        metavar="NAME",
+        choices=sorted(_SECTIONS),
+        help="run only these sections (choices: %(choices)s); a "
+        "filtered full run merges its sections over the committed "
+        "JSON instead of rewriting it",
+    )
     args = parser.parse_args(argv)
     if args.quick:
         results = run(
@@ -452,22 +603,21 @@ def main(argv: list[str] | None = None) -> int:
             n_tasks=50,
             n_budgets=6,
             n_deadlines=10,
+            n_replications=16,
             write=False,
+            sections=args.sections,
         )
     else:
-        results = run()
+        results = run(sections=args.sections)
     print(json.dumps(results, indent=2))
     if not args.quick:
         print(f"\nwrote {RESULT_PATH}")
-    mc = results["mc_job_sampling"]["speedup"]
-    dp = results["budget_indexed_dp_sweep"]["speedup"]
-    op = results["one_pass_strategy_sweep"]["speedup"]
-    dl = results["deadline_frontier"]["speedup"]
-    print(
-        f"MC job sampling speedup: {mc:.1f}x; DP sweep speedup: {dp:.1f}x; "
-        f"one-pass strategy sweep speedup: {op:.1f}x; "
-        f"deadline frontier speedup: {dl:.1f}x"
+    summary = "; ".join(
+        f"{name}: {section['speedup']:.1f}x"
+        for name, section in results.items()
+        if "speedup" in section
     )
+    print(summary)
     if args.check is not None:
         failures = check(results, args.check)
         if failures:

@@ -85,7 +85,12 @@ def _cmd_fig2(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig3(args: argparse.Namespace) -> None:
-    result = fig3_experiment(n_arrivals=args.arrivals, seed=args.seed)
+    result = fig3_experiment(
+        n_arrivals=args.arrivals,
+        seed=args.seed,
+        replications=args.replications,
+        engine=args.engine,
+    )
     rows = [
         (i + 1, e / 60.0, p1 / 60.0, p2 / 60.0)
         for i, (e, p1, p2) in enumerate(
@@ -106,7 +111,11 @@ def _cmd_fig3(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig4(args: argparse.Namespace) -> None:
-    result = fig4_experiment(seed=args.seed)
+    result = fig4_experiment(
+        seed=args.seed,
+        replications=args.replications,
+        engine=args.engine,
+    )
     rows = [
         (f"${p / 100:.2f}", result.inferred_rates[p])
         for p in result.prices
@@ -122,7 +131,11 @@ def _cmd_fig4(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig5ab(args: argparse.Namespace) -> None:
-    result = fig5ab_experiment(seed=args.seed)
+    result = fig5ab_experiment(
+        seed=args.seed,
+        replications=args.replications,
+        engine=args.engine,
+    )
     rows = []
     for votes in result.vote_counts:
         for price in result.prices:
@@ -260,8 +273,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fig3 = sub.add_parser("fig3", help="worker arrival moments")
     fig3.add_argument("--arrivals", type=int, default=20)
-    sub.add_parser("fig4", help="reward vs latency")
-    sub.add_parser("fig5ab", help="difficulty vs latency")
+    fig3.add_argument(
+        "--replications",
+        type=int,
+        default=1,
+        help="independent seeded worlds averaged into the figure",
+    )
+    fig3.add_argument(
+        "--engine",
+        choices=list(available_engines()),
+        default=None,
+        help="replication engine (registry name; 'agent-batch' runs "
+        "all replications in lock-step — figures are byte-identical "
+        "for every engine)",
+    )
+    fig4 = sub.add_parser("fig4", help="reward vs latency")
+    fig5ab = sub.add_parser("fig5ab", help="difficulty vs latency")
+    for agent_figure in (fig4, fig5ab):
+        agent_figure.add_argument(
+            "--replications",
+            type=int,
+            default=1,
+            help="independent agent-market worlds per cell (needs an "
+            "agent engine)",
+        )
+        agent_figure.add_argument(
+            "--engine",
+            choices=["aggregate", *available_engines()],
+            default=None,
+            help="'aggregate' (default, the seed path) or a "
+            "replication-engine name to run the cells on the agent "
+            "market ('agent-batch' = lock-step)",
+        )
     sub.add_parser("fig5c", help="OPT vs heuristic")
     return parser
 

@@ -121,21 +121,24 @@ def latency_quantile_batch(
     group_prices: dict[tuple, int],
     confidences: Sequence[float],
     include_processing: bool = True,
+    window_mode: str = "per-point",
 ) -> np.ndarray:
     """Latency quantiles for a whole confidence vector at once.
 
     One array bisection: each iteration evaluates every group's sf on
     the full midpoint vector (one midpoint per confidence), so the
     kernel cost per iteration is one array call per group regardless
-    of how many confidences are requested.  See
+    of how many confidences are requested.  With the default
+    per-point windows, every entry is **bitwise** equal to evaluating
+    its confidence alone through :func:`latency_quantile`; see
     :func:`repro.perf.deadline.deadline_quantile_bisection` for the
-    exactness contract (length-1 vectors are bit-identical to the
-    scalar path; longer vectors agree to truncation tolerance).
+    ``window_mode`` contract.
     """
     from ..perf.deadline import deadline_quantile_bisection
 
     return deadline_quantile_bisection(
-        problem.groups(), group_prices, confidences, include_processing
+        problem.groups(), group_prices, confidences, include_processing,
+        window_mode=window_mode,
     )
 
 

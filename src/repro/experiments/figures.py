@@ -272,16 +272,42 @@ class Fig3Result:
         return self.linearity_r2 >= 0.9
 
 
+def _replication_seeds(seed: RandomState, replications: int) -> list:
+    """Per-replication seeds for a figure cell.
+
+    One replication uses *seed* directly — byte-identical to the
+    historical single-run figure — and R > 1 spawns R independent
+    substreams from it.  The protocol is engine-independent, so a
+    figure's output is the same whichever replication engine runs it.
+    """
+    if replications < 1:
+        raise ModelError(f"replications must be >= 1, got {replications}")
+    if replications == 1:
+        return [seed]
+    from ..stats.rng import spawn
+
+    return spawn(ensure_rng(seed), replications)
+
+
 def fig3_experiment(
     n_arrivals: int = 20,
     price: int = 5,
     seed: RandomState = 0,
+    replications: int = 1,
+    engine=None,
 ) -> Fig3Result:
     """Issue dot-filter tasks at $0.05 and watch the first N takes.
 
     Uses the *agent* engine (a real worker stream) so the Poisson
     behaviour is emergent, not assumed: each of *n_arrivals* slots is a
     single-repetition task; we record acceptance epochs in order.
+
+    ``replications`` fans the experiment out to R independent seeded
+    worlds (epochs/latencies are averaged order-by-order — Fig. 3 with
+    Monte-Carlo noise smoothed); the fan-out runs through
+    ``AgentSimulator.run_replications`` with *engine* resolved from
+    the :mod:`repro.perf.engine` registry (``"agent-batch"`` =
+    lock-step), and every engine yields byte-identical figures.
     """
     task_type = amt_task_type(votes=4)
     pool = amt_worker_pool()
@@ -294,12 +320,28 @@ def fig3_experiment(
         )
         for i in range(n_arrivals)
     ]
-    recorder = TraceRecorder(keep_events=True)
-    sim.run_job(orders, recorder=recorder)
-    records = sorted(recorder.records, key=lambda r: r.accepted_at)
-    epochs = tuple(r.accepted_at for r in records)
-    phase1 = tuple(r.onhold_latency for r in records)
-    phase2 = tuple(r.processing_latency for r in records)
+    seeds = _replication_seeds(seed, replications)
+    recorders = [TraceRecorder(keep_events=True) for _ in seeds]
+    sim.run_replications(
+        orders, seeds=seeds, recorders=recorders, engine=engine
+    )
+    epoch_rows = []
+    phase1_rows = []
+    phase2_rows = []
+    for recorder in recorders:
+        records = sorted(recorder.records, key=lambda r: r.accepted_at)
+        epoch_rows.append([r.accepted_at for r in records])
+        phase1_rows.append([r.onhold_latency for r in records])
+        phase2_rows.append([r.processing_latency for r in records])
+    epochs = tuple(
+        float(v) for v in np.asarray(epoch_rows, dtype=float).mean(axis=0)
+    )
+    phase1 = tuple(
+        float(v) for v in np.asarray(phase1_rows, dtype=float).mean(axis=0)
+    )
+    phase2 = tuple(
+        float(v) for v in np.asarray(phase2_rows, dtype=float).mean(axis=0)
+    )
     # Linear regression of epoch against order index.
     x = np.arange(1, len(epochs) + 1, dtype=float)
     y = np.asarray(epochs)
@@ -338,37 +380,79 @@ class Fig4Result:
         return all(a >= b for a, b in zip(means, means[1:]))
 
 
+def _cell_onhold_rows(results) -> np.ndarray:
+    """Per-replication on-hold latencies in repetition order."""
+    rows = []
+    for result in results:
+        records = sorted(
+            result.trace.records, key=lambda r: r.repetition_index
+        )
+        rows.append([r.onhold_latency for r in records])
+    return np.asarray(rows, dtype=float)
+
+
 def fig4_experiment(
     prices: Sequence[int] = (5, 8, 10, 12),
     repetitions: int = 10,
     seed: RandomState = 0,
+    replications: int = 1,
+    engine=None,
 ) -> Fig4Result:
     """Vary the reward $0.05–$0.12 at 10 repetitions per task (§5.2.2).
 
     For each price we publish one 10-repetition dot-filter task on the
     calibrated market, record the per-order acceptance latencies, and
     infer λ_o with the fixed-period estimator over the observed span.
-    """
-    from ..market.simulator import AggregateSimulator
 
+    ``engine=None`` (or ``"aggregate"``) is the historical path: the
+    aggregate model sampled with one stream across the price cells,
+    byte-identical to the seed figure.  Any registry engine name (or
+    :class:`~repro.perf.engine.EvaluationEngine`) switches the cells
+    to the *agent* market: each price's job runs as ``replications``
+    independent worker-stream worlds through
+    ``AgentSimulator.run_replications`` (latencies averaged
+    order-by-order), and every engine — sequential or
+    ``"agent-batch"`` lock-step — yields byte-identical figures.
+    """
     market = amt_market()
     task_type = amt_task_type(votes=4)
     rng = ensure_rng(seed)
+    agent_mode = engine is not None and engine != "aggregate"
+    if not agent_mode and replications != 1:
+        raise ModelError(
+            "the aggregate fig4 path is single-realization; pass an agent "
+            "engine (e.g. engine='agent-batch') to fan out replications"
+        )
     latency_orders: dict[int, tuple[float, ...]] = {}
     inferred: dict[int, float] = {}
     for price in prices:
-        sim = AggregateSimulator(market, seed=rng)
         order = AtomicTaskOrder(
             task_type=task_type,
             prices=tuple([int(price)] * repetitions),
             atomic_task_id=0,
         )
-        recorder = TraceRecorder()
-        sim.run_job([order], recorder=recorder)
-        onholds = tuple(
-            r.onhold_latency
-            for r in sorted(recorder.records, key=lambda r: r.repetition_index)
-        )
+        if agent_mode:
+            pool = amt_worker_pool()
+            sim = AgentSimulator(pool, seed=rng, max_sim_time=1e9)
+            seeds = _replication_seeds(rng.integers(0, 2**62), replications)
+            results = sim.run_replications(
+                [order], seeds=seeds, engine=engine
+            )
+            onholds = tuple(
+                float(v) for v in _cell_onhold_rows(results).mean(axis=0)
+            )
+        else:
+            from ..market.simulator import AggregateSimulator
+
+            sim = AggregateSimulator(market, seed=rng)
+            recorder = TraceRecorder()
+            sim.run_job([order], recorder=recorder)
+            onholds = tuple(
+                r.onhold_latency
+                for r in sorted(
+                    recorder.records, key=lambda r: r.repetition_index
+                )
+            )
         latency_orders[int(price)] = onholds
         span = sum(onholds)
         estimate = estimate_rate_fixed_period(len(onholds), span)
@@ -413,22 +497,38 @@ def fig5ab_experiment(
     repetitions: int = 10,
     n_tasks: int = 20,
     seed: RandomState = 0,
+    replications: int = 1,
+    engine=None,
 ) -> Fig5abResult:
     """Vary task difficulty (internal vote count) at two rewards.
 
     Harder tasks must show slower acceptance (Fig. 5(a)) and longer
     processing (Fig. 5(b)).
+
+    ``engine=None`` (or ``"aggregate"``) is the historical aggregate
+    path, byte-identical to the seed figure.  Any registry engine
+    switches each (difficulty, reward) cell to the agent market:
+    ``replications`` independent worker-stream worlds per cell run
+    through ``AgentSimulator.run_replications`` (phase means pooled
+    over every record of every replication), identical for every
+    engine — ``"agent-batch"`` just gets there in lock-step.
     """
-    from ..market.simulator import AggregateSimulator
+    from statistics import fmean
 
     market = amt_market()
     rng = ensure_rng(seed)
+    agent_mode = engine is not None and engine != "aggregate"
+    if not agent_mode and replications != 1:
+        raise ModelError(
+            "the aggregate fig5ab path is single-realization; pass an "
+            "agent engine (e.g. engine='agent-batch') to fan out "
+            "replications"
+        )
     mean_p1: dict[tuple[int, int], float] = {}
     mean_p2: dict[tuple[int, int], float] = {}
     for votes in vote_counts:
         task_type = amt_task_type(votes=votes)
         for price in prices:
-            sim = AggregateSimulator(market, seed=rng)
             orders = [
                 AtomicTaskOrder(
                     task_type=task_type,
@@ -437,11 +537,33 @@ def fig5ab_experiment(
                 )
                 for i in range(n_tasks)
             ]
-            recorder = TraceRecorder()
-            sim.run_job(orders, recorder=recorder)
-            summary = recorder.summary()
-            mean_p1[(int(votes), int(price))] = summary.mean_onhold
-            mean_p2[(int(votes), int(price))] = summary.mean_processing
+            if agent_mode:
+                pool = amt_worker_pool()
+                sim = AgentSimulator(pool, seed=rng, max_sim_time=1e9)
+                seeds = _replication_seeds(
+                    rng.integers(0, 2**62), replications
+                )
+                results = sim.run_replications(
+                    orders, seeds=seeds, engine=engine
+                )
+                records = [
+                    r for res in results for r in res.trace.records
+                ]
+                mean_p1[(int(votes), int(price))] = fmean(
+                    r.onhold_latency for r in records
+                )
+                mean_p2[(int(votes), int(price))] = fmean(
+                    r.processing_latency for r in records
+                )
+            else:
+                from ..market.simulator import AggregateSimulator
+
+                sim = AggregateSimulator(market, seed=rng)
+                recorder = TraceRecorder()
+                sim.run_job(orders, recorder=recorder)
+                summary = recorder.summary()
+                mean_p1[(int(votes), int(price))] = summary.mean_onhold
+                mean_p2[(int(votes), int(price))] = summary.mean_processing
     return Fig5abResult(
         vote_counts=tuple(int(v) for v in vote_counts),
         prices=tuple(int(p) for p in prices),

@@ -221,12 +221,17 @@ def evaluate_allocation_with_ci(
     rng: RandomState = None,
     include_processing: bool = True,
     confidence: float = 0.95,
+    engine=None,
 ) -> tuple[float, float, float]:
     """Monte-Carlo latency estimate with a normal-approximation CI.
 
     Returns ``(mean, ci_low, ci_high)``.  The CLT applies comfortably
     at the default sample counts (job latencies are light-tailed
-    maxima of phase-type sums).
+    maxima of phase-type sums).  The replication fan-out goes through
+    the engine registry: ``engine`` is a registered name or an
+    :class:`~repro.perf.engine.EvaluationEngine`, and every engine
+    consumes the stream identically, so the interval is byte-identical
+    whichever is picked.
     """
     from scipy import stats as sps
 
@@ -235,7 +240,8 @@ def evaluate_allocation_with_ci(
     if not 0.0 < confidence < 1.0:
         raise ModelError(f"confidence must be in (0,1), got {confidence}")
     draws = sample_job_latencies(
-        problem, allocation, n_samples, rng, include_processing
+        problem, allocation, n_samples, rng, include_processing,
+        engine=engine,
     )
     mean = float(draws.mean())
     sem = float(draws.std(ddof=1) / np.sqrt(len(draws)))

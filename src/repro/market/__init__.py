@@ -46,7 +46,13 @@ from .simulator import (
     MarketModel,
 )
 from .task import PublishedTask, TaskState, TaskType
-from .trace import LatencySummary, TaskRecord, TraceRecorder
+from .trace import (
+    NULL_RECORDER,
+    LatencySummary,
+    NullTraceRecorder,
+    TaskRecord,
+    TraceRecorder,
+)
 from .worker import (
     ChoiceModel,
     GreedyPriceChoice,
@@ -72,7 +78,9 @@ __all__ = [
     "LinearPricing",
     "LogPricing",
     "MarketModel",
+    "NULL_RECORDER",
     "NonstationaryWorkerPool",
+    "NullTraceRecorder",
     "PAPER_FIG2_MODELS",
     "PriceProportionalChoice",
     "PricingModel",

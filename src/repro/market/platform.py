@@ -146,6 +146,41 @@ class CrowdPlatform:
         self._charge(cost)
         return self._engine.run_job(orders, recorder=recorder)
 
+    def run_replications(
+        self,
+        requests: Sequence[PublishRequest],
+        n_replications: Optional[int] = None,
+        *,
+        seeds=None,
+        recorders=None,
+        engine=None,
+    ) -> list[JobResult]:
+        """Run one batch of *requests* as R independent replications.
+
+        A measurement fan-out, not R separate purchases: the batch is
+        published once (one set of atomic task ids, one budget charge)
+        and simulated in R independent worlds — the shape of every
+        replication study (latency CIs, engine-agreement checks, the
+        figure harnesses).  ``seeds``/``recorders``/``engine`` are the
+        :meth:`AgentSimulator.run_replications
+        <repro.market.simulator.AgentSimulator.run_replications>`
+        parameters; ``engine="agent-batch"`` advances agent-market
+        replications in lock-step, and every engine returns
+        replication-for-replication identical results.
+        """
+        if not requests:
+            raise SimulationError("run_replications needs at least one request")
+        orders = [self._to_order(r) for r in requests]
+        cost = sum(sum(o.prices) for o in orders)
+        self._charge(cost)
+        return self._engine.run_replications(
+            orders,
+            n_replications,
+            seeds=seeds,
+            recorders=recorders,
+            engine=engine,
+        )
+
     # -- convenience --------------------------------------------------
 
     @classmethod

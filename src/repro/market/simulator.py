@@ -25,7 +25,7 @@ from typing import Any, Mapping, Optional, Sequence
 import numpy as np
 
 from ..errors import ModelError, SimulationError
-from ..stats.rng import RandomState, ensure_rng
+from ..stats.rng import RandomState, ensure_rng, spawn
 from .events import Event, EventKind, EventQueue
 from .pricing import PricingModel
 from .task import PublishedTask, TaskState, TaskType
@@ -143,6 +143,81 @@ def _draw_answer(order: AtomicTaskOrder, rng: np.random.Generator, accuracy: flo
     return None
 
 
+def _resolve_replication_seeds(
+    rng: np.random.Generator,
+    n_replications: Optional[int],
+    seeds,
+) -> list:
+    """Normalize a ``run_replications`` seed specification.
+
+    ``seeds=None`` derives one independent substream per replication
+    from the simulator's own generator (:func:`repro.stats.rng.spawn`)
+    — the same protocol for every engine, so swapping engines never
+    changes which streams the replications consume.
+    """
+    if seeds is None:
+        if n_replications is None:
+            raise SimulationError(
+                "run_replications needs n_replications or an explicit "
+                "seeds sequence"
+            )
+        if n_replications < 1:
+            raise SimulationError(
+                f"n_replications must be >= 1, got {n_replications}"
+            )
+        return spawn(rng, int(n_replications))
+    seeds = list(seeds)
+    if not seeds:
+        raise SimulationError("run_replications needs at least one seed")
+    if n_replications is not None and int(n_replications) != len(seeds):
+        raise SimulationError(
+            f"n_replications={n_replications} does not match "
+            f"{len(seeds)} seeds"
+        )
+    return seeds
+
+
+def _resolve_replication_recorders(recorders, n: int) -> list:
+    """Normalize a ``run_replications`` recorder specification.
+
+    ``None`` gives every replication its own fresh
+    :class:`~repro.market.trace.TraceRecorder`; a single null recorder
+    (``is_null``) is shared by all replications (it is stateless); a
+    sequence supplies one recorder per replication.  Sharing one
+    *stateful* recorder between replications is rejected: engines may
+    process replications in different orders, so an interleaved trace
+    would depend on the engine and break the byte-identity contract.
+    """
+    if recorders is None:
+        return [None] * n
+    if getattr(recorders, "is_null", False):
+        return [recorders] * n
+    if isinstance(recorders, TraceRecorder):
+        raise SimulationError(
+            "run_replications needs one recorder per replication (or a "
+            "shared null recorder such as NULL_RECORDER); got a single "
+            "stateful TraceRecorder"
+        )
+    recorders = list(recorders)
+    if len(recorders) != n:
+        raise SimulationError(
+            f"got {len(recorders)} recorders for {n} replications"
+        )
+    seen: dict[int, int] = {}
+    for rec in recorders:
+        if rec is None or getattr(rec, "is_null", False):
+            continue
+        key = id(rec)
+        if key in seen:
+            raise SimulationError(
+                "the same stateful recorder appears for multiple "
+                "replications; replication traces must not share a "
+                "recorder (engine execution order would leak into it)"
+            )
+        seen[key] = 1
+    return recorders
+
+
 class AggregateSimulator:
     """Engine sampling each phase directly from the HPU model.
 
@@ -170,6 +245,49 @@ class AggregateSimulator:
         repetitions published at once (AMT's multi-assignment HITs);
         the task completes when its last repetition does.
         """
+        return self._run_job_with_rng(
+            orders, self._rng, recorder, start_time, repetition_mode
+        )
+
+    def run_replications(
+        self,
+        orders: Sequence[AtomicTaskOrder],
+        n_replications: Optional[int] = None,
+        *,
+        seeds=None,
+        recorders=None,
+        start_time: float = 0.0,
+        repetition_mode: str = "sequential",
+        engine=None,
+    ) -> list[JobResult]:
+        """Run *orders* as R independent seeded replications.
+
+        ``seeds`` gives one :data:`~repro.stats.rng.RandomState` per
+        replication; when omitted, ``n_replications`` substreams are
+        spawned from the simulator's own generator.  ``engine``
+        resolves through the :mod:`repro.perf.engine` registry; every
+        registered engine produces replication-for-replication
+        identical results — the aggregate model has no lock-step fast
+        path, so all engines run the sequential reference here.
+        """
+        from ..perf.engine import get_engine
+
+        seeds = _resolve_replication_seeds(self._rng, n_replications, seeds)
+        recorders = _resolve_replication_recorders(recorders, len(seeds))
+        return get_engine(engine).run_replications(
+            self, orders, seeds, recorders, start_time,
+            repetition_mode=repetition_mode,
+        )
+
+    def _run_job_with_rng(
+        self,
+        orders: Sequence[AtomicTaskOrder],
+        rng: np.random.Generator,
+        recorder: Optional[TraceRecorder] = None,
+        start_time: float = 0.0,
+        repetition_mode: str = "sequential",
+    ) -> JobResult:
+        """The :meth:`run_job` body against an explicit generator."""
         if repetition_mode not in ("sequential", "parallel"):
             raise SimulationError(
                 f"repetition_mode must be 'sequential' or 'parallel', got "
@@ -179,6 +297,7 @@ class AggregateSimulator:
         if not orders:
             raise SimulationError("job must contain at least one atomic task")
         trace = recorder if recorder is not None else TraceRecorder()
+        record = not getattr(trace, "is_null", False)
         per_atomic: dict[int, float] = {}
         answers: dict[int, list[Any]] = {}
         total_paid = 0
@@ -188,7 +307,8 @@ class AggregateSimulator:
                 clock = float(start_time)
                 for rep_index, price in enumerate(order.prices):
                     clock = self._run_repetition(
-                        order, rep_index, price, clock, trace, collected
+                        order, rep_index, price, clock, rng,
+                        trace if record else None, collected,
                     )
                     total_paid += price
                 per_atomic[order.atomic_task_id] = clock
@@ -196,8 +316,8 @@ class AggregateSimulator:
                 finish = float(start_time)
                 for rep_index, price in enumerate(order.prices):
                     done = self._run_repetition(
-                        order, rep_index, price, float(start_time), trace,
-                        collected,
+                        order, rep_index, price, float(start_time), rng,
+                        trace if record else None, collected,
                     )
                     finish = max(finish, done)
                     total_paid += price
@@ -218,14 +338,25 @@ class AggregateSimulator:
         rep_index: int,
         price: int,
         publish_at: float,
-        trace: TraceRecorder,
+        rng: np.random.Generator,
+        trace: Optional[TraceRecorder],
         collected: list,
     ) -> float:
-        """Sample one repetition's two phases; returns its finish time."""
+        """Sample one repetition's two phases; returns its finish time.
+
+        ``trace=None`` is the null-recorder fast path: the phase draws
+        and the answer draw are identical, but no
+        :class:`~repro.market.task.PublishedTask` is materialized.
+        """
         rate_o = self.market.onhold_rate(order.task_type, price)
         rate_p = order.task_type.processing_rate
-        onhold = float(self._rng.exponential(1.0 / rate_o))
-        processing = float(self._rng.exponential(1.0 / rate_p))
+        onhold = float(rng.exponential(1.0 / rate_o))
+        processing = float(rng.exponential(1.0 / rate_p))
+        answer_at = publish_at + onhold + processing
+        if trace is None:
+            answer = _draw_answer(order, rng, order.task_type.accuracy)
+            collected.append(answer)
+            return answer_at
         task = PublishedTask(
             task_type=order.task_type,
             price=price,
@@ -235,11 +366,11 @@ class AggregateSimulator:
         )
         task.mark_published(publish_at)
         task.mark_accepted(publish_at + onhold)
-        answer = _draw_answer(order, self._rng, order.task_type.accuracy)
-        task.mark_completed(publish_at + onhold + processing, answer=answer)
+        answer = _draw_answer(order, rng, order.task_type.accuracy)
+        task.mark_completed(answer_at, answer=answer)
         trace.on_task_done(task)
         collected.append(answer)
-        return publish_at + onhold + processing
+        return answer_at
 
 
 class AgentSimulator:
@@ -274,10 +405,74 @@ class AgentSimulator:
         recorder: Optional[TraceRecorder] = None,
         start_time: float = 0.0,
     ) -> JobResult:
+        return self._run_job_with_rng(orders, self._rng, recorder, start_time)
+
+    def run_replications(
+        self,
+        orders: Sequence[AtomicTaskOrder],
+        n_replications: Optional[int] = None,
+        *,
+        seeds=None,
+        recorders=None,
+        start_time: float = 0.0,
+        engine=None,
+    ) -> list[JobResult]:
+        """Run *orders* as R independent seeded replications.
+
+        Replication ensembles are the agent engine's hot path
+        (figure experiments, engine-agreement checks, CI estimation):
+        R independent worlds of the same job, one RNG stream each.
+
+        Parameters
+        ----------
+        n_replications / seeds:
+            Either a replication count (one substream per replication
+            is spawned from the simulator's own generator) or an
+            explicit sequence with one
+            :data:`~repro.stats.rng.RandomState` per replication —
+            e.g. integers, ``SeedSequence`` children, or counter-based
+            ``Philox`` generators for reproducible distributed splits.
+        recorders:
+            ``None`` (fresh :class:`~repro.market.trace.TraceRecorder`
+            per replication), a shared null recorder
+            (:data:`~repro.market.trace.NULL_RECORDER` — skips all
+            event/record construction), or one recorder per
+            replication.
+        engine:
+            An :class:`~repro.perf.engine.EvaluationEngine` or
+            registered name.  ``"agent-batch"`` advances every
+            replication in lock-step through the structure-of-arrays
+            engine (:mod:`repro.perf.market`); the default runs them
+            sequentially.  Every engine produces bit-identical
+            trajectories for the same seeds, so the choice only
+            affects speed.
+
+        Worker ids keep incrementing across replications (exactly as
+        sequential :meth:`run_job` calls against one pool would), and
+        each replication's generator is advanced past every draw its
+        trajectory consumed.
+        """
+        from ..perf.engine import get_engine
+
+        seeds = _resolve_replication_seeds(self._rng, n_replications, seeds)
+        recorders = _resolve_replication_recorders(recorders, len(seeds))
+        return get_engine(engine).run_replications(
+            self, orders, seeds, recorders, start_time
+        )
+
+    def _run_job_with_rng(
+        self,
+        orders: Sequence[AtomicTaskOrder],
+        rng: np.random.Generator,
+        recorder: Optional[TraceRecorder] = None,
+        start_time: float = 0.0,
+    ) -> JobResult:
+        """The :meth:`run_job` event loop against an explicit generator."""
         orders = list(orders)
         if not orders:
             raise SimulationError("job must contain at least one atomic task")
         trace = recorder if recorder is not None else TraceRecorder()
+        record = not getattr(trace, "is_null", False)
         queue = EventQueue()
         # Incremental open-task index: the choice model keeps its own
         # structure (a Fenwick weight tree for the built-in weighted
@@ -306,14 +501,17 @@ class AgentSimulator:
             task.mark_published(now)
             next_rep[order.atomic_task_id] += 1
             open_tasks.add(task)
-            trace.on_event(Event(now, EventKind.TASK_PUBLISHED, payload=task))
+            if record:
+                trace.on_event(
+                    Event(now, EventKind.TASK_PUBLISHED, payload=task)
+                )
 
         for order in orders:
             publish(order, float(start_time))
 
         queue.push(
             Event(
-                float(start_time) + self.pool.next_arrival_delay(self._rng),
+                float(start_time) + self.pool.next_arrival_delay(rng),
                 EventKind.WORKER_ARRIVED,
             )
         )
@@ -329,23 +527,24 @@ class AgentSimulator:
                     "the market is too slow for this job (rates too small?)"
                 )
             if event.kind is EventKind.WORKER_ARRIVED:
-                trace.on_event(event)
+                if record:
+                    trace.on_event(event)
                 # Schedule the next arrival regardless of what this
                 # worker does — the stream is exogenous.
                 queue.push(
                     Event(
-                        now + self.pool.next_arrival_delay(self._rng),
+                        now + self.pool.next_arrival_delay(rng),
                         EventKind.WORKER_ARRIVED,
                     )
                 )
-                chosen = open_tasks.choose(self._rng)
+                chosen = open_tasks.choose(rng)
                 if chosen is None:
                     continue
                 open_tasks.discard(chosen)
                 worker_id = self.pool.new_worker_id()
                 chosen.mark_accepted(now, worker_id=worker_id)
                 processing = float(
-                    self._rng.exponential(1.0 / chosen.task_type.processing_rate)
+                    rng.exponential(1.0 / chosen.task_type.processing_rate)
                 )
                 queue.push(
                     Event(now + processing, EventKind.TASK_COMPLETED, payload=chosen)
@@ -354,12 +553,13 @@ class AgentSimulator:
                 task: PublishedTask = event.payload
                 order = order_by_id[task.atomic_task_id]
                 accuracy = self.pool.worker_accuracy(
-                    task.task_type.accuracy, self._rng
+                    task.task_type.accuracy, rng
                 )
-                answer = _draw_answer(order, self._rng, accuracy)
+                answer = _draw_answer(order, rng, accuracy)
                 task.mark_completed(now, answer=answer)
-                trace.on_event(event)
-                trace.on_task_done(task)
+                if record:
+                    trace.on_event(event)
+                    trace.on_task_done(task)
                 answers[task.atomic_task_id].append(answer)
                 total_paid += task.price
                 remaining -= 1

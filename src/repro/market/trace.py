@@ -17,7 +17,13 @@ from ..errors import SimulationError
 from .events import Event, EventKind
 from .task import PublishedTask
 
-__all__ = ["TaskRecord", "TraceRecorder", "LatencySummary"]
+__all__ = [
+    "TaskRecord",
+    "TraceRecorder",
+    "NullTraceRecorder",
+    "NULL_RECORDER",
+    "LatencySummary",
+]
 
 
 @dataclass(frozen=True)
@@ -135,3 +141,34 @@ class TraceRecorder:
     def summary(self, type_name: Optional[str] = None) -> LatencySummary:
         records = self.records_for_type(type_name) if type_name else self.records
         return LatencySummary.from_records(records)
+
+
+class NullTraceRecorder(TraceRecorder):
+    """A no-op recorder: the engines skip event/record construction.
+
+    Passing this sentinel (or :data:`NULL_RECORDER`) to ``run_job`` /
+    ``run_replications`` tells an engine that nothing will read the
+    trace, so it may skip building :class:`~repro.market.events.Event`
+    and :class:`TaskRecord` objects entirely.  Trajectories (RNG
+    stream, event order, makespan, answers, payments) are unchanged —
+    only the bookkeeping that exists purely for the trace is elided.
+    The recorder still satisfies the :class:`TraceRecorder` interface,
+    so custom engines that call the hooks keep working; the hooks just
+    discard their arguments.
+    """
+
+    #: Engines check this flag instead of the concrete type, so
+    #: subclasses (or duck-typed recorders) can opt in too.
+    is_null = True
+
+    def on_event(self, event) -> None:  # noqa: D102 - no-op hook
+        pass
+
+    def on_task_done(self, task) -> None:  # noqa: D102 - no-op hook
+        pass
+
+
+#: Shared stateless sentinel — recommended over constructing a fresh
+#: :class:`NullTraceRecorder` per run (one instance can serve every
+#: replication of a fan-out).
+NULL_RECORDER = NullTraceRecorder()

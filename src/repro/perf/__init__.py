@@ -69,8 +69,10 @@ from .engine import (
     get_engine,
     register_engine,
 )
+from .market import AgentBatchEngine, batch_agent_run_replications
 
 __all__ = [
+    "AgentBatchEngine",
     "BatchAggregateSimulator",
     "BatchEngine",
     "ChunkedBatchEngine",
@@ -79,6 +81,7 @@ __all__ = [
     "ScalarEngine",
     "available_deadline_comparators",
     "available_engines",
+    "batch_agent_run_replications",
     "budget_indexed_dp_fast",
     "budget_indexed_dp_sweep",
     "cached_hypoexponential_cdf",

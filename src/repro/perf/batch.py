@@ -276,6 +276,50 @@ class BatchAggregateSimulator:
         engines' realizations are *statistically* (not bitwise)
         equivalent.
         """
+        return self._run_job_with_rng(
+            orders, self._rng, recorder, start_time, repetition_mode
+        )
+
+    def run_replications(
+        self,
+        orders: Sequence,
+        n_replications=None,
+        *,
+        seeds=None,
+        recorders=None,
+        start_time: float = 0.0,
+        repetition_mode: str = "sequential",
+        engine=None,
+    ) -> list:
+        """Run *orders* as R independent seeded replications.
+
+        Same protocol as
+        :meth:`repro.market.simulator.AgentSimulator.run_replications`;
+        each replication draws its phase vector from its own stream
+        (this engine's own layout — deterministic per seed).
+        """
+        from ..market.simulator import (
+            _resolve_replication_recorders,
+            _resolve_replication_seeds,
+        )
+        from .engine import get_engine
+
+        seeds = _resolve_replication_seeds(self._rng, n_replications, seeds)
+        recorders = _resolve_replication_recorders(recorders, len(seeds))
+        return get_engine(engine).run_replications(
+            self, orders, seeds, recorders, start_time,
+            repetition_mode=repetition_mode,
+        )
+
+    def _run_job_with_rng(
+        self,
+        orders: Sequence,
+        rng,
+        recorder=None,
+        start_time: float = 0.0,
+        repetition_mode: str = "sequential",
+    ):
+        """The :meth:`run_job` body against an explicit generator."""
         from ..market.simulator import JobResult, _draw_answer
         from ..market.task import PublishedTask
         from ..market.trace import TraceRecorder
@@ -289,10 +333,11 @@ class BatchAggregateSimulator:
         if not orders:
             raise SimulationError("job must contain at least one atomic task")
         scales, starts = self._order_layout(orders, allow_payloads=True)
-        draws = self._rng.standard_exponential(len(scales))
+        draws = rng.standard_exponential(len(scales))
         draws *= scales
 
         trace = recorder if recorder is not None else TraceRecorder()
+        record = not getattr(trace, "is_null", False)
         per_atomic: dict[int, float] = {}
         answers: dict[int, list[Any]] = {}
         total_paid = 0
@@ -308,19 +353,20 @@ class BatchAggregateSimulator:
                 publish_at = (
                     clock if repetition_mode == "sequential" else float(start_time)
                 )
-                task = PublishedTask(
-                    task_type=order.task_type,
-                    price=price,
-                    atomic_task_id=order.atomic_task_id,
-                    repetition_index=rep_index,
-                    payload=order.payload,
-                )
-                task.mark_published(publish_at)
-                task.mark_accepted(publish_at + onhold)
-                answer = _draw_answer(order, self._rng, order.task_type.accuracy)
+                answer = _draw_answer(order, rng, order.task_type.accuracy)
                 done = publish_at + onhold + processing
-                task.mark_completed(done, answer=answer)
-                trace.on_task_done(task)
+                if record:
+                    task = PublishedTask(
+                        task_type=order.task_type,
+                        price=price,
+                        atomic_task_id=order.atomic_task_id,
+                        repetition_index=rep_index,
+                        payload=order.payload,
+                    )
+                    task.mark_published(publish_at)
+                    task.mark_accepted(publish_at + onhold)
+                    task.mark_completed(done, answer=answer)
+                    trace.on_task_done(task)
                 collected.append(answer)
                 total_paid += price
                 clock = done

@@ -388,22 +388,34 @@ def deadline_quantile_bisection(
     confidences: np.ndarray,
     include_processing: bool = True,
     n_iterations: int = 80,
+    window_mode: str = "per-point",
 ) -> np.ndarray:
     """Array bisection for latency quantiles at several confidences.
 
     For each requested confidence the bisection maintains its own
     ``(lo, hi)`` bracket; every iteration evaluates each group's sf on
-    the **whole midpoint vector** (one midpoint per confidence) through
-    the shared-ladder array path, so the per-iteration cost is one
-    :func:`~repro.stats.phase_type._sf_from_ladder` call per group
-    instead of one fresh scalar kernel per (group, confidence).
+    the **whole midpoint vector** (one midpoint per confidence), so
+    the per-iteration cost is one array kernel call per group instead
+    of one fresh scalar kernel per (group, confidence).
 
-    With a single confidence every vector has length 1, which follows
-    the exact float path of the scalar bisection — the result is
-    bit-identical to the seed ``latency_quantile``.  Multi-confidence
-    vectors may differ from per-confidence scalar calls at the
-    truncation-tolerance level (~1e-13): the window mixing chunks
-    neighbouring midpoints together (see ``_poisson_mix_windows``).
+    ``window_mode`` selects how the Poisson mixing windows are sized:
+
+    * ``"per-point"`` (default) — each midpoint's sf is accumulated
+      over exactly its own truncation window
+      (:func:`~repro.stats.phase_type._sf_rows_at` semantics), so
+      every entry is **bitwise** what the scalar per-confidence
+      bisection computes: multi-confidence batches equal per-point
+      evaluation exactly, not just to tolerance.
+    * ``"chunked"`` — the historical grid path
+      (:func:`~repro.perf.cache.shared_ladder_sf`), which unions
+      neighbouring midpoints' windows into shared chunks; entries can
+      differ from per-point evaluation at the truncation-tolerance
+      level (~1e-13).  Kept for callers that batch very long
+      confidence vectors where chunking amortizes better.
+
+    With a single confidence both modes follow the exact float path of
+    the scalar bisection — bit-identical to the seed
+    ``latency_quantile``.
     """
     from ..core.latency import group_onhold_latency, group_processing_latency
 
@@ -414,13 +426,19 @@ def deadline_quantile_bisection(
         raise ModelError(
             f"confidences must be in (0,1), got {confidences.tolist()}"
         )
+    if window_mode not in ("per-point", "chunked"):
+        raise ModelError(
+            f"window_mode must be 'per-point' or 'chunked', got "
+            f"{window_mode!r}"
+        )
+    per_point = window_mode == "per-point"
     groups = tuple(groups)
     profiles = []
     for g in groups:
         rates = [g.onhold_rate(int(group_prices[g.key]))] * g.repetitions
         if include_processing:
             rates += [g.processing_rate] * g.repetitions
-        profiles.append((rates, g.size))
+        profiles.append((tuple(float(r) for r in rates), g.size))
 
     def completion(t_vec: np.ndarray) -> np.ndarray:
         # Product over groups in group order with the member-power
@@ -433,7 +451,14 @@ def deadline_quantile_bisection(
         # python loop is negligible next to the sf kernel.
         prob = np.ones_like(t_vec)
         for rates, size in profiles:
-            member = 1.0 - shared_ladder_sf(rates, t_vec)
+            if per_point:
+                # One padded-window row per midpoint, each sized from
+                # its own q·t — row i is bitwise
+                # shared_ladder_sf(rates, [t_i])[0].
+                sf = shared_ladder_sf_batch([rates] * t_vec.size, t_vec)
+            else:
+                sf = shared_ladder_sf(rates, t_vec)
+            member = 1.0 - sf
             powered = np.fromiter(
                 ((m**size if m > 0.0 else 0.0) for m in member.tolist()),
                 dtype=float,

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..errors import ModelError
 from ..stats.rng import RandomState
+from ..stats.rng import ensure_rng as _ensure_rng
 
 __all__ = [
     "EvaluationEngine",
@@ -80,6 +81,49 @@ class EvaluationEngine:
                 problem, allocation, n_samples, rng, include_processing
             ).mean()
         )
+
+    def run_replications(
+        self,
+        simulator,
+        orders,
+        seeds,
+        recorders=None,
+        start_time: float = 0.0,
+        **run_kwargs,
+    ) -> list:
+        """Run R independent market-simulator replications.
+
+        The reference fan-out: one sequential seeded run per
+        replication against any simulator exposing the
+        ``_run_job_with_rng`` protocol
+        (:class:`~repro.market.simulator.AgentSimulator`,
+        :class:`~repro.market.simulator.AggregateSimulator`).  Engines
+        with a lock-step fast path (``"agent-batch"``) override this;
+        every engine must produce bit-identical trajectories for the
+        same seeds, so — as with :meth:`sample` — swapping engines
+        never changes an experiment's numbers.
+
+        A :class:`~repro.errors.SimulationError` raised inside one
+        replication (e.g. ``max_sim_time`` exceeded) is re-raised with
+        its replication index prefixed, so callers can tell *which*
+        world failed regardless of the engine's execution order.
+        """
+        from ..errors import SimulationError
+
+        if recorders is None:
+            recorders = [None] * len(seeds)
+        results = []
+        for k, (seed, rec) in enumerate(zip(seeds, recorders)):
+            try:
+                results.append(
+                    simulator._run_job_with_rng(
+                        orders, _ensure_rng(seed), rec, start_time,
+                        **run_kwargs,
+                    )
+                )
+            except SimulationError as exc:
+                raise SimulationError(f"replication {k}: {exc}") from exc
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"

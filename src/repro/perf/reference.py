@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Optional
 
-from ..errors import InfeasibleAllocationError, ModelError
+from ..errors import InfeasibleAllocationError, ModelError, SimulationError
 
 __all__ = [
     "reference_budget_indexed_dp",
@@ -21,7 +21,129 @@ __all__ = [
     "reference_completion_probability",
     "reference_latency_quantile",
     "reference_min_cost_for_deadline",
+    "reference_agent_run_job",
 ]
+
+
+def reference_agent_run_job(
+    simulator,
+    orders,
+    recorder=None,
+    start_time: float = 0.0,
+    rng=None,
+):
+    """Seed ``AgentSimulator.run_job``: one event-queue Python loop.
+
+    Verbatim copy of the scalar agent-market loop the lock-step
+    ``"agent-batch"`` engine (:mod:`repro.perf.market`) replaced as the
+    replication fan-out path.  ``rng`` defaults to the simulator's own
+    generator (exactly the seed method); certification tests pass one
+    explicit seeded generator per replication.
+    """
+    from ..market.events import Event, EventKind, EventQueue
+    from ..market.simulator import AtomicTaskOrder, _draw_answer
+    from ..market.task import PublishedTask
+    from ..market.trace import TraceRecorder
+    from ..stats.rng import ensure_rng
+
+    rng = simulator._rng if rng is None else ensure_rng(rng)
+    orders = list(orders)
+    if not orders:
+        raise SimulationError("job must contain at least one atomic task")
+    trace = recorder if recorder is not None else TraceRecorder()
+    queue = EventQueue()
+    open_tasks = simulator.pool.choice_model.make_index()
+    order_by_id = {o.atomic_task_id: o for o in orders}
+    next_rep = {o.atomic_task_id: 0 for o in orders}
+    answers = {o.atomic_task_id: [] for o in orders}
+    per_atomic = {}
+    total_paid = 0
+    remaining = sum(o.repetitions for o in orders)
+
+    def publish(order: "AtomicTaskOrder", now: float) -> None:
+        rep = next_rep[order.atomic_task_id]
+        task = PublishedTask(
+            task_type=order.task_type,
+            price=order.prices[rep],
+            atomic_task_id=order.atomic_task_id,
+            repetition_index=rep,
+            payload=order.payload,
+        )
+        task.mark_published(now)
+        next_rep[order.atomic_task_id] += 1
+        open_tasks.add(task)
+        trace.on_event(Event(now, EventKind.TASK_PUBLISHED, payload=task))
+
+    for order in orders:
+        publish(order, float(start_time))
+
+    queue.push(
+        Event(
+            float(start_time) + simulator.pool.next_arrival_delay(rng),
+            EventKind.WORKER_ARRIVED,
+        )
+    )
+
+    while remaining > 0:
+        if not queue:
+            raise SimulationError("event queue drained before job completion")
+        event = queue.pop()
+        now = event.time
+        if now > simulator.max_sim_time:
+            raise SimulationError(
+                f"simulation exceeded max_sim_time={simulator.max_sim_time}; "
+                "the market is too slow for this job (rates too small?)"
+            )
+        if event.kind is EventKind.WORKER_ARRIVED:
+            trace.on_event(event)
+            queue.push(
+                Event(
+                    now + simulator.pool.next_arrival_delay(rng),
+                    EventKind.WORKER_ARRIVED,
+                )
+            )
+            chosen = open_tasks.choose(rng)
+            if chosen is None:
+                continue
+            open_tasks.discard(chosen)
+            worker_id = simulator.pool.new_worker_id()
+            chosen.mark_accepted(now, worker_id=worker_id)
+            processing = float(
+                rng.exponential(1.0 / chosen.task_type.processing_rate)
+            )
+            queue.push(
+                Event(now + processing, EventKind.TASK_COMPLETED, payload=chosen)
+            )
+        elif event.kind is EventKind.TASK_COMPLETED:
+            task = event.payload
+            order = order_by_id[task.atomic_task_id]
+            accuracy = simulator.pool.worker_accuracy(
+                task.task_type.accuracy, rng
+            )
+            answer = _draw_answer(order, rng, accuracy)
+            task.mark_completed(now, answer=answer)
+            trace.on_event(event)
+            trace.on_task_done(task)
+            answers[task.atomic_task_id].append(answer)
+            total_paid += task.price
+            remaining -= 1
+            if next_rep[task.atomic_task_id] < order.repetitions:
+                publish(order, now)
+            else:
+                per_atomic[task.atomic_task_id] = now
+        else:  # pragma: no cover - no other kinds are scheduled
+            raise SimulationError(f"unexpected event kind {event.kind}")
+
+    from ..market.simulator import JobResult
+
+    makespan = max(per_atomic.values()) - float(start_time)
+    return JobResult(
+        trace=trace,
+        makespan=makespan,
+        per_atomic_completion=per_atomic,
+        answers=answers,
+        total_paid=total_paid,
+    )
 
 
 def reference_budget_indexed_dp(

@@ -1,0 +1,114 @@
+"""Replication fan-out of the figure harnesses through the engine
+registry: byte-identical outputs for every engine, legacy defaults
+untouched."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.experiments import (
+    evaluate_allocation_with_ci,
+    fig3_experiment,
+    fig4_experiment,
+    fig5ab_experiment,
+)
+
+
+class TestFig3Replications:
+    def test_engines_byte_identical(self):
+        reference = fig3_experiment(n_arrivals=8, seed=0)
+        for engine in ("scalar", "batch", "agent-batch"):
+            assert fig3_experiment(n_arrivals=8, seed=0, engine=engine) == (
+                reference
+            )
+
+    def test_multi_replication_engines_byte_identical(self):
+        sequential = fig3_experiment(
+            n_arrivals=8, seed=0, replications=4, engine="scalar"
+        )
+        lockstep = fig3_experiment(
+            n_arrivals=8, seed=0, replications=4, engine="agent-batch"
+        )
+        assert sequential == lockstep
+        # Averaging over worlds changes the figure (it smooths noise).
+        assert sequential != fig3_experiment(n_arrivals=8, seed=0)
+        assert len(sequential.arrival_epochs) == 8
+
+    def test_replications_validated(self):
+        with pytest.raises(ModelError):
+            fig3_experiment(n_arrivals=4, replications=0)
+
+
+class TestFig4Replications:
+    def test_aggregate_default_untouched_by_engine_alias(self):
+        assert fig4_experiment(seed=0) == fig4_experiment(
+            seed=0, engine="aggregate"
+        )
+
+    def test_agent_engines_byte_identical(self):
+        sequential = fig4_experiment(
+            prices=(5, 8), repetitions=4, seed=0, replications=3,
+            engine="scalar",
+        )
+        lockstep = fig4_experiment(
+            prices=(5, 8), repetitions=4, seed=0, replications=3,
+            engine="agent-batch",
+        )
+        assert sequential == lockstep
+        assert sequential.prices == (5, 8)
+        assert all(
+            len(orders) == 4 for orders in sequential.latency_orders.values()
+        )
+
+    def test_aggregate_path_rejects_fanout(self):
+        with pytest.raises(ModelError):
+            fig4_experiment(seed=0, replications=3)
+
+
+class TestFig5abReplications:
+    def test_aggregate_default_untouched_by_engine_alias(self):
+        assert fig5ab_experiment(
+            vote_counts=(4, 6), prices=(5,), repetitions=2, n_tasks=3, seed=0
+        ) == fig5ab_experiment(
+            vote_counts=(4, 6), prices=(5,), repetitions=2, n_tasks=3,
+            seed=0, engine="aggregate",
+        )
+
+    def test_agent_engines_byte_identical(self):
+        kwargs = dict(
+            vote_counts=(4, 6),
+            prices=(5,),
+            repetitions=2,
+            n_tasks=3,
+            seed=0,
+            replications=2,
+        )
+        sequential = fig5ab_experiment(engine="scalar", **kwargs)
+        lockstep = fig5ab_experiment(engine="agent-batch", **kwargs)
+        assert sequential == lockstep
+
+    def test_aggregate_path_rejects_fanout(self):
+        with pytest.raises(ModelError):
+            fig5ab_experiment(seed=0, replications=2)
+
+
+class TestCiEngineParameter:
+    def test_ci_byte_identical_across_engines(self):
+        from repro import Allocation, HTuningProblem, TaskSpec
+        from repro.market import LinearPricing
+
+        pricing = LinearPricing(1.0, 1.0)
+        tasks = [TaskSpec(i, 2, pricing, 2.0) for i in range(6)]
+        problem = HTuningProblem(tasks, budget=100)
+        allocation = Allocation.uniform(problem, 4)
+        reference = evaluate_allocation_with_ci(
+            problem, allocation, n_samples=500, rng=0
+        )
+        for engine in ("scalar", "batch", "chunked-batch", "agent-batch"):
+            assert (
+                evaluate_allocation_with_ci(
+                    problem, allocation, n_samples=500, rng=0, engine=engine
+                )
+                == reference
+            )

@@ -36,13 +36,19 @@ def test_smoke_run_asserts_equivalence_and_speedup(bench, tmp_path):
     # The bench functions raise if batch output ever diverges from the
     # scalar engines, so a successful run is itself an equivalence check.
     results = bench.run(
-        n_samples=200, n_tasks=30, n_budgets=5, n_deadlines=6, write=False
+        n_samples=200,
+        n_tasks=30,
+        n_budgets=5,
+        n_deadlines=6,
+        n_replications=8,
+        write=False,
     )
     mc = results["mc_job_sampling"]
     dp = results["budget_indexed_dp_sweep"]
     one_pass = results["one_pass_strategy_sweep"]
     chunked = results["chunked_batch_sampling"]
     deadline = results["deadline_frontier"]
+    market = results["agent_market_replications"]
     assert mc["bit_identical"]
     assert dp["outputs_identical"]
     # The sweep bench raises internally if any one-pass allocation or
@@ -52,6 +58,9 @@ def test_smoke_run_asserts_equivalence_and_speedup(bench, tmp_path):
     # The deadline bench raises internally if any sweep point diverges
     # from the seed comparator.
     assert deadline["outputs_identical"]
+    # The agent-market bench raises internally if any replication's
+    # trace diverges from the seed event loop.
+    assert market["bit_identical"]
     # Event-level scalar simulation vs one matrix draw: even at smoke
     # size the batch engine must win clearly.
     assert mc["speedup"] > 3.0
@@ -61,6 +70,38 @@ def test_smoke_run_asserts_equivalence_and_speedup(bench, tmp_path):
     assert one_pass["speedup"] > 1.0
     # Shared deadline kernels vs per-deadline fresh scalar kernels.
     assert deadline["speedup"] > 1.5
+    # Lock-step replications vs per-replication event loops: the full
+    # 64-replication target is >= 5x; at smoke size just require a
+    # clear win.
+    assert market["speedup"] > 1.5
+
+
+def test_sections_filter_runs_subset(bench):
+    results = bench.run(
+        n_replications=8,
+        write=False,
+        sections=["agent_market_replications"],
+    )
+    assert list(results) == ["agent_market_replications"]
+
+
+def test_sections_filter_merges_into_committed_json(
+    bench, tmp_path, monkeypatch
+):
+    import json
+
+    committed = {"other_section": {"speedup": 2.0}}
+    path = tmp_path / "BENCH.json"
+    path.write_text(json.dumps(committed))
+    monkeypatch.setattr(bench, "RESULT_PATH", path)
+    bench.run(
+        n_replications=8,
+        write=True,
+        sections=["agent_market_replications"],
+    )
+    on_disk = json.loads(path.read_text())
+    assert set(on_disk) == {"other_section", "agent_market_replications"}
+    assert on_disk["other_section"] == {"speedup": 2.0}
 
 
 def test_bench_writes_json(bench, tmp_path, monkeypatch):

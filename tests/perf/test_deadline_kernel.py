@@ -236,3 +236,83 @@ class TestComparatorRegistry:
     def test_default_comparator_advertises_sweep(self):
         comparator = get_deadline_comparator("batched")
         assert comparator.deadline_sweep is min_cost_for_deadline_sweep
+
+
+class TestQuantileWindowModes:
+    """Per-point windows: batch == per-confidence evaluation, bitwise."""
+
+    def test_batch_bitwise_equals_per_point_on_random_instances(self):
+        """Property: for random instances and confidence vectors, the
+        default per-point-window batch is exactly the vector of scalar
+        per-confidence quantiles — not just tolerance-level close."""
+        from repro.core.deadline import latency_quantile_batch
+
+        rng = np.random.default_rng(4321)
+        for trial in range(15):
+            tasks = random_tasks(rng)
+            problem = HTuningProblem(tasks, budget=10**7)
+            prices = {
+                g.key: int(rng.integers(1, 8)) for g in problem.groups()
+            }
+            include = bool(rng.integers(0, 2))
+            confidences = sorted(
+                float(c)
+                for c in rng.uniform(0.05, 0.995, int(rng.integers(2, 7)))
+            )
+            clear_phase_caches()
+            batch = latency_quantile_batch(
+                problem, prices, confidences, include_processing=include
+            )
+            singles = np.array(
+                [
+                    latency_quantile(
+                        problem, prices, c, include_processing=include
+                    )
+                    for c in confidences
+                ]
+            )
+            assert np.array_equal(batch, singles), trial
+
+    def test_chunked_mode_stays_tolerance_close(self):
+        """The legacy unioned-window mode is kept selectable and agrees
+        with per-point evaluation at truncation-tolerance level."""
+        from repro.core.deadline import latency_quantile_batch
+
+        rng = np.random.default_rng(7)
+        tasks = random_tasks(rng)
+        problem = HTuningProblem(tasks, budget=10**7)
+        prices = {g.key: 3 for g in problem.groups()}
+        confidences = [0.5, 0.8, 0.9, 0.97]
+        per_point = latency_quantile_batch(problem, prices, confidences)
+        chunked = latency_quantile_batch(
+            problem, prices, confidences, window_mode="chunked"
+        )
+        assert np.allclose(per_point, chunked, rtol=1e-9, atol=1e-9)
+
+    def test_single_confidence_unchanged_by_mode(self):
+        """Length-1 vectors follow the exact scalar float path in both
+        modes — the seed bit-identity contract is untouched."""
+        from repro.core.deadline import latency_quantile_batch
+
+        rng = np.random.default_rng(12)
+        tasks = random_tasks(rng)
+        problem = HTuningProblem(tasks, budget=10**7)
+        prices = {g.key: 2 for g in problem.groups()}
+        reference = reference_latency_quantile(problem, prices, 0.9)
+        for mode in ("per-point", "chunked"):
+            out = latency_quantile_batch(
+                problem, prices, [0.9], window_mode=mode
+            )
+            assert float(out[0]) == reference
+
+    def test_unknown_window_mode_rejected(self):
+        from repro.perf.deadline import deadline_quantile_bisection
+
+        rng = np.random.default_rng(5)
+        tasks = random_tasks(rng)
+        problem = HTuningProblem(tasks, budget=10**7)
+        prices = {g.key: 2 for g in problem.groups()}
+        with pytest.raises(ModelError):
+            deadline_quantile_bisection(
+                problem.groups(), prices, [0.9], window_mode="windowed"
+            )
