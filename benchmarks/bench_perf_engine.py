@@ -29,6 +29,9 @@ Fig. 2-sized workload, against the seed implementations:
   (``run_replications(engine="agent-batch")``) on a Fig. 3-sized job;
   trajectories asserted trace-for-trace identical, with the null
   recorder's fast path measured alongside the full-trace run.
+* **Session run_many** — a batch of serialized ``repro.api`` specs
+  executed through one shared-cache ``Session.run_many`` vs cold
+  isolated per-run sessions (payloads asserted identical).
 
 Run directly (``python benchmarks/bench_perf_engine.py``) to write
 ``BENCH_perf_engine.json`` at the repo root; ``--sections NAME ...``
@@ -377,6 +380,75 @@ def bench_deadline_frontier(
     }
 
 
+def bench_session_run_many(n_tasks: int = 100, n_budgets: int = 9) -> dict:
+    """Batched spec submission vs cold per-run sessions (`repro.api`).
+
+    Four serialized :class:`~repro.api.BudgetSweepSpec` documents —
+    numeric-scored RA/RE sweeps of the same Fig. 2 family over
+    *overlapping* budget grids, the shape of a batch of related
+    what-if requests — run two ways: one ``Session().run_many(specs)``
+    batch, where every phase-kernel cdf / weight-ladder table built by
+    one run is reused by the next (a budget shared by two specs tunes
+    to the same allocation, so its latency kernel is evaluated once),
+    versus ``Session(isolated=True)`` cold runs where each spec pays
+    its own kernel builds — the per-request cost a naive
+    one-session-per-request service would pay.  Payloads are asserted
+    identical between the two modes: the process caches are bit-exact,
+    so sharing is free accuracy-wise.
+    """
+    from repro.api import BudgetSweepSpec, Session
+    from repro.perf import clear_phase_caches
+
+    top = 1000 + 500 * max(int(n_budgets) - 1, 1)
+    grids = [
+        tuple(range(1000, top + 1, 500)),
+        tuple(range(1000, max(top - 1000, 1500) + 1, 500)),
+        tuple(range(1500, top + 1, 500)),
+        tuple(range(1000, top + 1, 1000)),
+    ]
+    specs = [
+        BudgetSweepSpec(
+            family="repe",
+            case="a",
+            n_tasks=n_tasks,
+            budgets=grid,
+            strategies=("ra", "re"),
+            scoring="numeric",
+        )
+        for grid in grids
+    ]
+
+    def shared():
+        clear_phase_caches()  # one cold start for the whole batch
+        return [r.payload for r in Session().run_many(specs)]
+
+    def cold():
+        return [r.payload for r in Session(isolated=True).run_many(specs)]
+
+    shared_payloads = shared()
+    cold_payloads = cold()
+    if shared_payloads != cold_payloads:
+        raise AssertionError(
+            "shared-cache session payloads diverged from cold per-run "
+            "sessions"
+        )
+    t_cold = _time(cold, repeats=3)
+    t_shared = _time(shared, repeats=5)
+    return {
+        "workload": f"{len(specs)} numeric budget-sweep specs "
+        f"(overlapping grids up to {top}, {n_tasks} tasks, ra+re)",
+        "cold_seconds": t_cold,
+        "shared_seconds": t_shared,
+        "cold_specs_per_sec": len(specs) / t_cold,
+        "shared_specs_per_sec": len(specs) / t_shared,
+        "speedup": t_cold / t_shared,
+        "outputs_identical": True,
+        "note": "cold = Session(isolated=True), phase caches cleared "
+        "before every run; shared = one run_many batch reusing the "
+        "process-level cdf/ladder tables across specs",
+    }
+
+
 def bench_agent_market_replications(
     n_replications: int = 64, n_arrivals: int = 20
 ) -> dict:
@@ -493,6 +565,9 @@ _SECTIONS = {
     ),
     "agent_market_replications": lambda p: bench_agent_market_replications(
         p["n_replications"]
+    ),
+    "session_run_many": lambda p: bench_session_run_many(
+        p["n_tasks"], p["n_budgets"]
     ),
 }
 

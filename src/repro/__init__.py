@@ -13,7 +13,12 @@ Subpackages:
   see ``docs/performance.md``);
 * :mod:`repro.crowddb` — crowd-powered DB operators + tuned engine;
 * :mod:`repro.workloads` — the paper's workloads and stress families;
-* :mod:`repro.experiments` — per-figure experiment harness.
+* :mod:`repro.experiments` — per-figure experiment harness;
+* :mod:`repro.api` — the declarative request/response facade:
+  serializable :class:`~repro.api.ExperimentSpec` /
+  :class:`~repro.api.RunConfig` values, the experiment registry, and
+  the :class:`~repro.api.Session` facade every run path goes through
+  (see ``docs/api.md``).
 
 Quickstart::
 
@@ -26,6 +31,7 @@ Quickstart::
     allocation = Tuner().tune(HTuningProblem(tasks, budget=2500))
 """
 
+from .api import ExperimentSpec, RunConfig, RunResult, Session
 from .core import (
     Allocation,
     HTuningProblem,
@@ -52,13 +58,17 @@ __version__ = "1.0.0"
 __all__ = [
     "Allocation",
     "BudgetError",
+    "ExperimentSpec",
     "HTuningProblem",
     "InfeasibleAllocationError",
     "InferenceError",
     "ModelError",
     "PlanError",
     "ReproError",
+    "RunConfig",
+    "RunResult",
     "Scenario",
+    "Session",
     "SimulationError",
     "TaskGroup",
     "TaskSpec",

@@ -1,0 +1,230 @@
+"""The Session facade: one object that runs any registered experiment.
+
+A :class:`Session` owns a :class:`~repro.api.config.RunConfig` and the
+process-level caches (:mod:`repro.perf.cache` phase-kernel / weight
+ladder tables), and exposes exactly two verbs:
+
+* ``run(spec)`` — execute one :class:`~repro.api.spec.ExperimentSpec`
+  (or its dict form) and return a typed :class:`RunResult`;
+* ``run_many(specs)`` — execute a batch against the *shared* kernel
+  tables, so runs probing the same rate profiles amortize each
+  other's ladder builds (see the ``session_run_many`` benchmark
+  section).
+
+``Session(isolated=True)`` clears the process caches before every run
+— cold-start semantics for benchmarking or bit-exact cache-freshness
+audits; payloads are identical either way because every cache in the
+library is bit-exact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Iterable, Mapping, Optional, Union
+
+import numpy as np
+
+from ..errors import ModelError
+from .config import RunConfig, fingerprint
+from .spec import ExperimentSpec
+
+__all__ = ["Session", "RunResult", "payload_to_jsonable"]
+
+
+def payload_to_jsonable(value: Any) -> Any:
+    """Best-effort JSON view of an experiment payload.
+
+    Result dataclasses become field dicts, tuple keys become
+    comma-joined strings, numpy scalars/arrays become numbers/lists.
+    Lossy by design (it exists for ``--json`` output and logging);
+    the lossless artifact is the payload object itself.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: payload_to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {_key(value_k): payload_to_jsonable(v) for value_k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [payload_to_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [payload_to_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, (tuple, list)):
+        return ",".join(str(k) for k in key)
+    return str(key)
+
+
+@dataclasses.dataclass(frozen=True)
+class RunResult:
+    """A finished run: the spec/config that produced it + its payload.
+
+    ``payload`` is exactly the object the corresponding legacy
+    experiment function returns.  ``fingerprint`` is the run's address
+    — a digest of the serialized ``(spec, config)`` pair, the key a
+    cache or result store would file this result under.  Computing it
+    requires the config to be serializable (integer seed, named
+    engine/comparator); runs configured with live generator seeds or
+    unregistered engine instances still execute fine, they just cannot
+    be fingerprinted.
+    """
+
+    spec: ExperimentSpec
+    config: RunConfig
+    payload: Any
+
+    @property
+    def experiment(self) -> str:
+        return self.spec.name
+
+    @property
+    def fingerprint(self) -> str:
+        return fingerprint(
+            {"spec": self.spec.to_dict(), "config": self.config.to_dict()}
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able document: spec + config + fingerprint + payload."""
+        return {
+            "experiment": self.experiment,
+            "spec": self.spec.to_dict(),
+            "config": self.config.to_dict(),
+            "fingerprint": self.fingerprint,
+            "payload": payload_to_jsonable(self.payload),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+
+class Session:
+    """Facade over the experiment registry and the process caches.
+
+    Parameters
+    ----------
+    config:
+        The run configuration every ``run``/``run_many`` call uses
+        (default: ``RunConfig()`` — default engine/comparator, seed 0,
+        one replication).
+    isolated:
+        When true, the process-level phase-kernel caches are cleared
+        before **each** run — every run pays its own kernel builds.
+        The default (shared) mode lets batched runs reuse each other's
+        weight-ladder and cdf tables; outputs are bit-identical either
+        way.
+    """
+
+    def __init__(
+        self,
+        config: Optional[RunConfig] = None,
+        isolated: bool = False,
+    ) -> None:
+        if config is None:
+            config = RunConfig()
+        if not isinstance(config, RunConfig):
+            raise ModelError(
+                f"config must be a RunConfig, got {config!r} (build one "
+                "with RunConfig(engine=..., seed=...))"
+            )
+        self.config = config
+        self.isolated = bool(isolated)
+        self.runs_completed = 0
+
+    # -- execution -----------------------------------------------------
+
+    def run(
+        self, spec: Union[ExperimentSpec, Mapping, str]
+    ) -> RunResult:
+        """Execute *spec* under this session's config.
+
+        *spec* may be an :class:`ExperimentSpec`, its ``to_dict``
+        document, or a bare registered experiment name (default
+        params).  Returns a :class:`RunResult` whose payload is
+        byte-identical to the corresponding legacy function call.
+        """
+        spec = self._normalize_spec(spec)
+        if self.config.recorder is not None and not spec.uses_recorder:
+            # Refuse rather than fingerprint a policy that was never
+            # applied: the built-in figures compute their outputs from
+            # their own trace records, so a requested "null"/"trace"
+            # policy would be a silent no-op in the stored document.
+            raise ModelError(
+                f"experiment {spec.name!r} does not consume the recorder "
+                f"policy (config.recorder={self.config.recorder!r}); only "
+                "specs with uses_recorder=True honor it"
+            )
+        if self.isolated:
+            from ..perf.cache import clear_phase_caches
+
+            clear_phase_caches()
+        payload = spec.run(self)
+        self.runs_completed += 1
+        return RunResult(spec=spec, config=self.config, payload=payload)
+
+    def run_many(
+        self, specs: Iterable[Union[ExperimentSpec, Mapping, str]]
+    ) -> list[RunResult]:
+        """Execute a batch of specs against the shared kernel tables.
+
+        Runs execute in order under one config; every phase-kernel /
+        weight-ladder table built by one run is visible to the next
+        (unless the session is ``isolated``), which is what makes a
+        batched submission cheaper than cold per-run sessions — see
+        the ``session_run_many`` section of
+        ``benchmarks/bench_perf_engine.py``.
+        """
+        return [self.run(spec) for spec in specs]
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def resolved(self):
+        """The config with defaults resolved (see
+        :meth:`RunConfig.resolve`); computed on demand so configs
+        carrying experiment-interpreted raw values (e.g. Fig. 4's
+        ``engine="aggregate"``) never fail eagerly."""
+        return self.config.resolve()
+
+    def cache_stats(self) -> dict:
+        """Hit/miss counters of the process-level phase-kernel caches."""
+        from ..perf.cache import phase_cache_stats
+
+        return phase_cache_stats()
+
+    def clear_caches(self) -> None:
+        """Drop the process-level phase-kernel caches."""
+        from ..perf.cache import clear_phase_caches
+
+        clear_phase_caches()
+
+    def _normalize_spec(self, spec) -> ExperimentSpec:
+        if isinstance(spec, ExperimentSpec):
+            return spec
+        if isinstance(spec, str):
+            from .spec import get_experiment
+
+            return get_experiment(spec)()
+        if isinstance(spec, Mapping):
+            return ExperimentSpec.from_dict(spec)
+        raise ModelError(
+            f"cannot run {spec!r}; expected an ExperimentSpec, a spec "
+            "dict, or a registered experiment name"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "isolated" if self.isolated else "shared"
+        return (
+            f"Session({self.config!r}, {mode}, "
+            f"runs_completed={self.runs_completed})"
+        )

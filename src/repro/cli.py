@@ -1,45 +1,136 @@
-"""Command-line interface: regenerate the paper's experiments.
+"""Command-line interface: a thin shell over the experiment registry.
 
 Usage::
 
-    python -m repro list                 # list available experiments
+    python -m repro experiments [--json]   # registered experiments + schemas
+    python -m repro run fig2 --param scenario=repe --param n_tasks=50 --json
+    python -m repro run deadline-frontier --param confidences=[0.8,0.9]
+
+    python -m repro list                 # legacy command names
     python -m repro table1               # motivation examples
     python -m repro fig2 --scenario homo --case a
     python -m repro fig3 | fig4 | fig5ab | fig5c
     python -m repro deadline --scenario repe --confidence 0.9 0.95
     python -m repro all                  # everything (slow)
 
-Each command prints the same rows the corresponding figure/table plots
-(the benchmarks add timing and shape assertions on top of these).
+Every command builds a :class:`repro.api.ExperimentSpec` plus a
+:class:`repro.api.RunConfig` and executes through
+:meth:`repro.api.Session.run` — the same path a serialized spec or a
+batched ``run_many`` submission takes.  The generic ``run`` command
+reaches any registered experiment by name with ``--param k=v`` pairs
+(values parsed as JSON, falling back to strings); ``--json`` prints
+the full :class:`~repro.api.session.RunResult` document (spec, config,
+fingerprint, payload).  The legacy per-figure commands are kept as
+ergonomic shorthands and print the same rows the figures plot.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
-from .experiments import (
-    deadline_frontier_experiment,
-    fig2_experiment,
-    fig3_experiment,
-    fig4_experiment,
-    fig5ab_experiment,
-    fig5c_experiment,
-    format_kv,
-    format_series,
-    format_table,
-    motivation_example_1,
-    motivation_example_2,
+from .api import (
+    DeadlineFrontierSpec,
+    Fig2Spec,
+    Fig3Spec,
+    Fig4Spec,
+    Fig5abSpec,
+    Fig5cSpec,
+    RunConfig,
+    Session,
+    Table1Spec,
+    available_experiments,
+    get_experiment,
+    make_spec,
 )
+from .errors import ReproError
+from .experiments.reporting import format_kv, format_series, format_table
 from .workloads import PAPER_BUDGETS
 
 __all__ = ["main"]
 
 
+# ---------------------------------------------------------------------------
+# the generic registry commands
+# ---------------------------------------------------------------------------
+
+
+def _parse_params(pairs: list[str]) -> dict:
+    """``k=v`` pairs → params dict; values are JSON, else raw strings."""
+    params: dict = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"bad --param {pair!r}: expected key=value (e.g. "
+                "--param n_tasks=50 or --param confidences=[0.8,0.9])"
+            )
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        params[key] = value
+    return params
+
+
+def _cmd_experiments(args: argparse.Namespace) -> None:
+    names = available_experiments()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    name: get_experiment(name).describe()
+                    for name in names
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return
+    for name in names:
+        spec_cls = get_experiment(name)
+        doc = (spec_cls.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{name:20s} {summary}")
+        for param, schema in spec_cls.describe().items():
+            default = schema.get("default", "<required>")
+            print(f"    --param {param}={json.dumps(default)}")
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    if args.experiment not in available_experiments():
+        raise SystemExit(
+            f"unknown experiment {args.experiment!r}; run "
+            "`repro experiments` to list what is registered "
+            f"(available: {', '.join(available_experiments())})"
+        )
+    spec = make_spec(args.experiment, **_parse_params(args.param))
+    config = RunConfig(
+        engine=args.engine,
+        comparator=args.comparator,
+        seed=args.seed,
+        replications=args.replications,
+    )
+    result = Session(config).run(spec)
+    if args.json:
+        print(result.to_json(indent=2))
+        return
+    print(f"experiment:  {result.experiment}")
+    print(f"fingerprint: {result.fingerprint}")
+    print(json.dumps(result.to_dict()["payload"], indent=2, sort_keys=True))
+
+
+# ---------------------------------------------------------------------------
+# legacy per-figure commands (ergonomic shorthands over the same path)
+# ---------------------------------------------------------------------------
+
+
 def _cmd_table1(args: argparse.Namespace) -> None:
-    ex1 = motivation_example_1()
-    ex2 = motivation_example_2()
+    payload = Session(RunConfig(seed=args.seed)).run(Table1Spec()).payload
+    ex1 = payload["example_1"]
+    ex2 = payload["example_2"]
     print(
         format_kv(
             {
@@ -64,16 +155,16 @@ def _cmd_table1(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig2(args: argparse.Namespace) -> None:
-    result = fig2_experiment(
-        args.scenario,
+    spec = Fig2Spec(
+        scenario=args.scenario,
         case=args.case,
         budgets=PAPER_BUDGETS,
         n_tasks=args.tasks,
         scoring=args.scoring,
         n_samples=args.samples,
-        seed=args.seed,
-        engine=args.engine,
     )
+    config = RunConfig(seed=args.seed, engine=args.engine)
+    result = Session(config).run(spec).payload
     print(
         format_series(
             "budget",
@@ -85,12 +176,10 @@ def _cmd_fig2(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig3(args: argparse.Namespace) -> None:
-    result = fig3_experiment(
-        n_arrivals=args.arrivals,
-        seed=args.seed,
-        replications=args.replications,
-        engine=args.engine,
+    config = RunConfig(
+        seed=args.seed, replications=args.replications, engine=args.engine
     )
+    result = Session(config).run(Fig3Spec(n_arrivals=args.arrivals)).payload
     rows = [
         (i + 1, e / 60.0, p1 / 60.0, p2 / 60.0)
         for i, (e, p1, p2) in enumerate(
@@ -111,11 +200,10 @@ def _cmd_fig3(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig4(args: argparse.Namespace) -> None:
-    result = fig4_experiment(
-        seed=args.seed,
-        replications=args.replications,
-        engine=args.engine,
+    config = RunConfig(
+        seed=args.seed, replications=args.replications, engine=args.engine
     )
+    result = Session(config).run(Fig4Spec()).payload
     rows = [
         (f"${p / 100:.2f}", result.inferred_rates[p])
         for p in result.prices
@@ -131,11 +219,10 @@ def _cmd_fig4(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig5ab(args: argparse.Namespace) -> None:
-    result = fig5ab_experiment(
-        seed=args.seed,
-        replications=args.replications,
-        engine=args.engine,
+    config = RunConfig(
+        seed=args.seed, replications=args.replications, engine=args.engine
     )
+    result = Session(config).run(Fig5abSpec()).payload
     rows = []
     for votes in result.vote_counts:
         for price in result.prices:
@@ -157,7 +244,7 @@ def _cmd_fig5ab(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig5c(args: argparse.Namespace) -> None:
-    result = fig5c_experiment(seed=args.seed)
+    result = Session(RunConfig(seed=args.seed)).run(Fig5cSpec()).payload
     rows = []
     for bi, budget in enumerate(result.budgets):
         rows.append(
@@ -178,15 +265,16 @@ def _cmd_fig5c(args: argparse.Namespace) -> None:
 
 
 def _cmd_deadline(args: argparse.Namespace) -> None:
-    result = deadline_frontier_experiment(
+    spec = DeadlineFrontierSpec(
         scenario=args.scenario,
         case=args.case,
         n_tasks=args.tasks,
         n_deadlines=args.points,
         confidences=args.confidence,
         max_price=args.max_price,
-        comparator=args.comparator,
     )
+    config = RunConfig(comparator=args.comparator)
+    result = Session(config).run(spec).payload
     print(
         format_series(
             "deadline",
@@ -206,6 +294,8 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "fig5ab": _cmd_fig5ab,
     "fig5c": _cmd_fig5c,
     "deadline": _cmd_deadline,
+    "run": _cmd_run,
+    "experiments": _cmd_experiments,
 }
 
 
@@ -219,6 +309,65 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     sub.add_parser("all", help="run every experiment")
+
+    from .perf.deadline import (
+        DEFAULT_DEADLINE_COMPARATOR,
+        available_deadline_comparators,
+    )
+    from .perf.engine import DEFAULT_ENGINE, available_engines
+
+    experiments = sub.add_parser(
+        "experiments",
+        help="list registered experiments and their parameter schemas",
+    )
+    experiments.add_argument(
+        "--json", action="store_true", help="machine-readable schema dump"
+    )
+    run = sub.add_parser(
+        "run",
+        help="run any registered experiment by name "
+        "(repro run fig2 --param scenario=repe --json)",
+    )
+    run.add_argument(
+        "experiment",
+        metavar="EXPERIMENT",
+        help="a registered name (see `repro experiments`)",
+    )
+    run.add_argument(
+        "--param",
+        "-p",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help="spec parameter; value parsed as JSON, falling back to a "
+        "bare string (repeatable)",
+    )
+    run.add_argument(
+        "--engine",
+        default=None,
+        help="evaluation/replication engine name (registry-resolved; "
+        f"registered: {', '.join(available_engines())})",
+    )
+    run.add_argument(
+        "--comparator",
+        default=None,
+        help="deadline comparator name (registry-resolved; registered: "
+        f"{', '.join(available_deadline_comparators())})",
+    )
+    run.add_argument(
+        "--replications",
+        type=int,
+        default=1,
+        help="independent seeded worlds per cell (experiments that "
+        "support it)",
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full RunResult document (spec, config, "
+        "fingerprint, payload)",
+    )
+
     sub.add_parser("table1", help="motivation examples (Table 1 / Fig 1)")
     fig2 = sub.add_parser("fig2", help="synthetic budget sweeps")
     fig2.add_argument(
@@ -230,8 +379,6 @@ def build_parser() -> argparse.ArgumentParser:
     fig2.add_argument(
         "--scoring", choices=["mc", "numeric"], default="mc"
     )
-    from .perf.engine import DEFAULT_ENGINE, available_engines
-
     fig2.add_argument(
         "--engine",
         choices=list(available_engines()),
@@ -240,11 +387,6 @@ def build_parser() -> argparse.ArgumentParser:
         "repro.perf.engine registry; all engines produce the same "
         "curves seed-for-seed — they differ in speed and memory)",
     )
-    from .perf.deadline import (
-        DEFAULT_DEADLINE_COMPARATOR,
-        available_deadline_comparators,
-    )
-
     deadline = sub.add_parser(
         "deadline",
         help="deadline–cost frontier (the [29] dual sweep)",
@@ -313,7 +455,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
-        for name in sorted(_COMMANDS):
+        for name in sorted(set(_COMMANDS) - {"run", "experiments"}):
             print(name)
         return 0
     if args.command == "all":
@@ -331,7 +473,13 @@ def main(argv: list[str] | None = None) -> int:
             )
             print()
         return 0
-    _COMMANDS[args.command](args)
+    try:
+        _COMMANDS[args.command](args)
+    except ReproError as exc:
+        # Registry/param mistakes surface as clean CLI errors, not
+        # tracebacks (unknown experiment names are caught earlier with
+        # the available list).
+        raise SystemExit(f"error: {exc}")
     return 0
 
 

@@ -266,9 +266,9 @@ def sample_job_latencies(
     are bit-identical seed-for-seed — they differ only in speed and
     memory shape (see :mod:`repro.perf.engine`).
     """
-    from ..perf.engine import get_engine
+    from ..perf.engine import resolve_engine
 
-    return get_engine(engine).sample(
+    return resolve_engine(engine).sample(
         problem, allocation, n_samples, rng, include_processing
     )
 

@@ -5,6 +5,16 @@ table/figure of the paper and returns a small result object the
 benchmark harness prints.  The module is deliberately free of plotting
 — the *numbers* are the reproduction; see EXPERIMENTS.md for the
 paper-vs-measured comparison.
+
+Since the :mod:`repro.api` redesign the public functions are thin,
+byte-identical wrappers: each builds the experiment's registered
+:class:`~repro.api.spec.ExperimentSpec` plus a
+:class:`~repro.api.config.RunConfig` from its keyword arguments and
+executes through :meth:`repro.api.Session.run`.  The implementations
+(`_run_fig2`, `_run_fig3`, ...) take ``(spec, config)`` and are what
+the specs dispatch to — one code path whether a figure is requested by
+keyword call, serialized spec, CLI name, or batched session
+submission.
 """
 
 from __future__ import annotations
@@ -28,7 +38,7 @@ from ..market.trace import TraceRecorder
 from ..market.worker import WorkerPool
 from ..stats.distributions import Erlang, Exponential, MaximumOf, SumOf
 from ..stats.order_statistics import expected_maximum_generic
-from ..stats.rng import RandomState, ensure_rng
+from ..stats.rng import RandomState, ensure_rng, replication_seeds
 from ..workloads.amt import (
     AMT_VOTE_PROCESSING_SECONDS,
     amt_market,
@@ -184,17 +194,37 @@ def fig2_experiment(
     name such as ``"batch"`` or ``"chunked-batch"``, or an
     :class:`~repro.perf.engine.EvaluationEngine`; the curves are
     identical seed-for-seed whichever engine runs).
+
+    A byte-identical wrapper over ``Session.run(Fig2Spec(...))``.
     """
-    family = scenario_family(scenario, case=case, n_tasks=n_tasks)
+    from ..api import Fig2Spec, RunConfig, Session
+
+    return Session(RunConfig(seed=seed, engine=engine)).run(
+        Fig2Spec(
+            scenario=scenario,
+            case=case,
+            budgets=budgets,
+            n_tasks=n_tasks,
+            scoring=scoring,
+            n_samples=n_samples,
+        )
+    ).payload
+
+
+def _run_fig2(spec, config) -> SweepResult:
+    """Implementation behind :class:`repro.api.Fig2Spec`."""
+    family = scenario_family(
+        spec.scenario, case=spec.case, n_tasks=spec.n_tasks
+    )
     return run_budget_sweep(
         family,
-        budgets=budgets,
-        strategies=FIG2_STRATEGIES[scenario],
-        scoring=scoring,
-        n_samples=n_samples,
-        seed=seed,
-        label=f"fig2-{scenario}({case})",
-        engine=engine,
+        budgets=spec.budgets,
+        strategies=FIG2_STRATEGIES[spec.scenario],
+        scoring=spec.scoring,
+        n_samples=spec.n_samples,
+        seed=config.seed,
+        label=f"fig2-{spec.scenario}({spec.case})",
+        engine=config.engine,
     )
 
 
@@ -223,32 +253,57 @@ def deadline_frontier_experiment(
     one-unit floor (loose end), so every scenario/case lands on its
     interesting region automatically.  ``comparator`` resolves through
     the deadline-comparator registry exactly as engine strings do.
+
+    A byte-identical wrapper over
+    ``Session.run(DeadlineFrontierSpec(...))``.
     """
+    from ..api import DeadlineFrontierSpec, RunConfig, Session
+
+    return Session(RunConfig(comparator=comparator)).run(
+        DeadlineFrontierSpec(
+            scenario=scenario,
+            case=case,
+            n_tasks=n_tasks,
+            n_deadlines=n_deadlines,
+            confidences=confidences,
+            max_price=max_price,
+            deadlines=None if deadlines is None else tuple(deadlines),
+        )
+    ).payload
+
+
+def _run_deadline_frontier(spec, config) -> DeadlineSweepResult:
+    """Implementation behind :class:`repro.api.DeadlineFrontierSpec`."""
     from ..core.deadline import latency_quantile_batch
     from .runner import run_deadline_sweep
 
-    family = scenario_family(scenario, case=case, n_tasks=n_tasks)
-    if not confidences:
+    family = scenario_family(
+        spec.scenario, case=spec.case, n_tasks=spec.n_tasks
+    )
+    if not spec.confidences:
         raise ModelError("need at least one confidence")
+    deadlines = spec.deadlines
     if deadlines is None:
-        if n_deadlines < 2:
-            raise ModelError(f"need >= 2 deadlines, got {n_deadlines}")
-        conf = max(float(c) for c in confidences)
+        if spec.n_deadlines < 2:
+            raise ModelError(f"need >= 2 deadlines, got {spec.n_deadlines}")
+        conf = max(float(c) for c in spec.confidences)
         problem = family.problem_at(
-            family.total_repetitions * max(int(max_price), 1)
+            family.total_repetitions * max(int(spec.max_price), 1)
         )
-        rich = {g.key: max(int(max_price) // 2, 1) for g in problem.groups()}
+        rich = {
+            g.key: max(int(spec.max_price) // 2, 1) for g in problem.groups()
+        }
         floor = {g.key: 1 for g in problem.groups()}
         tight = float(latency_quantile_batch(problem, rich, [conf])[0])
         loose = float(latency_quantile_batch(problem, floor, [conf])[0])
-        deadlines = np.linspace(tight, loose, int(n_deadlines))
+        deadlines = np.linspace(tight, loose, int(spec.n_deadlines))
     return run_deadline_sweep(
         family,
         deadlines=[float(d) for d in deadlines],
-        confidences=confidences,
-        max_price=max_price,
-        comparator=comparator,
-        label=f"deadline-{scenario}({case})",
+        confidences=spec.confidences,
+        max_price=spec.max_price,
+        comparator=config.comparator,
+        label=f"deadline-{spec.scenario}({spec.case})",
     )
 
 
@@ -272,21 +327,10 @@ class Fig3Result:
         return self.linearity_r2 >= 0.9
 
 
-def _replication_seeds(seed: RandomState, replications: int) -> list:
-    """Per-replication seeds for a figure cell.
-
-    One replication uses *seed* directly — byte-identical to the
-    historical single-run figure — and R > 1 spawns R independent
-    substreams from it.  The protocol is engine-independent, so a
-    figure's output is the same whichever replication engine runs it.
-    """
-    if replications < 1:
-        raise ModelError(f"replications must be >= 1, got {replications}")
-    if replications == 1:
-        return [seed]
-    from ..stats.rng import spawn
-
-    return spawn(ensure_rng(seed), replications)
+#: Historical alias — the per-replication seeding protocol now lives in
+#: :func:`repro.stats.rng.replication_seeds` (public, unit-tested);
+#: every figure cell and the api layer share it.
+_replication_seeds = replication_seeds
 
 
 def fig3_experiment(
@@ -308,22 +352,33 @@ def fig3_experiment(
     ``AgentSimulator.run_replications`` with *engine* resolved from
     the :mod:`repro.perf.engine` registry (``"agent-batch"`` =
     lock-step), and every engine yields byte-identical figures.
+
+    A byte-identical wrapper over ``Session.run(Fig3Spec(...))``.
     """
+    from ..api import Fig3Spec, RunConfig, Session
+
+    return Session(
+        RunConfig(seed=seed, replications=replications, engine=engine)
+    ).run(Fig3Spec(n_arrivals=n_arrivals, price=price)).payload
+
+
+def _run_fig3(spec, config) -> Fig3Result:
+    """Implementation behind :class:`repro.api.Fig3Spec`."""
     task_type = amt_task_type(votes=4)
     pool = amt_worker_pool()
-    sim = AgentSimulator(pool, seed=seed, max_sim_time=1e9)
+    sim = AgentSimulator(pool, seed=config.seed, max_sim_time=1e9)
     orders = [
         AtomicTaskOrder(
             task_type=task_type,
-            prices=(price,),
+            prices=(spec.price,),
             atomic_task_id=i,
         )
-        for i in range(n_arrivals)
+        for i in range(spec.n_arrivals)
     ]
-    seeds = _replication_seeds(seed, replications)
+    seeds = replication_seeds(config.seed, config.replications)
     recorders = [TraceRecorder(keep_events=True) for _ in seeds]
     sim.run_replications(
-        orders, seeds=seeds, recorders=recorders, engine=engine
+        orders, seeds=seeds, recorders=recorders, engine=config.engine
     )
     epoch_rows = []
     phase1_rows = []
@@ -413,10 +468,30 @@ def fig4_experiment(
     ``AgentSimulator.run_replications`` (latencies averaged
     order-by-order), and every engine — sequential or
     ``"agent-batch"`` lock-step — yields byte-identical figures.
+
+    A byte-identical wrapper over ``Session.run(Fig4Spec(...))``.
     """
+    from ..api import Fig4Spec, RunConfig, Session
+
+    return Session(
+        RunConfig(seed=seed, replications=replications, engine=engine)
+    ).run(Fig4Spec(prices=prices, repetitions=repetitions)).payload
+
+
+def _run_fig4(spec, config) -> Fig4Result:
+    """Implementation behind :class:`repro.api.Fig4Spec`.
+
+    Reads ``config.engine`` raw: ``None``/``"aggregate"`` select the
+    historical aggregate path, anything else the replicated agent
+    market — the historical contract of the keyword API.
+    """
+    prices = spec.prices
+    repetitions = spec.repetitions
+    engine = config.engine
+    replications = config.replications
     market = amt_market()
     task_type = amt_task_type(votes=4)
-    rng = ensure_rng(seed)
+    rng = ensure_rng(config.seed)
     agent_mode = engine is not None and engine != "aggregate"
     if not agent_mode and replications != 1:
         raise ModelError(
@@ -434,7 +509,7 @@ def fig4_experiment(
         if agent_mode:
             pool = amt_worker_pool()
             sim = AgentSimulator(pool, seed=rng, max_sim_time=1e9)
-            seeds = _replication_seeds(rng.integers(0, 2**62), replications)
+            seeds = replication_seeds(rng.integers(0, 2**62), replications)
             results = sim.run_replications(
                 [order], seeds=seeds, engine=engine
             )
@@ -512,11 +587,39 @@ def fig5ab_experiment(
     through ``AgentSimulator.run_replications`` (phase means pooled
     over every record of every replication), identical for every
     engine — ``"agent-batch"`` just gets there in lock-step.
+
+    A byte-identical wrapper over ``Session.run(Fig5abSpec(...))``.
+    """
+    from ..api import Fig5abSpec, RunConfig, Session
+
+    return Session(
+        RunConfig(seed=seed, replications=replications, engine=engine)
+    ).run(
+        Fig5abSpec(
+            vote_counts=vote_counts,
+            prices=prices,
+            repetitions=repetitions,
+            n_tasks=n_tasks,
+        )
+    ).payload
+
+
+def _run_fig5ab(spec, config) -> Fig5abResult:
+    """Implementation behind :class:`repro.api.Fig5abSpec`.
+
+    Like :func:`_run_fig4`, reads ``config.engine`` raw —
+    ``None``/``"aggregate"`` is the seed aggregate path.
     """
     from statistics import fmean
 
+    vote_counts = spec.vote_counts
+    prices = spec.prices
+    repetitions = spec.repetitions
+    n_tasks = spec.n_tasks
+    engine = config.engine
+    replications = config.replications
     market = amt_market()
-    rng = ensure_rng(seed)
+    rng = ensure_rng(config.seed)
     agent_mode = engine is not None and engine != "aggregate"
     if not agent_mode and replications != 1:
         raise ModelError(
@@ -540,7 +643,7 @@ def fig5ab_experiment(
             if agent_mode:
                 pool = amt_worker_pool()
                 sim = AgentSimulator(pool, seed=rng, max_sim_time=1e9)
-                seeds = _replication_seeds(
+                seeds = replication_seeds(
                     rng.integers(0, 2**62), replications
                 )
                 results = sim.run_replications(
@@ -613,10 +716,26 @@ def fig5c_experiment(
     4/6/8 give the types different processing rates); HEU = the
     equal-payment-per-type heuristic.  Latency is per-type completion
     (the paper plots OPT(t1..t3)/HEU(t1..t3) separately).
+
+    A byte-identical wrapper over ``Session.run(Fig5cSpec(...))``.
     """
+    from ..api import Fig5cSpec, RunConfig, Session
+
+    return Session(RunConfig(seed=seed)).run(
+        Fig5cSpec(
+            budgets=budgets, repetitions=repetitions, n_samples=n_samples
+        )
+    ).payload
+
+
+def _run_fig5c(spec, config) -> Fig5cResult:
+    """Implementation behind :class:`repro.api.Fig5cSpec`."""
     from ..core.heterogeneous import heterogeneous_algorithm_sweep
 
-    rng = ensure_rng(seed)
+    budgets = spec.budgets
+    repetitions = spec.repetitions
+    n_samples = spec.n_samples
+    rng = ensure_rng(config.seed)
     base_pricing = amt_pricing_model()
     vote_counts = (4, 6, 8)
     types = [amt_task_type(votes=v) for v in vote_counts]

@@ -134,7 +134,7 @@ def run_deadline_sweep(
     default shares kernels across the whole grid.
     """
     from ..perf.deadline import (
-        DEFAULT_DEADLINE_COMPARATOR,
+        deadline_comparator_name,
         get_deadline_comparator,
     )
     from .pareto import deadline_cost_frontier
@@ -144,12 +144,7 @@ def run_deadline_sweep(
     if not confidences:
         raise ModelError("deadline sweep needs at least one confidence")
     get_deadline_comparator(comparator)  # fail fast on unknown names
-    if isinstance(comparator, str):
-        comparator_name = comparator
-    elif comparator is None:
-        comparator_name = DEFAULT_DEADLINE_COMPARATOR
-    else:
-        comparator_name = getattr(comparator, "__name__", "custom")
+    comparator_name = deadline_comparator_name(comparator)
     grid = tuple(sorted(float(d) for d in deadlines))
     series: dict[str, tuple[int, ...]] = {}
     feasible: dict[str, tuple[bool, ...]] = {}

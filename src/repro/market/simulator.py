@@ -270,11 +270,11 @@ class AggregateSimulator:
         identical results — the aggregate model has no lock-step fast
         path, so all engines run the sequential reference here.
         """
-        from ..perf.engine import get_engine
+        from ..perf.engine import resolve_engine
 
         seeds = _resolve_replication_seeds(self._rng, n_replications, seeds)
         recorders = _resolve_replication_recorders(recorders, len(seeds))
-        return get_engine(engine).run_replications(
+        return resolve_engine(engine).run_replications(
             self, orders, seeds, recorders, start_time,
             repetition_mode=repetition_mode,
         )
@@ -452,11 +452,11 @@ class AgentSimulator:
         each replication's generator is advanced past every draw its
         trajectory consumed.
         """
-        from ..perf.engine import get_engine
+        from ..perf.engine import resolve_engine
 
         seeds = _resolve_replication_seeds(self._rng, n_replications, seeds)
         recorders = _resolve_replication_recorders(recorders, len(seeds))
-        return get_engine(engine).run_replications(
+        return resolve_engine(engine).run_replications(
             self, orders, seeds, recorders, start_time
         )
 

@@ -50,6 +50,7 @@ from .cache import (
 from .deadline import (
     DeadlineKernel,
     available_deadline_comparators,
+    deadline_comparator_name,
     deadline_quantile_bisection,
     get_deadline_comparator,
     register_deadline_comparator,
@@ -68,6 +69,7 @@ from .engine import (
     available_engines,
     get_engine,
     register_engine,
+    resolve_engine,
 )
 from .market import AgentBatchEngine, batch_agent_run_replications
 
@@ -88,6 +90,7 @@ __all__ = [
     "cached_hypoexponential_sf",
     "clear_phase_caches",
     "configure_phase_cache",
+    "deadline_comparator_name",
     "deadline_quantile_bisection",
     "evaluate_allocations",
     "get_deadline_comparator",
@@ -97,6 +100,7 @@ __all__ = [
     "phase_cache_stats",
     "register_deadline_comparator",
     "register_engine",
+    "resolve_engine",
     "sample_job_latencies_batch",
     "shared_ladder_sf",
     "survival_weights",

@@ -302,11 +302,11 @@ class BatchAggregateSimulator:
             _resolve_replication_recorders,
             _resolve_replication_seeds,
         )
-        from .engine import get_engine
+        from .engine import resolve_engine
 
         seeds = _resolve_replication_seeds(self._rng, n_replications, seeds)
         recorders = _resolve_replication_recorders(recorders, len(seeds))
-        return get_engine(engine).run_replications(
+        return resolve_engine(engine).run_replications(
             self, orders, seeds, recorders, start_time,
             repetition_mode=repetition_mode,
         )

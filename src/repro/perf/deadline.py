@@ -51,6 +51,7 @@ __all__ = [
     "processing_ceilings",
     "register_deadline_comparator",
     "get_deadline_comparator",
+    "deadline_comparator_name",
     "available_deadline_comparators",
     "DEFAULT_DEADLINE_COMPARATOR",
 ]
@@ -538,15 +539,39 @@ def register_deadline_comparator(
     return comparator
 
 
+_MISSING = object()
+
+
+def _unwrap_comparator(comparator):
+    """Pull the ``comparator`` field out of a config-like object.
+
+    Mirrors :func:`repro.perf.engine._unwrap_engine`: strings, ``None``
+    and callables pass through; an object exposing a ``comparator``
+    attribute (:class:`repro.api.RunConfig`) contributes that attribute
+    instead, so every ``comparator=`` parameter accepts a run config.
+    """
+    if comparator is None or isinstance(comparator, str) or callable(comparator):
+        return comparator
+    inner = getattr(comparator, "comparator", _MISSING)
+    if inner is not _MISSING:
+        return inner
+    return comparator
+
+
 def get_deadline_comparator(
-    comparator: Union[str, Callable, None],
+    comparator: Union[str, Callable, None, object],
 ) -> Callable:
     """Resolve a ``comparator=`` argument to a callable.
 
-    Accepts a callable (returned as-is), a registered name, or ``None``
-    (the ``"batched"`` default).  Every comparator has the
-    :func:`repro.core.deadline.min_cost_for_deadline` signature.
+    Accepts a callable (returned as-is), a registered name, ``None``
+    (the ``"batched"`` default), or a config object exposing a
+    ``comparator`` attribute (:class:`repro.api.RunConfig`).  Every
+    comparator has the
+    :func:`repro.core.deadline.min_cost_for_deadline` signature.  This
+    is the single place comparator defaulting happens — the dual of
+    :func:`repro.perf.engine.resolve_engine`.
     """
+    comparator = _unwrap_comparator(comparator)
     if comparator is None:
         comparator = DEFAULT_DEADLINE_COMPARATOR
     if callable(comparator):
@@ -560,6 +585,24 @@ def get_deadline_comparator(
             f"{list(available_deadline_comparators())} or a callable"
         )
     return resolved
+
+
+def deadline_comparator_name(
+    comparator: Union[str, Callable, None, object],
+) -> str:
+    """Display name of a ``comparator=`` argument.
+
+    The name reported in sweep results and CLI titles: a registered
+    name is itself, ``None`` is the default's name, and a bare callable
+    falls back to its ``__name__`` (or ``"custom"``).  Accepts config
+    objects exactly as :func:`get_deadline_comparator` does.
+    """
+    comparator = _unwrap_comparator(comparator)
+    if comparator is None:
+        return DEFAULT_DEADLINE_COMPARATOR
+    if isinstance(comparator, str):
+        return comparator
+    return getattr(comparator, "__name__", "custom")
 
 
 def available_deadline_comparators() -> tuple[str, ...]:

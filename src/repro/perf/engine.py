@@ -39,6 +39,7 @@ __all__ = [
     "ChunkedBatchEngine",
     "register_engine",
     "get_engine",
+    "resolve_engine",
     "available_engines",
     "DEFAULT_ENGINE",
 ]
@@ -237,6 +238,42 @@ def get_engine(engine: Union[str, EvaluationEngine, None]) -> EvaluationEngine:
             f"{sorted(_REGISTRY)} or an EvaluationEngine instance"
         )
     return resolved
+
+
+_MISSING = object()
+
+
+def _unwrap_engine(engine):
+    """Pull the ``engine`` field out of a config-like object.
+
+    Strings, ``None`` and engine instances pass through unchanged; any
+    other object carrying an ``engine`` attribute (a
+    :class:`repro.api.RunConfig`, or anything structurally like one)
+    contributes that attribute instead.  Centralizing the unwrap here
+    means every ``engine=`` parameter in the library accepts a run
+    config directly.
+    """
+    if engine is None or isinstance(engine, (str, EvaluationEngine)):
+        return engine
+    inner = getattr(engine, "engine", _MISSING)
+    if inner is not _MISSING:
+        return inner
+    return engine
+
+
+def resolve_engine(
+    engine: Union[str, EvaluationEngine, None, object],
+) -> EvaluationEngine:
+    """The single place ``engine=`` defaulting happens.
+
+    Accepts everything :func:`get_engine` does **plus** a config
+    object exposing an ``engine`` attribute
+    (:class:`repro.api.RunConfig`); ``None`` — directly or inside the
+    config — resolves to :data:`DEFAULT_ENGINE`.  Every ``engine=``
+    call site in the library routes through here, so the None → default
+    rule lives in exactly one function.
+    """
+    return get_engine(_unwrap_engine(engine))
 
 
 def available_engines() -> tuple[str, ...]:

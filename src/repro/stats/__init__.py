@@ -35,7 +35,7 @@ from .order_statistics import (
     expected_min_exponential,
     harmonic_number,
 )
-from .rng import RandomState, ensure_rng, spawn
+from .rng import RandomState, ensure_rng, replication_seeds, spawn
 
 __all__ = [
     "Deterministic",
@@ -60,6 +60,7 @@ __all__ = [
     "hypoexponential_cdf",
     "hypoexponential_mean",
     "hypoexponential_sf",
+    "replication_seeds",
     "spawn",
     "two_phase_latency",
 ]

@@ -13,7 +13,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-__all__ = ["RandomState", "ensure_rng", "spawn"]
+__all__ = ["RandomState", "ensure_rng", "spawn", "replication_seeds"]
 
 #: Anything acceptable as a source of randomness.
 RandomState = Union[None, int, np.random.Generator, np.random.SeedSequence]
@@ -54,3 +54,30 @@ def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
         raise ValueError(f"cannot spawn a negative number of generators: {n}")
     seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def replication_seeds(seed: RandomState, replications: int) -> list:
+    """Per-replication seeds for a replicated experiment cell.
+
+    The seeding protocol every replication fan-out in the library
+    shares (figure cells, ``run_replications`` ensembles):
+
+    * ``replications == 1`` returns ``[seed]`` unchanged — the
+      single-replication run consumes exactly the stream the
+      historical unreplicated experiment consumed, so R = 1 output is
+      byte-identical to the pre-replication code path;
+    * ``replications > 1`` spawns R independent substreams from
+      *seed* via :func:`spawn`.
+
+    The protocol is engine-independent: a figure's output is the same
+    whichever replication engine executes the seeds.
+    """
+    from ..errors import ModelError
+
+    if replications < 1:
+        raise ModelError(
+            f"replications must be >= 1, got {replications}"
+        )
+    if replications == 1:
+        return [seed]
+    return spawn(ensure_rng(seed), replications)

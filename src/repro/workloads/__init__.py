@@ -11,8 +11,11 @@ from .amt import (
 from .families import (
     ProblemFamily,
     as_problem_family,
+    available_families,
+    get_family_builder,
     heterogeneous_family,
     homogeneity_family,
+    register_family,
     repetition_family,
     scenario_family,
 )
@@ -38,6 +41,8 @@ __all__ = [
     "amt_task_type",
     "amt_worker_pool",
     "as_problem_family",
+    "available_families",
+    "get_family_builder",
     "heterogeneous_family",
     "heterogeneous_tasks",
     "heterogeneous_workload",
@@ -46,6 +51,7 @@ __all__ = [
     "homogeneity_workload",
     "many_groups_problem",
     "random_problem",
+    "register_family",
     "repetition_family",
     "repetition_tasks",
     "repetition_workload",

@@ -45,6 +45,9 @@ __all__ = [
     "repetition_family",
     "heterogeneous_family",
     "as_problem_family",
+    "register_family",
+    "get_family_builder",
+    "available_families",
 ]
 
 
@@ -202,21 +205,71 @@ def heterogeneous_family(
     )
 
 
-_SCENARIO_FAMILIES = {
+#: Name -> family builder.  The registry behind every spec or sweep
+#: that references a workload *by name* (``repro.api`` experiment
+#: specs, the CLI): a registered name is a serializable address for a
+#: :class:`ProblemFamily`, the same contract the engine and comparator
+#: registries provide for execution strategies.
+_FAMILY_REGISTRY: dict[str, Callable[..., ProblemFamily]] = {
     "homo": homogeneity_family,
     "repe": repetition_family,
     "heter": heterogeneous_family,
 }
 
 
+def register_family(
+    name: str,
+    builder: Callable[..., ProblemFamily],
+    replace: bool = False,
+) -> Callable[..., ProblemFamily]:
+    """Register a family *builder* under *name*.
+
+    ``builder(**kwargs)`` must return a :class:`ProblemFamily`; all
+    built-in builders accept at least ``case=`` and ``n_tasks=``.
+    Registered names are what :class:`repro.api.specs.BudgetSweepSpec`
+    (and any other spec holding a ``family`` field) resolve at run
+    time, so registering a family makes it addressable from serialized
+    specs and the generic CLI.
+    """
+    if not name:
+        raise ModelError("a problem family needs a non-empty name")
+    if name in _FAMILY_REGISTRY and not replace:
+        raise ModelError(
+            f"family {name!r} is already registered; pass replace=True "
+            "to override"
+        )
+    _FAMILY_REGISTRY[name] = builder
+    return builder
+
+
+def get_family_builder(name: str) -> Callable[..., ProblemFamily]:
+    """Resolve a registered family name to its builder."""
+    builder = _FAMILY_REGISTRY.get(name)
+    if builder is None:
+        raise ModelError(
+            f"unknown family {name!r}; expected one of "
+            f"{sorted(_FAMILY_REGISTRY)}"
+        )
+    return builder
+
+
+def available_families() -> tuple[str, ...]:
+    """Registered family names, sorted (spec/CLI choices come from here)."""
+    return tuple(sorted(_FAMILY_REGISTRY))
+
+
 def scenario_family(scenario: str, case: str = "a", **kwargs) -> ProblemFamily:
-    """Dispatch by scenario name: 'homo' | 'repe' | 'heter'."""
-    if scenario not in _SCENARIO_FAMILIES:
+    """Dispatch by registered family name: 'homo' | 'repe' | 'heter' | ...
+
+    Historical name kept for the Fig. 2 harness; equivalent to
+    ``get_family_builder(scenario)(case=case, **kwargs)``.
+    """
+    if scenario not in _FAMILY_REGISTRY:
         raise ModelError(
             f"unknown scenario {scenario!r}; expected one of "
-            f"{sorted(_SCENARIO_FAMILIES)}"
+            f"{sorted(_FAMILY_REGISTRY)}"
         )
-    return _SCENARIO_FAMILIES[scenario](case=case, **kwargs)
+    return _FAMILY_REGISTRY[scenario](case=case, **kwargs)
 
 
 def as_problem_family(

@@ -49,6 +49,7 @@ def test_smoke_run_asserts_equivalence_and_speedup(bench, tmp_path):
     chunked = results["chunked_batch_sampling"]
     deadline = results["deadline_frontier"]
     market = results["agent_market_replications"]
+    session = results["session_run_many"]
     assert mc["bit_identical"]
     assert dp["outputs_identical"]
     # The sweep bench raises internally if any one-pass allocation or
@@ -74,6 +75,11 @@ def test_smoke_run_asserts_equivalence_and_speedup(bench, tmp_path):
     # 64-replication target is >= 5x; at smoke size just require a
     # clear win.
     assert market["speedup"] > 1.5
+    # The session bench raises internally if a shared-cache batch's
+    # payloads diverge from cold per-run sessions; sharing the kernel
+    # tables strictly removes work, so batched must not lose.
+    assert session["outputs_identical"]
+    assert session["speedup"] > 1.0
 
 
 def test_sections_filter_runs_subset(bench):

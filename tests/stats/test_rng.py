@@ -5,7 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.stats import ensure_rng, spawn
+from repro.errors import ModelError
+from repro.stats import ensure_rng, replication_seeds, spawn
 
 
 class TestEnsureRng:
@@ -62,3 +63,47 @@ class TestSpawn:
     def test_rejects_negative(self):
         with pytest.raises(ValueError):
             spawn(ensure_rng(0), -1)
+
+
+class TestReplicationSeeds:
+    """The shared per-replication seeding protocol (promoted from the
+    figure harness in the api PR)."""
+
+    def test_single_replication_is_identity(self):
+        # R = 1 must pass the seed through untouched: the replicated
+        # path consumes exactly the stream the unreplicated one did.
+        assert replication_seeds(7, 1) == [7]
+        assert replication_seeds(None, 1) == [None]
+
+    def test_single_replication_preserves_generator_object(self):
+        gen = ensure_rng(3)
+        assert replication_seeds(gen, 1)[0] is gen
+
+    def test_multi_replication_matches_spawn(self):
+        seeds = replication_seeds(5, 3)
+        reference = spawn(ensure_rng(5), 3)
+        assert len(seeds) == 3
+        assert [g.random() for g in seeds] == [
+            g.random() for g in reference
+        ]
+
+    def test_substreams_differ(self):
+        a, b = replication_seeds(0, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_deterministic_given_seed(self):
+        a = [g.random() for g in replication_seeds(11, 4)]
+        b = [g.random() for g in replication_seeds(11, 4)]
+        assert a == b
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ModelError):
+            replication_seeds(0, 0)
+        with pytest.raises(ModelError):
+            replication_seeds(0, -2)
+
+    def test_figures_alias_points_here(self):
+        from repro.experiments import figures
+        from repro.stats.rng import replication_seeds as public
+
+        assert figures._replication_seeds is public
