@@ -32,6 +32,11 @@ Fig. 2-sized workload, against the seed implementations:
 * **Session run_many** — a batch of serialized ``repro.api`` specs
   executed through one shared-cache ``Session.run_many`` vs cold
   isolated per-run sessions (payloads asserted identical).
+* **Session resilience** — the default fast path vs the armed
+  resilience executor (empty ``FaultPlan`` + retry policy, every
+  fault-site check live); payloads asserted identical and the
+  overhead reported as ``overhead_pct`` (the tier-1 smoke test caps
+  it at 5%).
 
 Run directly (``python benchmarks/bench_perf_engine.py``) to write
 ``BENCH_perf_engine.json`` at the repo root; ``--sections NAME ...``
@@ -48,6 +53,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import pathlib
 import time
 
@@ -449,6 +455,99 @@ def bench_session_run_many(n_tasks: int = 100, n_budgets: int = 9) -> dict:
     }
 
 
+def bench_session_resilience(
+    n_samples: int = 1000, n_tasks: int = 100, n_budgets: int = 9
+) -> dict:
+    """Default fast path vs the armed resilience executor.
+
+    The same Monte-Carlo budget-sweep specs run two ways: the default
+    ``Session`` path (``faults``/``retry``/``timeout`` all ``None`` —
+    the resilience runtime never activates, every ``site_check`` is
+    one global load and a ``None`` test), and the *armed* path — an
+    empty :class:`~repro.resilience.FaultPlan` plus a retry policy,
+    which routes the run through ``Session._run_resilient`` and keeps
+    the fault-site checks live (rule matching against an empty rule
+    set) at ``run.start``, ``engine.sample`` and friends.  Payloads
+    are asserted identical — the armed executor must be a pure
+    pass-through when no rule fires — and the headline number is
+    ``overhead_pct``, the price of arming the machinery.  The tier-1
+    smoke test caps it at 5%.
+    """
+    from repro.api import BudgetSweepSpec, RunConfig, Session
+    from repro.perf import clear_phase_caches
+
+    top = 1000 + 500 * max(int(n_budgets) - 1, 1)
+    grids = [
+        tuple(range(1000, top + 1, 500)),
+        tuple(range(1500, top + 1, 500)),
+    ]
+    specs = [
+        BudgetSweepSpec(
+            family="repe",
+            case="a",
+            n_tasks=n_tasks,
+            budgets=grid,
+            strategies=("ra", "re"),
+            scoring="mc",
+            n_samples=n_samples,
+        )
+        for grid in grids
+    ]
+    default_config = RunConfig(engine="batch")
+    armed_config = RunConfig(
+        engine="batch",
+        faults={"rules": [], "seed": 0},
+        retry={"attempts": 2},
+    )
+
+    def default():
+        clear_phase_caches()
+        return [r.payload for r in Session(default_config).run_many(specs)]
+
+    def armed():
+        clear_phase_caches()
+        return [r.payload for r in Session(armed_config).run_many(specs)]
+
+    t0 = time.perf_counter()
+    baseline = default()
+    single_call = time.perf_counter() - t0
+    if baseline != armed():
+        raise AssertionError(
+            "armed resilience executor payloads diverged from the "
+            "default fast path"
+        )
+    # The two paths are within a few percent of each other, so clock
+    # drift between two sequential best-of blocks would swamp the
+    # signal; interleave the repeats so both see the same drift, and
+    # amortize each timed sample over enough calls (~50ms blocks) that
+    # one scheduler hiccup cannot swing the ratio at smoke sizes.
+    calls_per_block = max(1, math.ceil(0.05 / max(single_call, 1e-9)))
+    t_default = float("inf")
+    t_armed = float("inf")
+    for _ in range(7):
+        t0 = time.perf_counter()
+        for _ in range(calls_per_block):
+            default()
+        t_default = min(t_default, (time.perf_counter() - t0) / calls_per_block)
+        t0 = time.perf_counter()
+        for _ in range(calls_per_block):
+            armed()
+        t_armed = min(t_armed, (time.perf_counter() - t0) / calls_per_block)
+    return {
+        "workload": f"{len(specs)} mc budget-sweep specs "
+        f"({n_samples} samples, grids up to {top}, {n_tasks} tasks, ra+re)",
+        "default_seconds": t_default,
+        "armed_seconds": t_armed,
+        "speedup": t_default / t_armed,
+        "overhead_pct": (t_armed / t_default - 1.0) * 100.0,
+        "outputs_identical": True,
+        "note": "armed = empty FaultPlan + RetryPolicy(attempts=2): the "
+        "resilient executor with every fault-site check live but no "
+        "rule firing; speedup ~1.0 by design, overhead_pct is the "
+        "headline",
+    }
+
+
 def bench_agent_market_replications(
     n_replications: int = 64, n_arrivals: int = 20
 ) -> dict:
@@ -568,6 +667,9 @@ _SECTIONS = {
     ),
     "session_run_many": lambda p: bench_session_run_many(
         p["n_tasks"], p["n_budgets"]
+    ),
+    "session_resilience": lambda p: bench_session_resilience(
+        p["n_samples"], p["n_tasks"], p["n_budgets"]
     ),
 }
 

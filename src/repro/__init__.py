@@ -18,7 +18,12 @@ Subpackages:
   serializable :class:`~repro.api.ExperimentSpec` /
   :class:`~repro.api.RunConfig` values, the experiment registry, and
   the :class:`~repro.api.Session` facade every run path goes through
-  (see ``docs/api.md``).
+  (see ``docs/api.md``);
+* :mod:`repro.resilience` — deterministic fault injection
+  (:class:`~repro.resilience.FaultPlan`), retry/timeout policies,
+  structured :class:`~repro.resilience.ErrorDocument` failure capture,
+  and checkpointed :class:`~repro.resilience.BatchReport` batches
+  (see ``docs/robustness.md``).
 
 Quickstart::
 
@@ -45,35 +50,59 @@ from .core import (
 )
 from .errors import (
     BudgetError,
+    CheckpointError,
+    FaultInjectedError,
     InfeasibleAllocationError,
     InferenceError,
     ModelError,
     PlanError,
+    RegistryError,
     ReproError,
+    RunTimeoutError,
     SimulationError,
+    error_code,
+)
+from .resilience import (
+    BatchReport,
+    ErrorDocument,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    TimeoutPolicy,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Allocation",
+    "BatchReport",
     "BudgetError",
+    "CheckpointError",
+    "ErrorDocument",
     "ExperimentSpec",
+    "FaultInjectedError",
+    "FaultPlan",
+    "FaultRule",
     "HTuningProblem",
     "InfeasibleAllocationError",
     "InferenceError",
     "ModelError",
     "PlanError",
+    "RegistryError",
     "ReproError",
+    "RetryPolicy",
     "RunConfig",
     "RunResult",
+    "RunTimeoutError",
     "Scenario",
     "Session",
     "SimulationError",
     "TaskGroup",
     "TaskSpec",
+    "TimeoutPolicy",
     "Tuner",
     "__version__",
+    "error_code",
     "even_allocation",
     "heterogeneous_algorithm",
     "repetition_algorithm",

@@ -21,6 +21,18 @@ frozen, serializable object:
   fan-out derives substreams via
   :func:`repro.stats.rng.replication_seeds`.
 * **replications** — independent seeded worlds per experiment cell.
+* **faults** — a :class:`~repro.resilience.FaultPlan` (registered
+  name, inline plan, or its dict form) deterministically injected
+  while the run executes; ``None`` (the default) injects nothing.
+* **retry** — a :class:`~repro.resilience.RetryPolicy` (attempts,
+  deterministic capped backoff, fallback-engine chain); ``None`` means
+  one attempt, no fallback.
+* **timeout** — a :class:`~repro.resilience.TimeoutPolicy` (or bare
+  seconds) checked cooperatively at the fault sites.
+
+The three resilience fields serialize **only when set**, so default
+configs — and therefore every pre-existing fingerprint — are
+unchanged.
 
 ``RunConfig.resolve()`` is the **single place** ``None`` defaulting
 happens: it delegates to :func:`repro.perf.engine.resolve_engine` and
@@ -80,6 +92,9 @@ class RunConfig:
     recorder: Optional[str] = None
     seed: RandomState = 0
     replications: int = 1
+    faults: Union[str, Mapping, None, object] = None
+    retry: Union[Mapping, None, object] = None
+    timeout: Union[int, float, Mapping, None, object] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.replications, (int, np.integer)) or isinstance(
@@ -96,6 +111,42 @@ class RunConfig:
             raise ModelError(
                 f"unknown recorder policy {self.recorder!r}; expected one "
                 f"of {RECORDER_POLICIES}"
+            )
+        # Normalize the resilience fields eagerly (strings stay strings
+        # — registry resolution happens at run time, like engines).
+        from ..resilience.faults import FaultPlan
+        from ..resilience.policy import RetryPolicy, TimeoutPolicy
+
+        if isinstance(self.faults, Mapping):
+            object.__setattr__(self, "faults", FaultPlan.from_dict(self.faults))
+        elif self.faults is not None and not isinstance(
+            self.faults, (str, FaultPlan)
+        ):
+            raise ModelError(
+                f"faults must be a registered plan name, a FaultPlan, its "
+                f"dict form, or None — got {self.faults!r}"
+            )
+        if isinstance(self.retry, Mapping):
+            object.__setattr__(self, "retry", RetryPolicy.from_dict(self.retry))
+        elif self.retry is not None and not isinstance(self.retry, RetryPolicy):
+            raise ModelError(
+                f"retry must be a RetryPolicy, its dict form, or None — "
+                f"got {self.retry!r}"
+            )
+        if isinstance(self.timeout, (int, float)) and not isinstance(
+            self.timeout, bool
+        ):
+            object.__setattr__(self, "timeout", TimeoutPolicy(self.timeout))
+        elif isinstance(self.timeout, Mapping):
+            object.__setattr__(
+                self, "timeout", TimeoutPolicy.from_dict(self.timeout)
+            )
+        elif self.timeout is not None and not isinstance(
+            self.timeout, TimeoutPolicy
+        ):
+            raise ModelError(
+                f"timeout must be seconds, a TimeoutPolicy, its dict form, "
+                f"or None — got {self.timeout!r}"
             )
 
     # -- resolution ----------------------------------------------------
@@ -135,14 +186,27 @@ class RunConfig:
     def to_dict(self) -> dict:
         """JSON-able form; raises :class:`ModelError` on unserializable
         members (engine/comparator instances resolve to their
-        registered names, generator seeds cannot be serialized)."""
-        return {
+        registered names, generator seeds cannot be serialized).  The
+        resilience fields are emitted only when set, so default configs
+        keep their historical five-key layout and fingerprints."""
+        out = {
             "engine": _engine_token(self.engine),
             "comparator": _comparator_token(self.comparator),
             "recorder": self.recorder,
             "seed": _seed_token(self.seed),
             "replications": int(self.replications),
         }
+        if self.faults is not None:
+            out["faults"] = (
+                self.faults
+                if isinstance(self.faults, str)
+                else self.faults.to_dict()
+            )
+        if self.retry is not None:
+            out["retry"] = self.retry.to_dict()
+        if self.timeout is not None:
+            out["timeout"] = self.timeout.to_dict()
+        return out
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True)

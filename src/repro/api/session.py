@@ -15,17 +15,27 @@ ladder tables), and exposes exactly two verbs:
 — cold-start semantics for benchmarking or bit-exact cache-freshness
 audits; payloads are identical either way because every cache in the
 library is bit-exact.
+
+``run`` is the **resilient executor**: it interprets the config's
+fault plan, retry policy and timeout (:mod:`repro.resilience`),
+walking the engine fallback chain attempt by attempt and recording
+anything non-default in the result's
+:class:`~repro.resilience.policy.ExecutionRecord`.  With no faults and
+default policies the wrapping is a few attribute reads — payloads (and
+their serialized documents) are byte-identical to the direct path, as
+the ``session_resilience`` bench section certifies.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import time
 from typing import Any, Iterable, Mapping, Optional, Union
 
 import numpy as np
 
-from ..errors import ModelError
+from ..errors import ModelError, ReproError
 from .config import RunConfig, fingerprint
 from .spec import ExperimentSpec
 
@@ -78,11 +88,18 @@ class RunResult:
     engine/comparator); runs configured with live generator seeds or
     unregistered engine instances still execute fine, they just cannot
     be fingerprinted.
+
+    ``execution`` is the resilience layer's
+    :class:`~repro.resilience.policy.ExecutionRecord` — set only when
+    the executor did something non-default (retried, degraded onto a
+    fallback engine), so default-path documents keep their historical
+    layout byte-for-byte.
     """
 
     spec: ExperimentSpec
     config: RunConfig
     payload: Any
+    execution: Optional[Any] = None
 
     @property
     def experiment(self) -> str:
@@ -94,18 +111,50 @@ class RunResult:
             {"spec": self.spec.to_dict(), "config": self.config.to_dict()}
         )
 
+    @property
+    def degraded(self) -> bool:
+        """Whether a fallback engine (not the configured one) produced
+        the payload."""
+        return bool(self.execution is not None and self.execution.degraded)
+
     def to_dict(self) -> dict:
-        """JSON-able document: spec + config + fingerprint + payload."""
-        return {
+        """JSON-able document: spec + config + fingerprint + payload
+        (+ ``execution`` when the resilient executor recorded one)."""
+        out = {
             "experiment": self.experiment,
             "spec": self.spec.to_dict(),
             "config": self.config.to_dict(),
             "fingerprint": self.fingerprint,
             "payload": payload_to_jsonable(self.payload),
         }
+        if self.execution is not None:
+            out["execution"] = self.execution.to_dict()
+        return out
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_document(cls, document: Mapping) -> "RunResult":
+        """Rebuild a result from its :meth:`to_dict` document.
+
+        The payload stays in its JSON form (``payload_to_jsonable`` is
+        idempotent on it), so a restored result re-serializes
+        byte-identically — the property checkpoint resume relies on.
+        """
+        from ..resilience.policy import ExecutionRecord
+
+        execution = document.get("execution")
+        return cls(
+            spec=ExperimentSpec.from_dict(document["spec"]),
+            config=RunConfig.from_dict(document["config"]),
+            payload=document["payload"],
+            execution=(
+                ExecutionRecord.from_dict(execution)
+                if execution is not None
+                else None
+            ),
+        )
 
 
 class Session:
@@ -164,17 +213,114 @@ class Session:
                 f"policy (config.recorder={self.config.recorder!r}); only "
                 "specs with uses_recorder=True honor it"
             )
+        config = self.config
+        if (
+            config.faults is None
+            and config.retry is None
+            and config.timeout is None
+        ):
+            # Fast path: nothing to inject, nothing to retry — one
+            # direct execution, exactly the pre-resilience behavior.
+            payload = self._execute_once(self, spec)
+            self.runs_completed += 1
+            return RunResult(spec=spec, config=config, payload=payload)
+        return self._run_resilient(spec)
+
+    def _execute_once(self, session: "Session", spec: ExperimentSpec):
         if self.isolated:
             from ..perf.cache import clear_phase_caches
 
             clear_phase_caches()
-        payload = spec.run(self)
-        self.runs_completed += 1
-        return RunResult(spec=spec, config=self.config, payload=payload)
+        return spec.run(session)
+
+    def _run_resilient(self, spec: ExperimentSpec) -> RunResult:
+        """Walk the engine fallback chain, attempt by attempt.
+
+        The configured engine gets ``retry.attempts`` tries, then each
+        fallback engine gets the same; every attempt activates a fresh
+        fault state (same deterministic fault sequence unless a rule's
+        ``on_attempts`` says otherwise) and its own cooperative timeout
+        deadline.  Failed attempts are logged into the result's
+        :class:`~repro.resilience.policy.ExecutionRecord`; exhausting
+        the chain re-raises the last failure with its
+        :class:`~repro.resilience.document.ErrorDocument` attached.
+        """
+        from ..resilience.document import ErrorDocument
+        from ..resilience.faults import resolve_fault_plan, runtime_scope, site_check
+        from ..resilience.policy import DEFAULT_RETRY, ExecutionRecord
+
+        config = self.config
+        retry = config.retry if config.retry is not None else DEFAULT_RETRY
+        plan = resolve_fault_plan(config.faults)
+        timeout = (
+            config.timeout.seconds if config.timeout is not None else None
+        )
+
+        stages: list = [None, *retry.fallback_engines]
+        attempts_log: list[dict] = []
+        attempt_index = 0
+        last_exc: Optional[ReproError] = None
+        for stage, engine_name in enumerate(stages):
+            if stage == 0:
+                session, stage_config = self, config
+            else:
+                stage_config = config.replace(engine=engine_name)
+                session = Session(stage_config, isolated=self.isolated)
+            for _ in range(retry.attempts):
+                state = (
+                    plan.activate(attempt=attempt_index)
+                    if plan is not None
+                    else None
+                )
+                try:
+                    with runtime_scope(state, timeout):
+                        site_check("run.start")
+                        payload = self._execute_once(session, spec)
+                except ReproError as exc:
+                    delay = retry.delay(attempt_index)
+                    attempts_log.append(
+                        {
+                            "attempt": attempt_index,
+                            "engine": engine_name,
+                            "code": getattr(type(exc), "code", "error"),
+                            "error": type(exc).__name__,
+                            "message": str(exc),
+                            "site": getattr(exc, "site", None),
+                            "replication": getattr(exc, "replication", None),
+                            "backoff": delay,
+                        }
+                    )
+                    last_exc = exc
+                    attempt_index += 1
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    continue
+                self.runs_completed += 1
+                execution = None
+                if attempts_log or stage > 0:
+                    execution = ExecutionRecord(
+                        engine=engine_name,
+                        degraded=stage > 0,
+                        attempts=tuple(attempts_log),
+                    )
+                return RunResult(
+                    spec=spec,
+                    config=config,
+                    payload=payload,
+                    execution=execution,
+                )
+        last_exc.error_document = ErrorDocument.capture(
+            last_exc, spec=spec, config=config
+        )
+        raise last_exc
 
     def run_many(
-        self, specs: Iterable[Union[ExperimentSpec, Mapping, str]]
-    ) -> list[RunResult]:
+        self,
+        specs: Iterable[Union[ExperimentSpec, Mapping, str]],
+        *,
+        fail_fast: bool = False,
+        checkpoint=None,
+    ):
         """Execute a batch of specs against the shared kernel tables.
 
         Runs execute in order under one config; every phase-kernel /
@@ -183,8 +329,73 @@ class Session:
         batched submission cheaper than cold per-run sessions — see
         the ``session_run_many`` section of
         ``benchmarks/bench_perf_engine.py``.
+
+        Returns a :class:`~repro.resilience.batch.BatchReport`: one
+        :class:`~repro.resilience.batch.SpecOutcome` per spec
+        (``succeeded`` / ``degraded`` / ``failed``), in submission
+        order.  Per-spec failures are captured as
+        :class:`~repro.resilience.document.ErrorDocument` entries
+        instead of raising, unless ``fail_fast=True``.  Iterating the
+        report yields the completed :class:`RunResult` objects, so
+        all-success batches behave like the historical list.
+
+        ``checkpoint`` names a JSONL journal file
+        (:class:`~repro.resilience.checkpoint.CheckpointJournal`):
+        completed specs are journaled as they finish, and a resumed
+        batch skips (and restores) every journaled fingerprint —
+        producing a report that serializes byte-identically to the
+        uninterrupted run's.
         """
-        return [self.run(spec) for spec in specs]
+        from ..resilience.batch import BatchReport, SpecOutcome
+        from ..resilience.checkpoint import CheckpointJournal
+        from ..resilience.document import ErrorDocument
+
+        normalized = [self._normalize_spec(spec) for spec in specs]
+        journal = completed = None
+        if checkpoint is not None:
+            journal = CheckpointJournal(checkpoint)
+            completed = journal.load()
+        outcomes = []
+        for spec in normalized:
+            token = None
+            if journal is not None:
+                token = fingerprint(
+                    {
+                        "spec": spec.to_dict(),
+                        "config": self.config.to_dict(),
+                    }
+                )
+                entry = completed.get(token)
+                if entry is not None:
+                    outcomes.append(
+                        SpecOutcome(
+                            spec=spec,
+                            status=entry["status"],
+                            result=RunResult.from_document(entry["result"]),
+                            restored=True,
+                        )
+                    )
+                    continue
+            try:
+                result = self.run(spec)
+            except ReproError as exc:
+                if fail_fast:
+                    raise
+                outcomes.append(
+                    SpecOutcome(
+                        spec=spec,
+                        status="failed",
+                        error=ErrorDocument.capture(
+                            exc, spec=spec, config=self.config
+                        ),
+                    )
+                )
+                continue
+            status = "degraded" if result.degraded else "succeeded"
+            outcomes.append(SpecOutcome(spec=spec, status=status, result=result))
+            if journal is not None:
+                journal.append(token, status, result.to_dict())
+        return BatchReport(tuple(outcomes))
 
     # -- introspection -------------------------------------------------
 

@@ -292,7 +292,9 @@ def get_experiment(name: str) -> Type[ExperimentSpec]:
     """Resolve a registered experiment name to its spec class."""
     spec_cls = _EXPERIMENTS.get(name)
     if spec_cls is None:
-        raise ModelError(
+        from ..errors import RegistryError
+
+        raise RegistryError(
             f"unknown experiment {name!r}; expected one of "
             f"{sorted(_EXPERIMENTS)}"
         )

@@ -45,11 +45,17 @@ from .api import (
     get_experiment,
     make_spec,
 )
-from .errors import ReproError
+from .errors import ModelError, ReproError
 from .experiments.reporting import format_kv, format_series, format_table
 from .workloads import PAPER_BUDGETS
 
-__all__ = ["main"]
+__all__ = ["main", "USER_ERROR_EXIT", "EXECUTION_ERROR_EXIT"]
+
+#: ``repro run`` exit codes: 2 = user error (bad experiment name,
+#: parameter, or config), 3 = execution failure (the run itself died).
+#: Legacy commands keep the historical blanket exit 1.
+USER_ERROR_EXIT = 2
+EXECUTION_ERROR_EXIT = 3
 
 
 # ---------------------------------------------------------------------------
@@ -63,7 +69,7 @@ def _parse_params(pairs: list[str]) -> dict:
     for pair in pairs:
         key, sep, raw = pair.partition("=")
         if not sep or not key:
-            raise SystemExit(
+            raise ModelError(
                 f"bad --param {pair!r}: expected key=value (e.g. "
                 "--param n_tasks=50 or --param confidences=[0.8,0.9])"
             )
@@ -99,21 +105,48 @@ def _cmd_experiments(args: argparse.Namespace) -> None:
             print(f"    --param {param}={json.dumps(default)}")
 
 
+def _fail(
+    args: argparse.Namespace, exc: ReproError, exit_code: int,
+    spec=None, config=None,
+) -> None:
+    """Structured ``repro run`` failure: with ``--json`` the error
+    document (code, spec/config, fingerprint, fault site, seed) goes to
+    stdout; either way the process exits with *exit_code*."""
+    from .resilience.document import ErrorDocument
+
+    if getattr(args, "json", False):
+        document = ErrorDocument.capture(exc, spec=spec, config=config)
+        print(document.to_json(indent=2))
+    else:
+        print(f"error: {exc}", file=sys.stderr)
+    raise SystemExit(exit_code)
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
-    if args.experiment not in available_experiments():
-        raise SystemExit(
-            f"unknown experiment {args.experiment!r}; run "
-            "`repro experiments` to list what is registered "
-            f"(available: {', '.join(available_experiments())})"
+    try:
+        faults = None
+        if args.faults:
+            try:
+                faults = json.loads(args.faults)
+            except json.JSONDecodeError:
+                faults = args.faults  # a registered plan name
+            from .resilience.faults import resolve_fault_plan
+
+            resolve_fault_plan(faults)  # unknown names are user errors
+        spec = make_spec(args.experiment, **_parse_params(args.param))
+        config = RunConfig(
+            engine=args.engine,
+            comparator=args.comparator,
+            seed=args.seed,
+            replications=args.replications,
+            faults=faults,
         )
-    spec = make_spec(args.experiment, **_parse_params(args.param))
-    config = RunConfig(
-        engine=args.engine,
-        comparator=args.comparator,
-        seed=args.seed,
-        replications=args.replications,
-    )
-    result = Session(config).run(spec)
+    except ReproError as exc:
+        _fail(args, exc, USER_ERROR_EXIT)
+    try:
+        result = Session(config).run(spec)
+    except ReproError as exc:
+        _fail(args, exc, EXECUTION_ERROR_EXIT, spec=spec, config=config)
     if args.json:
         print(result.to_json(indent=2))
         return
@@ -362,10 +395,19 @@ def build_parser() -> argparse.ArgumentParser:
         "support it)",
     )
     run.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault plan: a registered plan name or an "
+        'inline JSON document, e.g. \'{"rules": [{"site": '
+        '"engine.sample", "at": [0]}]}\' (see docs/robustness.md)',
+    )
+    run.add_argument(
         "--json",
         action="store_true",
         help="print the full RunResult document (spec, config, "
-        "fingerprint, payload)",
+        "fingerprint, payload); on failure, the structured error "
+        "document (exit 2 = bad spec/param, exit 3 = execution failure)",
     )
 
     sub.add_parser("table1", help="motivation examples (Table 1 / Fig 1)")

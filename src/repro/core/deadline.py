@@ -196,7 +196,9 @@ def min_cost_for_deadline(
     (:func:`repro.perf.reference.reference_min_cost_for_deadline`).
     """
     from ..perf.deadline import DeadlineKernel
+    from ..resilience.faults import site_check
 
+    site_check("comparator.min_cost", comparator="batched")
     if deadline <= 0:
         raise ModelError(f"deadline must be positive, got {deadline}")
     if not 0.0 < confidence < 1.0:
@@ -230,7 +232,9 @@ def min_cost_for_deadline_sweep(
     requested deadlines in their given order.
     """
     from ..perf.deadline import DeadlineKernel, processing_ceilings
+    from ..resilience.faults import site_check
 
+    site_check("comparator.min_cost", comparator="batched")
     if not 0.0 < confidence < 1.0:
         raise ModelError(f"confidence must be in (0,1), got {confidence}")
     deadlines = [float(d) for d in deadlines]

@@ -3,9 +3,18 @@
 All library-raised exceptions derive from :class:`ReproError` so callers
 can catch every library failure with a single ``except`` clause while
 still being able to distinguish the common failure categories.
+
+Every class carries a stable string :attr:`~ReproError.code` — the
+machine-readable failure category the resilience layer files error
+documents under (see :mod:`repro.resilience.document` and the error
+code table in ``docs/robustness.md``).  Codes are part of the public
+contract: they never change once shipped, so stored error documents
+stay classifiable across versions.
 """
 
 from __future__ import annotations
+
+from typing import ClassVar
 
 __all__ = [
     "ReproError",
@@ -15,15 +24,25 @@ __all__ = [
     "InferenceError",
     "SimulationError",
     "PlanError",
+    "RegistryError",
+    "FaultInjectedError",
+    "RunTimeoutError",
+    "CheckpointError",
+    "error_code",
 ]
 
 
 class ReproError(Exception):
     """Base class for all exceptions raised by the ``repro`` library."""
 
+    #: Stable machine-readable failure category (see module docstring).
+    code: ClassVar[str] = "error"
+
 
 class BudgetError(ReproError, ValueError):
     """Raised when a budget is malformed (non-integral, negative, ...)."""
+
+    code = "budget-invalid"
 
 
 class InfeasibleAllocationError(BudgetError):
@@ -33,6 +52,8 @@ class InfeasibleAllocationError(BudgetError):
     receive at least one payment unit; a budget smaller than the total
     number of repetitions is infeasible (Algorithm 1, line 2).
     """
+
+    code = "budget-infeasible"
 
     def __init__(self, budget: int, minimum_required: int) -> None:
         self.budget = int(budget)
@@ -46,14 +67,92 @@ class InfeasibleAllocationError(BudgetError):
 class ModelError(ReproError, ValueError):
     """Raised for invalid stochastic-model parameters (e.g. rate <= 0)."""
 
+    code = "model-invalid"
+
+
+class RegistryError(ModelError, LookupError):
+    """Raised when a name does not resolve in one of the registries.
+
+    Engines, comparators, experiments, workload families, and fault
+    plans all resolve strings through name registries; a miss raises
+    this (still a :class:`ModelError`, so existing handlers keep
+    working) with a message naming the available entries.
+    """
+
+    code = "registry-lookup"
+
 
 class InferenceError(ReproError, RuntimeError):
     """Raised when parameter inference cannot produce an estimate."""
+
+    code = "inference-failed"
 
 
 class SimulationError(ReproError, RuntimeError):
     """Raised for inconsistent simulator state or invalid event usage."""
 
+    code = "simulation-failed"
+
+
+class FaultInjectedError(SimulationError):
+    """Raised when an active :class:`repro.resilience.FaultPlan` fires.
+
+    Carries the fault coordinates (``site``, ``replication``,
+    ``occurrence``) so error documents can replay the exact failure.
+    """
+
+    code = "fault-injected"
+
+    def __init__(
+        self,
+        site: str,
+        replication=None,
+        occurrence: int = 0,
+        detail: str = "",
+    ) -> None:
+        self.site = site
+        self.replication = replication
+        self.occurrence = int(occurrence)
+        where = f"injected fault at site {site!r} (occurrence {occurrence}"
+        if replication is not None:
+            where += f", replication {replication}"
+        where += ")"
+        if detail:
+            where += f": {detail}"
+        super().__init__(where)
+
+
+class RunTimeoutError(ReproError, RuntimeError):
+    """Raised when a run exceeds its :class:`TimeoutPolicy` budget.
+
+    Timeouts are cooperative: the deadline is checked at the same
+    named sites faults inject at, so a run is only interrupted at a
+    point where its partial state can be discarded cleanly.
+    """
+
+    code = "timeout"
+
+    def __init__(self, seconds: float, site: str = "") -> None:
+        self.seconds = float(seconds)
+        self.site = site or None
+        at = f" at site {site!r}" if site else ""
+        super().__init__(
+            f"run exceeded its timeout budget of {seconds:g}s{at}"
+        )
+
 
 class PlanError(ReproError, ValueError):
     """Raised when a crowd-DB query plan is malformed or unexecutable."""
+
+    code = "plan-invalid"
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """Raised for unreadable or inconsistent checkpoint journals."""
+
+    code = "checkpoint-invalid"
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable code of *exc* (``"error"`` for non-library failures)."""
+    return getattr(type(exc), "code", None) or "error"

@@ -282,7 +282,12 @@ def run_budget_sweep(
     """
     unknown = [s for s in strategies if s not in STRATEGIES]
     if unknown:
-        raise ModelError(f"unknown strategies: {unknown}")
+        from ..errors import RegistryError
+
+        raise RegistryError(
+            f"unknown strategies: {unknown}; expected a subset of "
+            f"{sorted(STRATEGIES)}"
+        )
     if not budgets:
         raise ModelError("budget sweep needs at least one budget")
     builder, family = as_problem_family(workload)

@@ -25,6 +25,7 @@ from typing import Any, Mapping, Optional, Sequence
 import numpy as np
 
 from ..errors import ModelError, SimulationError
+from ..resilience.faults import abandonment_hook
 from ..stats.rng import RandomState, ensure_rng, spawn
 from .events import Event, EventKind, EventQueue
 from .pricing import PricingModel
@@ -471,6 +472,9 @@ class AgentSimulator:
         orders = list(orders)
         if not orders:
             raise SimulationError("job must contain at least one atomic task")
+        # Resolved once per run: None (zero per-acceptance cost) unless
+        # an active fault plan injects worker abandonment.
+        abandon = abandonment_hook()
         trace = recorder if recorder is not None else TraceRecorder()
         record = not getattr(trace, "is_null", False)
         queue = EventQueue()
@@ -539,6 +543,15 @@ class AgentSimulator:
                 )
                 chosen = open_tasks.choose(rng)
                 if chosen is None:
+                    continue
+                if abandon is not None and abandon():
+                    # Injected abandonment (the ``market.abandon``
+                    # fault site): the worker walks away from the task
+                    # they chose.  The task stays open for a later
+                    # arrival; no worker id is consumed and no
+                    # processing time is drawn, so the remaining RNG
+                    # stream is untouched — the lock-step engine skips
+                    # its acceptance identically.
                     continue
                 open_tasks.discard(chosen)
                 worker_id = self.pool.new_worker_id()

@@ -580,7 +580,9 @@ def get_deadline_comparator(
     if resolved is None:
         resolved = _builtin_comparator(comparator)
     if resolved is None:
-        raise ModelError(
+        from ..errors import RegistryError
+
+        raise RegistryError(
             f"unknown deadline comparator {comparator!r}; expected one of "
             f"{list(available_deadline_comparators())} or a callable"
         )

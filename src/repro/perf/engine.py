@@ -28,7 +28,8 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..errors import ModelError
+from ..errors import ModelError, RegistryError
+from ..resilience.faults import active_fault_state, site_check
 from ..stats.rng import RandomState
 from ..stats.rng import ensure_rng as _ensure_rng
 
@@ -106,15 +107,20 @@ class EvaluationEngine:
 
         A :class:`~repro.errors.SimulationError` raised inside one
         replication (e.g. ``max_sim_time`` exceeded) is re-raised with
-        its replication index prefixed, so callers can tell *which*
-        world failed regardless of the engine's execution order.
+        its replication index prefixed (and set as ``.replication``),
+        so callers can tell *which* world failed regardless of the
+        engine's execution order.
         """
         from ..errors import SimulationError
 
         if recorders is None:
             recorders = [None] * len(seeds)
+        fault_state = active_fault_state()
         results = []
         for k, (seed, rec) in enumerate(zip(seeds, recorders)):
+            site_check("market.replication", replication=k)
+            if fault_state is not None:
+                fault_state.enter_replication(k)
             try:
                 results.append(
                     simulator._run_job_with_rng(
@@ -123,7 +129,9 @@ class EvaluationEngine:
                     )
                 )
             except SimulationError as exc:
-                raise SimulationError(f"replication {k}: {exc}") from exc
+                wrapped = SimulationError(f"replication {k}: {exc}")
+                wrapped.replication = k
+                raise wrapped from exc
         return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -140,6 +148,7 @@ class ScalarEngine(EvaluationEngine):
     ) -> np.ndarray:
         from ..core.latency import _sample_job_latencies_scalar
 
+        site_check("engine.sample", engine=self.name)
         return _sample_job_latencies_scalar(
             problem, allocation, n_samples, rng, include_processing
         )
@@ -165,6 +174,7 @@ class BatchEngine(EvaluationEngine):
     ) -> np.ndarray:
         from .batch import sample_job_latencies_batch
 
+        site_check("engine.sample", engine=self.name)
         return sample_job_latencies_batch(
             problem,
             allocation,
@@ -225,7 +235,7 @@ def get_engine(engine: Union[str, EvaluationEngine, None]) -> EvaluationEngine:
 
     Accepts an engine instance (returned as-is), a registered name, or
     ``None`` (the default engine).  Unknown names raise
-    :class:`~repro.errors.ModelError` listing what is available.
+    :class:`~repro.errors.RegistryError` listing what is available.
     """
     if engine is None:
         engine = DEFAULT_ENGINE
@@ -233,7 +243,7 @@ def get_engine(engine: Union[str, EvaluationEngine, None]) -> EvaluationEngine:
         return engine
     resolved = _REGISTRY.get(engine)
     if resolved is None:
-        raise ModelError(
+        raise RegistryError(
             f"unknown engine {engine!r}; expected one of "
             f"{sorted(_REGISTRY)} or an EvaluationEngine instance"
         )

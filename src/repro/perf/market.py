@@ -52,6 +52,7 @@ from ..market.worker import (
     SoftmaxChoice,
     WorkerPool,
 )
+from ..resilience.faults import active_fault_state, site_check
 from ..stats.rng import ensure_rng
 from .engine import ScalarEngine, register_engine
 
@@ -144,6 +145,20 @@ def batch_agent_run_replications(
         recorders = [None] * R
     t0 = float(start_time)
     max_sim_time = simulator.max_sim_time
+
+    # Per-replication fault checks fire up front (the lock-step engine
+    # interleaves replications, but a replication-k fault aborts the
+    # whole fan-out either way — same error as the sequential path);
+    # injected worker abandonment shares the sequential path's
+    # per-replication counters, so trajectories stay engine-identical.
+    for k in range(R):
+        site_check("market.replication", replication=k)
+    fault_state = active_fault_state()
+    abandon_state = (
+        fault_state
+        if fault_state is not None and fault_state.has_abandon
+        else None
+    )
 
     # -- per-order constants (mirror the scalar loop's expressions) --
     n = len(orders)
@@ -425,6 +440,11 @@ def batch_agent_run_replications(
                         t_ts.append(tE_list[i])
             for r, s, t in zip(t_rs, t_ss, t_ts):
                 # -- acceptance --------------------------------------
+                if abandon_state is not None and abandon_state.abandon_fires(r):
+                    # Injected abandonment: the slot stays live (no
+                    # tombstone), no worker id, no processing draw —
+                    # exactly the scalar loop's skip.
+                    continue
                 slot_val[r, s] = dead_val
                 open_cnt[r] -= 1
                 at = acc_t[r] if trace_any else None

@@ -299,8 +299,10 @@ def reference_min_cost_for_deadline(
     """
     from ..core.deadline import DeadlineResult
     from ..core.problem import Allocation, HTuningProblem
+    from ..resilience.faults import site_check
     from ..stats.phase_type import hypoexponential_cdf
 
+    site_check("comparator.min_cost", comparator="reference")
     if deadline <= 0:
         raise ModelError(f"deadline must be positive, got {deadline}")
     if not 0.0 < confidence < 1.0:

@@ -1,0 +1,85 @@
+"""Append-only JSONL checkpoint journal for ``Session.run_many``.
+
+One line per completed spec::
+
+    {"fingerprint": "<16 hex>", "status": "succeeded", "result": {...}}
+
+``result`` is the full :meth:`~repro.api.session.RunResult.to_dict`
+document and ``status`` the batch outcome (``succeeded`` or
+``degraded``), so a resumed batch can reconstruct *exactly* the report
+entry the uninterrupted run would have produced — the golden test in
+``tests/resilience/test_checkpoint.py`` asserts the two serialize
+byte-identically.
+
+Lines are flushed and fsynced as they are appended; a process killed
+mid-write leaves at most one partial trailing line, which
+:meth:`CheckpointJournal.load` tolerates (everything before it is
+kept).  Any other malformed content raises
+:class:`~repro.errors.CheckpointError` rather than silently skipping
+completed work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Mapping, Union
+
+from ..errors import CheckpointError
+
+__all__ = ["CheckpointJournal"]
+
+_REQUIRED_KEYS = {"fingerprint", "status", "result"}
+
+
+class CheckpointJournal:
+    """The journal file behind ``Session.run_many(checkpoint=...)``."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def load(self) -> dict:
+        """Completed entries keyed by fingerprint (``{}`` if absent).
+
+        Tolerates exactly one partial trailing line (a mid-write
+        kill); earlier corruption raises :class:`CheckpointError`.
+        """
+        if not self.path.exists():
+            return {}
+        entries: dict = {}
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        last = len(lines) - 1
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                if index == last:
+                    break  # partial trailing line from a killed writer
+                raise CheckpointError(
+                    f"checkpoint {self.path}: malformed journal line "
+                    f"{index + 1} (not trailing — refusing to guess)"
+                ) from None
+            if not isinstance(entry, Mapping) or not _REQUIRED_KEYS <= set(
+                entry
+            ):
+                raise CheckpointError(
+                    f"checkpoint {self.path}: line {index + 1} is not a "
+                    f"journal entry (need keys {sorted(_REQUIRED_KEYS)})"
+                )
+            entries[entry["fingerprint"]] = dict(entry)
+        return entries
+
+    def append(self, fingerprint: str, status: str, result: dict) -> None:
+        """Durably journal one completed spec."""
+        line = json.dumps(
+            {"fingerprint": fingerprint, "status": status, "result": result},
+            sort_keys=True,
+        )
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())

@@ -1,0 +1,165 @@
+"""Structured, replayable error documents.
+
+Every failure the resilient executor sees is captured into an
+:class:`ErrorDocument` — a frozen JSON-serializable record carrying
+the stable error code, the serialized ``(spec, config)`` pair and its
+fingerprint, the seed, and (for simulator/fault failures) the fault
+site and replication index.  Because the config embeds the fault plan
+and policies, a failed run is reproducible from its document alone:
+:meth:`ErrorDocument.replay` rebuilds the spec and config and re-runs
+them, returning the document of the failure it reproduces.
+
+The executor attaches the document to the exception it re-raises (as
+``exc.error_document``), which is what the CLI serializes for
+``repro run --json`` failures and what :class:`~repro.resilience.batch.
+BatchReport` files per-spec failures under.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from ..errors import ReproError, error_code
+
+__all__ = ["ErrorDocument"]
+
+
+def _try(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+
+
+@dataclass(frozen=True)
+class ErrorDocument:
+    """One failure, fully addressed.
+
+    ``spec``/``config`` are the serialized documents (``None`` when the
+    failing value cannot serialize, e.g. a live generator seed);
+    ``fingerprint`` is the run address when both serialized.  ``site``,
+    ``replication`` and ``occurrence`` are present for fault-injected
+    and per-replication failures.
+    """
+
+    code: str
+    error: str
+    message: str
+    experiment: Optional[str] = None
+    spec: Optional[dict] = None
+    config: Optional[dict] = None
+    fingerprint: Optional[str] = None
+    seed: Optional[int] = None
+    site: Optional[str] = None
+    replication: Optional[int] = None
+    occurrence: Optional[int] = None
+
+    @classmethod
+    def capture(
+        cls, exc: BaseException, spec=None, config=None
+    ) -> "ErrorDocument":
+        """Build the document for *exc* raised running ``(spec, config)``.
+
+        Reuses the document the executor already attached when present
+        (so CLI and batch reporting agree byte-for-byte with the
+        executor's own account).
+        """
+        attached = getattr(exc, "error_document", None)
+        if isinstance(attached, cls):
+            return attached
+        spec_doc = _try(spec.to_dict) if spec is not None else None
+        config_doc = _try(config.to_dict) if config is not None else None
+        fingerprint_token = None
+        if spec_doc is not None and config_doc is not None:
+            from ..api.config import fingerprint
+
+            fingerprint_token = fingerprint(
+                {"spec": spec_doc, "config": config_doc}
+            )
+        replication = getattr(exc, "replication", None)
+        return cls(
+            code=error_code(exc),
+            error=type(exc).__name__,
+            message=str(exc),
+            experiment=getattr(spec, "name", None),
+            spec=spec_doc,
+            config=config_doc,
+            fingerprint=fingerprint_token,
+            seed=config_doc.get("seed") if config_doc else None,
+            site=getattr(exc, "site", None),
+            replication=(
+                int(replication) if replication is not None else None
+            ),
+            occurrence=getattr(exc, "occurrence", None),
+        )
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "error": self.error,
+            "message": self.message,
+            "experiment": self.experiment,
+            "spec": self.spec,
+            "config": self.config,
+            "fingerprint": self.fingerprint,
+            "seed": self.seed,
+            "site": self.site,
+            "replication": self.replication,
+            "occurrence": self.occurrence,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ErrorDocument":
+        from ..errors import ModelError
+
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ModelError(
+                f"unknown ErrorDocument keys {unknown}; expected a subset "
+                f"of {sorted(known)}"
+            )
+        return cls(**dict(payload))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ErrorDocument":
+        return cls.from_dict(json.loads(text))
+
+    # -- replay --------------------------------------------------------
+
+    def replay(self) -> "ErrorDocument":
+        """Re-run the failed ``(spec, config)`` pair and return the
+        reproduced failure's document.
+
+        Raises :class:`~repro.errors.ReproError` if the document lacks
+        a serialized spec/config, or if the re-run *succeeds* (the
+        stored failure was not deterministic — e.g. a wall-clock
+        timeout on a faster machine).
+        """
+        from ..api.config import RunConfig
+        from ..api.session import Session
+        from ..api.spec import ExperimentSpec
+        from ..errors import ModelError
+
+        if self.spec is None or self.config is None:
+            raise ModelError(
+                "error document carries no serialized spec/config; only "
+                "documents captured from serializable runs can replay"
+            )
+        spec = ExperimentSpec.from_dict(self.spec)
+        config = RunConfig.from_dict(self.config)
+        try:
+            Session(config).run(spec)
+        except ReproError as exc:
+            return ErrorDocument.capture(exc, spec=spec, config=config)
+        raise ModelError(
+            f"replay of {self.fingerprint or self.experiment} did not "
+            "reproduce the failure (the run succeeded)"
+        )

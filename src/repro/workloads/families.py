@@ -246,7 +246,9 @@ def get_family_builder(name: str) -> Callable[..., ProblemFamily]:
     """Resolve a registered family name to its builder."""
     builder = _FAMILY_REGISTRY.get(name)
     if builder is None:
-        raise ModelError(
+        from ..errors import RegistryError
+
+        raise RegistryError(
             f"unknown family {name!r}; expected one of "
             f"{sorted(_FAMILY_REGISTRY)}"
         )

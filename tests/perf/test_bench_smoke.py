@@ -50,6 +50,7 @@ def test_smoke_run_asserts_equivalence_and_speedup(bench, tmp_path):
     deadline = results["deadline_frontier"]
     market = results["agent_market_replications"]
     session = results["session_run_many"]
+    resilience = results["session_resilience"]
     assert mc["bit_identical"]
     assert dp["outputs_identical"]
     # The sweep bench raises internally if any one-pass allocation or
@@ -80,6 +81,11 @@ def test_smoke_run_asserts_equivalence_and_speedup(bench, tmp_path):
     # tables strictly removes work, so batched must not lose.
     assert session["outputs_identical"]
     assert session["speedup"] > 1.0
+    # The resilience bench raises internally if the armed executor's
+    # payloads diverge from the default fast path; arming the fault
+    # machinery (empty plan, live site checks) must stay cheap.
+    assert resilience["outputs_identical"]
+    assert resilience["overhead_pct"] < 5.0
 
 
 def test_sections_filter_runs_subset(bench):

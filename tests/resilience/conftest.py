@@ -1,0 +1,29 @@
+"""Shared fixtures for the resilience suite (tiny specs live in tiny.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RunConfig, Session
+
+from tiny import tiny_spec
+
+
+@pytest.fixture
+def fig2_spec():
+    return tiny_spec("fig2")
+
+
+@pytest.fixture
+def fig3_spec():
+    return tiny_spec("fig3")
+
+
+@pytest.fixture
+def run_tiny():
+    """Run one tiny experiment under *config* and return the result."""
+
+    def _run(name, config=None):
+        return Session(config or RunConfig()).run(tiny_spec(name))
+
+    return _run

@@ -1,0 +1,55 @@
+"""Domain-level fault mode: worker abandonment in the agent market.
+
+``market.abandon`` does not raise — an injected abandonment makes the
+arriving worker walk away from the task they just chose (the task stays
+open, no processing time is drawn, no worker id is consumed).  The
+contract under test: the scalar event loop and the lock-step
+``agent-batch`` engine consult the *same* per-replication acceptance
+counters, so an abandonment plan perturbs both engines identically.
+"""
+
+from __future__ import annotations
+
+from repro.api import RunConfig, Session
+
+from tiny import tiny_spec
+
+_PLAN = {"rules": [{"site": "market.abandon", "rate": 0.3}], "seed": 7}
+
+
+def _fig3_payload(engine, faults=None, replications=3):
+    config = RunConfig(engine=engine, faults=faults,
+                       replications=replications)
+    return Session(config).run(tiny_spec("fig3")).payload
+
+
+def test_abandonment_is_engine_identical():
+    scalar = _fig3_payload("scalar", faults=_PLAN)
+    lockstep = _fig3_payload("agent-batch", faults=_PLAN)
+    assert scalar == lockstep
+
+
+def test_abandonment_actually_perturbs_the_market():
+    clean = _fig3_payload("scalar")
+    faulted = _fig3_payload("scalar", faults=_PLAN)
+    assert clean != faulted
+
+
+def test_abandonment_is_seed_deterministic():
+    first = _fig3_payload("agent-batch", faults=_PLAN)
+    again = _fig3_payload("agent-batch", faults=_PLAN)
+    assert first == again
+    other_seed = dict(_PLAN, seed=8)
+    assert _fig3_payload("agent-batch", faults=other_seed) != first
+
+
+def test_targeted_replication_abandonment_is_engine_identical():
+    plan = {
+        "rules": [
+            {"site": "market.abandon", "at": [0, 2], "replication": 1}
+        ]
+    }
+    scalar = _fig3_payload("scalar", faults=plan)
+    lockstep = _fig3_payload("agent-batch", faults=plan)
+    assert scalar == lockstep
+    assert scalar != _fig3_payload("scalar")

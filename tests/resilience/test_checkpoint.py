@@ -1,0 +1,99 @@
+"""Checkpointed ``run_many``: kill-and-resume must be byte-identical."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import RunConfig, Session
+from repro.errors import CheckpointError
+from repro.resilience.checkpoint import CheckpointJournal
+
+from tiny import tiny_spec
+
+
+def _specs():
+    return [tiny_spec("fig2"), tiny_spec("fig3"), tiny_spec("fig4")]
+
+
+def test_resumed_batch_is_byte_identical(tmp_path):
+    full_path = tmp_path / "full.jsonl"
+    uninterrupted = Session(RunConfig()).run_many(
+        _specs(), checkpoint=full_path
+    )
+    golden = uninterrupted.to_json()
+
+    # Simulate a kill after two completed specs: truncate the journal.
+    lines = full_path.read_text().splitlines()
+    assert len(lines) == 3
+    partial_path = tmp_path / "partial.jsonl"
+    partial_path.write_text("\n".join(lines[:2]) + "\n")
+
+    resumed = Session(RunConfig()).run_many(_specs(), checkpoint=partial_path)
+    assert resumed.to_json() == golden
+    assert sum(1 for o in resumed.outcomes if o.restored) == 2
+    # the resumed run journaled the third spec: a second resume is a
+    # full restore and still byte-identical
+    re_resumed = Session(RunConfig()).run_many(
+        _specs(), checkpoint=partial_path
+    )
+    assert re_resumed.to_json() == golden
+    assert all(o.restored for o in re_resumed.outcomes)
+
+
+def test_restored_results_rebuild_run_results(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    first = Session(RunConfig()).run_many([tiny_spec("fig2")], checkpoint=path)
+    second = Session(RunConfig()).run_many(
+        [tiny_spec("fig2")], checkpoint=path
+    )
+    [restored] = second.results
+    [original] = first.results
+    # a restored result holds the JSON-form payload; the serialized
+    # documents (what any downstream consumer sees) are identical.
+    assert restored.fingerprint == original.fingerprint
+    assert restored.to_dict() == original.to_dict()
+    assert restored.to_dict()["payload"] == original.to_dict()["payload"]
+
+
+def test_partial_trailing_line_is_tolerated(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    Session(RunConfig()).run_many(_specs()[:2], checkpoint=path)
+    with open(path, "a") as handle:
+        handle.write('{"fingerprint": "dead', )  # killed mid-write
+    entries = CheckpointJournal(path).load()
+    assert len(entries) == 2
+
+
+def test_mid_file_corruption_raises(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    Session(RunConfig()).run_many(_specs()[:2], checkpoint=path)
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join([lines[0], "garbage", lines[1]]) + "\n")
+    with pytest.raises(CheckpointError, match="malformed journal line 2"):
+        CheckpointJournal(path).load()
+
+
+def test_non_entry_line_raises(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    path.write_text(json.dumps({"not": "an entry"}) + "\n" + "x\n")
+    with pytest.raises(CheckpointError, match="journal entry"):
+        CheckpointJournal(path).load()
+
+
+def test_missing_journal_loads_empty(tmp_path):
+    assert CheckpointJournal(tmp_path / "absent.jsonl").load() == {}
+
+
+def test_failed_specs_are_not_journaled_and_rerun(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    bad = RunConfig(faults={"rules": [{"site": "run.start", "at": [0]}]})
+    report = Session(bad).run_many([tiny_spec("fig2")], checkpoint=path)
+    assert not report.ok
+    # nothing durably completed
+    assert not path.exists() or path.read_text() == ""
+    # a rerun with the fault removed completes and journals
+    good = Session(RunConfig()).run_many([tiny_spec("fig2")], checkpoint=path)
+    assert good.ok
+    assert len(path.read_text().splitlines()) == 1

@@ -1,0 +1,77 @@
+"""CLI failure paths: distinct exit codes + structured ``--json`` errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import EXECUTION_ERROR_EXIT, USER_ERROR_EXIT, main
+from repro.resilience import ErrorDocument
+
+_FAULT = '{"rules": [{"site": "run.start", "at": [0]}]}'
+
+
+def _run(argv):
+    with pytest.raises(SystemExit) as exc:
+        main(argv)
+    return exc.value.code
+
+
+def test_unknown_experiment_is_a_user_error(capsys):
+    assert _run(["run", "warp-drive"]) == USER_ERROR_EXIT
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+    assert "fig2" in err  # names the available entries
+
+
+def test_bad_param_is_a_user_error(capsys):
+    assert _run(["run", "fig3", "--param", "nonsense"]) == USER_ERROR_EXIT
+    assert "error:" in capsys.readouterr().err
+
+
+def test_unknown_param_is_a_user_error(capsys):
+    assert _run(["run", "fig3", "--param", "bogus=1"]) == USER_ERROR_EXIT
+
+
+def test_unknown_fault_plan_name_is_a_user_error(capsys):
+    code = _run(["run", "fig3", "--param", "n_arrivals=3",
+                 "--faults", "no-such-plan"])
+    assert code == USER_ERROR_EXIT
+    assert "unknown fault plan" in capsys.readouterr().err
+
+
+def test_execution_failure_exits_three(capsys):
+    code = _run(["run", "fig3", "--param", "n_arrivals=3",
+                 "--faults", _FAULT])
+    assert code == EXECUTION_ERROR_EXIT
+    assert "injected fault" in capsys.readouterr().err
+
+
+def test_json_failure_emits_error_document(capsys):
+    code = _run(["run", "fig3", "--param", "n_arrivals=3",
+                 "--faults", _FAULT, "--json"])
+    assert code == EXECUTION_ERROR_EXIT
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["code"] == "fault-injected"
+    assert payload["site"] == "run.start"
+    assert payload["experiment"] == "fig3"
+    # the printed document is a full ErrorDocument: it round-trips and
+    # carries the spec/config needed to replay the failure offline.
+    doc = ErrorDocument.from_dict(payload)
+    assert doc.spec["experiment"] == "fig3"
+    assert doc.config["faults"]["rules"][0]["site"] == "run.start"
+    assert doc.fingerprint
+
+
+def test_json_user_error_emits_error_document(capsys):
+    code = _run(["run", "warp-drive", "--json"])
+    assert code == USER_ERROR_EXIT
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["code"] == "registry-lookup"
+    assert payload["spec"] is None  # failed before a spec existed
+
+
+def test_successful_run_still_exits_zero(capsys):
+    assert main(["run", "fig3", "--param", "n_arrivals=3"]) in (0, None)
+    assert "fig3" in capsys.readouterr().out

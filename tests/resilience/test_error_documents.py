@@ -1,0 +1,112 @@
+"""Structured error documents: the experiment × fault-site grid.
+
+The core robustness contract: *any* registered experiment failing at
+*any* instrumented site yields an :class:`ErrorDocument` that (a)
+round-trips through JSON and (b) replays to the same failure from the
+document alone.  ``run.start`` is reached by construction on every
+experiment; the other raising sites skip the cells an experiment's
+execution path genuinely never visits.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import RunConfig, Session, make_spec
+from repro.api.spec import available_experiments
+from repro.errors import ReproError, error_code
+from repro.resilience import ErrorDocument
+from repro.resilience.faults import FAULT_SITES
+
+from tiny import TINY_PARAMS
+
+#: the sites that raise (market.abandon perturbs instead; see
+#: test_abandonment.py).
+RAISING_SITES = tuple(s for s in FAULT_SITES if s != "market.abandon")
+
+
+def test_every_experiment_has_tiny_params():
+    assert set(TINY_PARAMS) == set(available_experiments())
+
+
+def _fault_config(site):
+    return RunConfig(faults={"rules": [{"site": site, "at": [0]}]})
+
+
+@pytest.mark.parametrize("site", RAISING_SITES)
+@pytest.mark.parametrize("experiment", sorted(TINY_PARAMS))
+def test_grid_failure_yields_replayable_document(experiment, site):
+    spec = make_spec(experiment, **TINY_PARAMS[experiment])
+    config = _fault_config(site)
+    try:
+        Session(config).run(spec)
+    except ReproError as exc:
+        doc = exc.error_document
+        code = error_code(exc)
+    else:
+        if site == "run.start":
+            pytest.fail("run.start must be reached by every experiment")
+        pytest.skip(f"{experiment} never reaches {site}")
+
+    assert isinstance(doc, ErrorDocument)
+    assert doc.code == "fault-injected" == code
+    assert doc.site == site
+    assert doc.occurrence == 0
+    assert doc.experiment == experiment
+    assert doc.spec == spec.to_dict()
+    assert doc.config == config.to_dict()
+    assert doc.fingerprint
+
+    # (a) lossless JSON round-trip.
+    assert ErrorDocument.from_json(doc.to_json()) == doc
+    assert json.loads(doc.to_json())["code"] == "fault-injected"
+
+    # (b) the document alone reproduces the identical failure.
+    replayed = ErrorDocument.from_json(doc.to_json()).replay()
+    assert replayed == doc
+
+
+def test_document_for_unserializable_seed_omits_spec(fig2_spec):
+    import numpy as np
+
+    config = RunConfig(
+        seed=np.random.default_rng(0),
+        faults={"rules": [{"site": "run.start", "at": [0]}]},
+    )
+    with pytest.raises(ReproError) as exc:
+        Session(config).run(fig2_spec)
+    doc = exc.value.error_document
+    assert doc.code == "fault-injected"
+    assert doc.config is None  # generator seeds cannot serialize
+    assert doc.fingerprint is None
+    with pytest.raises(ReproError, match="replay"):
+        doc.replay()
+
+
+def test_capture_of_plain_exception():
+    doc = ErrorDocument.capture(ValueError("boom"))
+    assert doc.code == "error"
+    assert doc.error == "ValueError"
+    assert doc.message == "boom"
+    assert doc.spec is None and doc.config is None
+
+
+def test_from_dict_rejects_unknown_keys():
+    from repro.errors import ModelError
+
+    with pytest.raises(ModelError, match="unknown ErrorDocument keys"):
+        ErrorDocument.from_dict({"code": "x", "error": "E", "message": "m",
+                                 "bogus": 1})
+
+
+def test_registry_failures_carry_stable_codes():
+    from repro.errors import RegistryError
+    from repro.perf.engine import get_engine
+
+    with pytest.raises(RegistryError) as exc:
+        get_engine("warp-drive")
+    assert error_code(exc.value) == "registry-lookup"
+    # the message names the available entries
+    assert "scalar" in str(exc.value)

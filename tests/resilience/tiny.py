@@ -1,0 +1,39 @@
+"""Tiny per-experiment parameter sets for the resilience suite.
+
+``TINY_PARAMS`` gives every registered experiment a parameter set small
+enough that a fault-injection grid over all (experiment, site) cells
+stays tier-1 cheap.  The completeness guard in
+``test_error_documents.py`` fails when a new experiment registers
+without a tiny entry, so the grid can never silently lose coverage.
+"""
+
+from __future__ import annotations
+
+from repro.api import make_spec
+
+#: experiment name -> smallest sensible parameter overrides.
+TINY_PARAMS = {
+    "table1": {},
+    "fig2": {"n_tasks": 4, "n_samples": 20, "budgets": [800]},
+    "fig3": {"n_arrivals": 3},
+    "fig4": {"prices": [5, 8], "repetitions": 2},
+    "fig5ab": {
+        "vote_counts": [4],
+        "prices": [5],
+        "repetitions": 2,
+        "n_tasks": 2,
+    },
+    "fig5c": {"budgets": [600], "n_samples": 20},
+    "deadline-frontier": {"n_tasks": 5, "n_deadlines": 2, "max_price": 8},
+    "budget-sweep": {
+        "n_tasks": 4,
+        "budgets": [600],
+        "strategies": ["ra"],
+        "n_samples": 20,
+    },
+    "deadline-sweep": {"n_tasks": 4, "deadlines": [5.0], "max_price": 8},
+}
+
+
+def tiny_spec(name):
+    return make_spec(name, **TINY_PARAMS[name])
