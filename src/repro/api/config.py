@@ -29,10 +29,18 @@ frozen, serializable object:
   one attempt, no fallback.
 * **timeout** — a :class:`~repro.resilience.TimeoutPolicy` (or bare
   seconds) checked cooperatively at the fault sites.
+* **executor** — where ``Session.run_many`` batches execute: ``None``
+  (the historical inline loop), a name registered in
+  :mod:`repro.exec` (``"serial"`` / ``"process"``), or an
+  :class:`~repro.exec.Executor` instance.
 
 The three resilience fields serialize **only when set**, so default
 configs — and therefore every pre-existing fingerprint — are
-unchanged.
+unchanged.  ``executor`` never serializes at all: it is orchestration,
+not run identity — the same ``(spec, config)`` pair produces the same
+payload on every executor, and keeping it out of :meth:`to_dict` is
+what makes serial and process runs share fingerprints, checkpoint
+entries, and golden documents byte-for-byte.
 
 ``RunConfig.resolve()`` is the **single place** ``None`` defaulting
 happens: it delegates to :func:`repro.perf.engine.resolve_engine` and
@@ -95,6 +103,7 @@ class RunConfig:
     faults: Union[str, Mapping, None, object] = None
     retry: Union[Mapping, None, object] = None
     timeout: Union[int, float, Mapping, None, object] = None
+    executor: Union[str, None, object] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.replications, (int, np.integer)) or isinstance(
@@ -148,6 +157,14 @@ class RunConfig:
                 f"timeout must be seconds, a TimeoutPolicy, its dict form, "
                 f"or None — got {self.timeout!r}"
             )
+        if self.executor is not None and not (
+            isinstance(self.executor, str)
+            or hasattr(self.executor, "run_tasks")
+        ):
+            raise ModelError(
+                f"executor must be a registered executor name, an Executor "
+                f"instance, or None — got {self.executor!r}"
+            )
 
     # -- resolution ----------------------------------------------------
 
@@ -188,7 +205,11 @@ class RunConfig:
         members (engine/comparator instances resolve to their
         registered names, generator seeds cannot be serialized).  The
         resilience fields are emitted only when set, so default configs
-        keep their historical five-key layout and fingerprints."""
+        keep their historical five-key layout and fingerprints.  The
+        ``executor`` field is deliberately never emitted: payloads are
+        executor-invariant, so where a run executes must not change its
+        fingerprint or its wire document (a worker receiving this dict
+        runs inline — no recursive pool)."""
         out = {
             "engine": _engine_token(self.engine),
             "comparator": _comparator_token(self.comparator),

@@ -90,10 +90,13 @@ class RunResult:
     be fingerprinted.
 
     ``execution`` is the resilience layer's
-    :class:`~repro.resilience.policy.ExecutionRecord` — set only when
-    the executor did something non-default (retried, degraded onto a
-    fallback engine), so default-path documents keep their historical
-    layout byte-for-byte.
+    :class:`~repro.resilience.policy.ExecutionRecord`.  Every
+    :meth:`Session.run` attaches one (it always carries the run's
+    ``started_at``/``elapsed`` timing), but it only *serializes* when
+    the record is significant — the executor retried or degraded onto
+    a fallback engine — so default-path documents keep their
+    historical layout byte-for-byte; ``to_dict(include_timing=True)``
+    (the ``repro run --json`` path) opts the timing in.
     """
 
     spec: ExperimentSpec
@@ -117,9 +120,11 @@ class RunResult:
         the payload."""
         return bool(self.execution is not None and self.execution.degraded)
 
-    def to_dict(self) -> dict:
+    def to_dict(self, include_timing: bool = False) -> dict:
         """JSON-able document: spec + config + fingerprint + payload
-        (+ ``execution`` when the resilient executor recorded one)."""
+        (+ ``execution`` when the resilient executor recorded
+        something non-default, or ``include_timing=True`` opts the
+        always-present wall-clock record in)."""
         out = {
             "experiment": self.experiment,
             "spec": self.spec.to_dict(),
@@ -127,12 +132,22 @@ class RunResult:
             "fingerprint": self.fingerprint,
             "payload": payload_to_jsonable(self.payload),
         }
-        if self.execution is not None:
-            out["execution"] = self.execution.to_dict()
+        if self.execution is not None and (
+            include_timing or self.execution.significant
+        ):
+            out["execution"] = self.execution.to_dict(
+                include_timing=include_timing
+            )
         return out
 
-    def to_json(self, indent: Optional[int] = None) -> str:
-        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+    def to_json(
+        self, indent: Optional[int] = None, include_timing: bool = False
+    ) -> str:
+        return json.dumps(
+            self.to_dict(include_timing=include_timing),
+            sort_keys=True,
+            indent=indent,
+        )
 
     @classmethod
     def from_document(cls, document: Mapping) -> "RunResult":
@@ -220,10 +235,24 @@ class Session:
             and config.timeout is None
         ):
             # Fast path: nothing to inject, nothing to retry — one
-            # direct execution, exactly the pre-resilience behavior.
+            # direct execution, exactly the pre-resilience behavior
+            # (the timing-only ExecutionRecord never serializes by
+            # default, so documents are unchanged).
+            from ..resilience.policy import ExecutionRecord
+
+            started_at = time.time()
+            t0 = time.monotonic()
             payload = self._execute_once(self, spec)
+            elapsed = time.monotonic() - t0
             self.runs_completed += 1
-            return RunResult(spec=spec, config=config, payload=payload)
+            return RunResult(
+                spec=spec,
+                config=config,
+                payload=payload,
+                execution=ExecutionRecord(
+                    started_at=started_at, elapsed=elapsed
+                ),
+            )
         return self._run_resilient(spec)
 
     def _execute_once(self, session: "Session", spec: ExperimentSpec):
@@ -260,6 +289,8 @@ class Session:
         attempts_log: list[dict] = []
         attempt_index = 0
         last_exc: Optional[ReproError] = None
+        started_at = time.time()
+        t0 = time.monotonic()
         for stage, engine_name in enumerate(stages):
             if stage == 0:
                 session, stage_config = self, config
@@ -296,18 +327,17 @@ class Session:
                         time.sleep(delay)
                     continue
                 self.runs_completed += 1
-                execution = None
-                if attempts_log or stage > 0:
-                    execution = ExecutionRecord(
-                        engine=engine_name,
-                        degraded=stage > 0,
-                        attempts=tuple(attempts_log),
-                    )
                 return RunResult(
                     spec=spec,
                     config=config,
                     payload=payload,
-                    execution=execution,
+                    execution=ExecutionRecord(
+                        engine=engine_name,
+                        degraded=stage > 0,
+                        attempts=tuple(attempts_log),
+                        started_at=started_at,
+                        elapsed=time.monotonic() - t0,
+                    ),
                 )
         last_exc.error_document = ErrorDocument.capture(
             last_exc, spec=spec, config=config
@@ -320,6 +350,7 @@ class Session:
         *,
         fail_fast: bool = False,
         checkpoint=None,
+        executor=None,
     ):
         """Execute a batch of specs against the shared kernel tables.
 
@@ -345,12 +376,29 @@ class Session:
         batch skips (and restores) every journaled fingerprint —
         producing a report that serializes byte-identically to the
         uninterrupted run's.
+
+        ``executor`` (or ``config.executor``) fans the batch across an
+        executor from the :mod:`repro.exec` registry — ``"serial"``
+        exercises the wire format in-process, ``"process"`` runs the
+        supervised worker pool (crash recovery, straggler requeue,
+        degradation to serial; see :mod:`repro.exec.process`).
+        ``None`` keeps the historical inline loop.  Payloads are
+        executor-invariant, so the returned report serializes
+        byte-identically whichever path ran it; supervisor
+        observability lands in :attr:`BatchReport.events` and as
+        ``{"event": ...}`` audit lines in the checkpoint journal.
         """
         from ..resilience.batch import BatchReport, SpecOutcome
         from ..resilience.checkpoint import CheckpointJournal
         from ..resilience.document import ErrorDocument
 
         normalized = [self._normalize_spec(spec) for spec in specs]
+        if executor is None:
+            executor = self.config.executor
+        if executor is not None:
+            return self._run_many_executor(
+                normalized, executor, fail_fast=fail_fast, checkpoint=checkpoint
+            )
         journal = completed = None
         if checkpoint is not None:
             journal = CheckpointJournal(checkpoint)
@@ -396,6 +444,114 @@ class Session:
             if journal is not None:
                 journal.append(token, status, result.to_dict())
         return BatchReport(tuple(outcomes))
+
+    def _run_many_executor(
+        self, specs: list, executor, *, fail_fast: bool, checkpoint
+    ):
+        """The ``run_many`` fan-out path: wire tasks on an executor.
+
+        Each spec becomes an :class:`~repro.exec.ExecTask` carrying the
+        serialized ``(spec, config)`` pair; completed tasks come back
+        as result documents and are restored with
+        :meth:`RunResult.from_document` — the byte-identity inverse —
+        so the merged report serializes exactly like the inline loop's.
+        Checkpointing and resume share the inline path's journal
+        format; supervisor events are appended both to the report and
+        (as skip-on-load audit lines) to the journal.
+        """
+        from ..exec import ExecTask, resolve_executor
+        from ..resilience.batch import BatchReport, SpecOutcome
+        from ..resilience.checkpoint import CheckpointJournal
+        from ..resilience.document import ErrorDocument
+        from ..errors import RemoteTaskError
+
+        resolved = resolve_executor(executor)
+        config_doc = self.config.to_dict()  # wire format: must serialize
+        journal = completed = None
+        if checkpoint is not None:
+            journal = CheckpointJournal(checkpoint)
+            completed = journal.load()
+
+        outcomes: list = [None] * len(specs)
+        tasks = []
+        for index, spec in enumerate(specs):
+            token = fingerprint(
+                {"spec": spec.to_dict(), "config": config_doc}
+            )
+            if journal is not None:
+                entry = completed.get(token)
+                if entry is not None:
+                    outcomes[index] = SpecOutcome(
+                        spec=spec,
+                        status=entry["status"],
+                        result=RunResult.from_document(entry["result"]),
+                        restored=True,
+                    )
+                    continue
+            tasks.append(
+                ExecTask(
+                    index=index,
+                    kind="run",
+                    spec=spec.to_dict(),
+                    config=config_doc,
+                    fingerprint=token,
+                )
+            )
+
+        events: list = []
+
+        def on_event(event: dict) -> None:
+            events.append(dict(event))
+            if journal is not None:
+                journal.append_event(event)
+
+        def on_complete(task, outcome) -> None:
+            if journal is not None and outcome.ok:
+                journal.append(task.fingerprint, outcome.status, outcome.result)
+
+        task_outcomes = resolved.run_tasks(
+            tasks,
+            fail_fast=fail_fast,
+            faults=self.config.faults,
+            retry=self.config.retry,
+            timeout=self.config.timeout,
+            on_complete=on_complete,
+            on_event=on_event,
+        )
+        self.runs_completed += sum(1 for o in task_outcomes if o.ok)
+
+        first_error = None
+        for outcome in task_outcomes:
+            spec = specs[outcome.index]
+            if outcome.ok:
+                outcomes[outcome.index] = SpecOutcome(
+                    spec=spec,
+                    status=outcome.status,
+                    result=RunResult.from_document(outcome.result),
+                )
+            else:
+                error = ErrorDocument.from_dict(outcome.error)
+                if first_error is None:
+                    first_error = error
+                outcomes[outcome.index] = SpecOutcome(
+                    spec=spec, status="failed", error=error
+                )
+        if fail_fast and first_error is not None:
+            exc = RemoteTaskError(
+                f"batch task failed on executor {resolved.name!r}: "
+                f"{first_error.message}"
+            )
+            exc.error_document = first_error
+            raise exc
+        missing = [i for i, o in enumerate(outcomes) if o is None]
+        if missing:
+            # fail_fast executors may stop dispatching after a failure;
+            # without fail_fast every task must come back.
+            raise ModelError(
+                f"executor {resolved.name!r} returned no outcome for "
+                f"tasks {missing}"
+            )
+        return BatchReport(tuple(outcomes), events=tuple(events))
 
     # -- introspection -------------------------------------------------
 

@@ -294,10 +294,7 @@ def get_experiment(name: str) -> Type[ExperimentSpec]:
     if spec_cls is None:
         from ..errors import RegistryError
 
-        raise RegistryError(
-            f"unknown experiment {name!r}; expected one of "
-            f"{sorted(_EXPERIMENTS)}"
-        )
+        raise RegistryError.unknown("experiment", name, _EXPERIMENTS)
     return spec_cls
 
 

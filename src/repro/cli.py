@@ -148,11 +148,90 @@ def _cmd_run(args: argparse.Namespace) -> None:
     except ReproError as exc:
         _fail(args, exc, EXECUTION_ERROR_EXIT, spec=spec, config=config)
     if args.json:
-        print(result.to_json(indent=2))
+        print(result.to_json(indent=2, include_timing=True))
         return
     print(f"experiment:  {result.experiment}")
     print(f"fingerprint: {result.fingerprint}")
     print(json.dumps(result.to_dict()["payload"], indent=2, sort_keys=True))
+
+
+def _cmd_run_many(args: argparse.Namespace) -> None:
+    """Batch execution with checkpointing and executor fan-out.
+
+    Positional arguments are registered experiment names (default
+    params) or inline spec JSON documents; the whole batch shares one
+    config.  Exit contract matches ``run``: 2 for user errors (bad
+    names, params, executor), 3 when any spec's execution failed.
+    """
+    try:
+        faults = None
+        if args.faults:
+            try:
+                faults = json.loads(args.faults)
+            except json.JSONDecodeError:
+                faults = args.faults
+            from .resilience.faults import resolve_fault_plan
+
+            resolve_fault_plan(faults)  # unknown names are user errors
+        executor = args.executor
+        if executor is not None:
+            from .exec import ProcessExecutor, get_executor
+
+            if executor == "process" and args.workers is not None:
+                executor = ProcessExecutor(workers=args.workers)
+            else:
+                executor = get_executor(executor)
+        specs = []
+        for entry in args.experiment:
+            if entry.lstrip().startswith("{"):
+                specs.append(json.loads(entry))
+            else:
+                specs.append(make_spec(entry))
+        config = RunConfig(
+            engine=args.engine,
+            comparator=args.comparator,
+            seed=args.seed,
+            replications=args.replications,
+            faults=faults,
+            retry=(
+                {"attempts": args.attempts}
+                if args.attempts is not None
+                else None
+            ),
+            timeout=args.timeout,
+        )
+    except (ReproError, json.JSONDecodeError) as exc:
+        if isinstance(exc, json.JSONDecodeError):
+            exc = ModelError(f"bad inline spec document: {exc}")
+        _fail(args, exc, USER_ERROR_EXIT)
+    try:
+        report = Session(config).run_many(
+            specs,
+            fail_fast=args.fail_fast,
+            checkpoint=args.checkpoint,
+            executor=executor,
+        )
+    except ReproError as exc:
+        _fail(args, exc, EXECUTION_ERROR_EXIT, config=config)
+    if args.json:
+        print(
+            json.dumps(
+                report.to_dict(include_events=True), indent=2, sort_keys=True
+            )
+        )
+    else:
+        for outcome in report.outcomes:
+            label = getattr(outcome.spec, "name", "?")
+            marker = "*" if outcome.restored else " "
+            print(f"{label:20s} {outcome.status}{marker}")
+        print(
+            f"total {len(report)}  succeeded {len(report.succeeded)}  "
+            f"degraded {len(report.degraded)}  failed {len(report.failed)}"
+        )
+        if report.events:
+            print(f"supervisor events: {len(report.events)}")
+    if not report.ok:
+        raise SystemExit(EXECUTION_ERROR_EXIT)
 
 
 # ---------------------------------------------------------------------------
@@ -328,6 +407,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "fig5c": _cmd_fig5c,
     "deadline": _cmd_deadline,
     "run": _cmd_run,
+    "run-many": _cmd_run_many,
     "experiments": _cmd_experiments,
 }
 
@@ -406,8 +486,92 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the full RunResult document (spec, config, "
-        "fingerprint, payload); on failure, the structured error "
-        "document (exit 2 = bad spec/param, exit 3 = execution failure)",
+        "fingerprint, payload, execution timing); on failure, the "
+        "structured error document (exit 2 = bad spec/param, exit 3 = "
+        "execution failure)",
+    )
+
+    from .exec import available_executors
+
+    run_many = sub.add_parser(
+        "run-many",
+        help="run a batch of experiments with checkpointing and an "
+        "optional parallel executor (repro run-many fig2 fig3 "
+        "--checkpoint batch.jsonl --executor process)",
+    )
+    run_many.add_argument(
+        "experiment",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help="registered experiment names (default params) and/or "
+        "inline spec JSON documents",
+    )
+    run_many.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="JSONL journal: completed specs are recorded as they "
+        "finish, and a rerun resumes from it byte-identically",
+    )
+    run_many.add_argument(
+        "--executor",
+        default=None,
+        help="where the batch executes (registry-resolved; registered: "
+        f"{', '.join(available_executors())}); default: inline serial "
+        "loop",
+    )
+    run_many.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-pool size for --executor process",
+    )
+    run_many.add_argument(
+        "--engine",
+        default=None,
+        help="evaluation/replication engine name (registry-resolved)",
+    )
+    run_many.add_argument(
+        "--comparator",
+        default=None,
+        help="deadline comparator name (registry-resolved)",
+    )
+    run_many.add_argument(
+        "--replications",
+        type=int,
+        default=1,
+        help="independent seeded worlds per cell",
+    )
+    run_many.add_argument(
+        "--attempts",
+        type=int,
+        default=None,
+        help="retry attempts per run (also the supervisor's per-task "
+        "requeue budget under --executor process)",
+    )
+    run_many.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="cooperative per-attempt timeout in seconds (also the "
+        "supervisor's straggler deadline under --executor process)",
+    )
+    run_many.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault plan (registered name or inline JSON; "
+        "worker.* sites drive the process supervisor)",
+    )
+    run_many.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop at the first failing spec and exit 3",
+    )
+    run_many.add_argument(
+        "--json",
+        action="store_true",
+        help="print the BatchReport document including supervisor events",
     )
 
     sub.add_parser("table1", help="motivation examples (Table 1 / Fig 1)")
@@ -497,7 +661,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
-        for name in sorted(set(_COMMANDS) - {"run", "experiments"}):
+        for name in sorted(set(_COMMANDS) - {"run", "run-many", "experiments"}):
             print(name)
         return 0
     if args.command == "all":

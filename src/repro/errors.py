@@ -14,7 +14,8 @@ stay classifiable across versions.
 
 from __future__ import annotations
 
-from typing import ClassVar
+import difflib
+from typing import ClassVar, Iterable
 
 __all__ = [
     "ReproError",
@@ -28,6 +29,8 @@ __all__ = [
     "FaultInjectedError",
     "RunTimeoutError",
     "CheckpointError",
+    "WorkerCrashError",
+    "RemoteTaskError",
     "error_code",
 ]
 
@@ -73,13 +76,39 @@ class ModelError(ReproError, ValueError):
 class RegistryError(ModelError, LookupError):
     """Raised when a name does not resolve in one of the registries.
 
-    Engines, comparators, experiments, workload families, and fault
-    plans all resolve strings through name registries; a miss raises
-    this (still a :class:`ModelError`, so existing handlers keep
-    working) with a message naming the available entries.
+    Engines, comparators, experiments, workload families, fault plans,
+    and executors all resolve strings through name registries; a miss
+    raises this (still a :class:`ModelError`, so existing handlers keep
+    working) with a message naming the available entries and — when the
+    miss looks like a typo — the closest registered name.
     """
 
     code = "registry-lookup"
+
+    @classmethod
+    def unknown(
+        cls,
+        kind: str,
+        name: object,
+        available: Iterable[str],
+        hint: str = "",
+    ) -> "RegistryError":
+        """The canonical registry-miss error for *kind*.
+
+        Builds the shared message shape every registry uses —
+        ``unknown <kind> <name!r>; expected one of [...]`` — appending
+        a difflib-based *did you mean* suggestion when *name* is close
+        to a registered entry, and *hint* (e.g. "or an
+        EvaluationEngine instance") when given.
+        """
+        entries = sorted(str(entry) for entry in available)
+        message = f"unknown {kind} {name!r}; expected one of {entries}"
+        if hint:
+            message += f" {hint}"
+        close = difflib.get_close_matches(str(name), entries, n=1, cutoff=0.6)
+        if close:
+            message += f" — did you mean {close[0]!r}?"
+        return cls(message)
 
 
 class InferenceError(ReproError, RuntimeError):
@@ -139,6 +168,43 @@ class RunTimeoutError(ReproError, RuntimeError):
         super().__init__(
             f"run exceeded its timeout budget of {seconds:g}s{at}"
         )
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """Raised when a pool worker process dies under a task.
+
+    The supervisor in :class:`repro.exec.ProcessExecutor` detects the
+    death (nonzero exit code, lost pipe, stalled heartbeat), requeues
+    the task up to ``RetryPolicy.attempts`` times, and raises/records
+    this only once the retry budget is exhausted.  ``site`` mirrors the
+    fault-site vocabulary (``worker.task`` / ``worker.spawn``).
+    """
+
+    code = "worker-crashed"
+
+    def __init__(
+        self,
+        message: str,
+        worker: int | None = None,
+        exit_code: int | None = None,
+        site: str = "worker.task",
+    ) -> None:
+        self.worker = worker
+        self.exit_code = exit_code
+        self.site = site
+        super().__init__(message)
+
+
+class RemoteTaskError(ReproError, RuntimeError):
+    """A task shipped to a worker failed remotely.
+
+    Raised in the parent for ``fail_fast`` batches and sharded
+    replication runs when the remote failure class cannot be rebuilt
+    locally; the worker's structured account is attached as
+    ``error_document``.
+    """
+
+    code = "remote-task-failed"
 
 
 class PlanError(ReproError, ValueError):

@@ -1,0 +1,162 @@
+"""Replication-ensemble sharding with a bit-identical merge.
+
+A replication ensemble is R seeded worlds drawn from one base seed via
+:func:`repro.stats.rng.replication_seeds` — the *public* seed protocol
+every engine shares.  Because the per-replication seeds are materialized
+up front, the ensemble splits into contiguous shards that can run
+anywhere: each shard is handed its seed slice plus the **global offset**
+of its first replication, the engines thread that offset into fault
+coordinates and error labels (``replication_offset=``), and the merge
+at finalize is plain concatenation in offset order.
+
+Identity contract (certified in
+``tests/exec/test_replication_sharding.py``):
+
+* ``executor=None`` (in-process sharding) is **fully bit-identical** to
+  the unsharded sequential run for every engine and shard count —
+  including process-local task ``uid`` / ``worker_id`` counters, which
+  keep advancing in replication order exactly as one sequential pass
+  would advance them.
+* A process executor runs shards in separate interpreters, so those
+  global counters restart per worker: results are
+  **trajectory-identical** (same events, times, costs, answers) with
+  ids matching modulo a per-shard constant — the same relative-id
+  contract ``tests/perf/test_market_replications.py`` established for
+  engine comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ModelError, RemoteTaskError
+from .base import ExecTask, resolve_executor
+from .worker import run_replication_shard
+
+__all__ = ["split_replications", "sharded_run_replications"]
+
+
+def split_replications(n: int, shards: int) -> list:
+    """Contiguous near-equal ``(offset, count)`` slices of ``range(n)``.
+
+    The first ``n % shards`` shards carry one extra replication; empty
+    shards are dropped, so every returned slice is non-empty and the
+    counts sum to *n*.
+    """
+    if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+        raise ModelError(f"replication count must be an int >= 1, got {n!r}")
+    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+        raise ModelError(f"shards must be an int >= 1, got {shards!r}")
+    shards = min(shards, n)
+    base, extra = divmod(n, shards)
+    bounds = []
+    offset = 0
+    for shard in range(shards):
+        count = base + (1 if shard < extra else 0)
+        bounds.append((offset, count))
+        offset += count
+    return bounds
+
+
+def sharded_run_replications(
+    simulator,
+    orders,
+    seeds,
+    *,
+    engine=None,
+    shards: int = 2,
+    executor=None,
+    recorders=None,
+    start_time: float = 0.0,
+    **run_kwargs,
+) -> list:
+    """Run a replication ensemble in contiguous shards and merge.
+
+    ``seeds`` is the full ensemble's seed list (normally
+    ``replication_seeds(seed, R)``); each shard receives its slice plus
+    its global ``replication_offset``.  With ``executor=None`` the
+    shards run in-process (bit-identical to the sequential ensemble);
+    with an executor name/instance the shards become ``call`` tasks on
+    that executor — crash recovery, straggler requeue and degradation
+    apply per shard, and a shard whose retries exhaust raises
+    :class:`~repro.errors.RemoteTaskError`.
+
+    ``recorders`` are only supported in-process: a recorder mutated in
+    a child process never reaches the caller, so handing recorders to a
+    remote executor raises instead of silently dropping traces.
+    """
+    from ..perf.engine import resolve_engine
+
+    seeds = list(seeds)
+    resolved_engine = resolve_engine(engine)
+    bounds = split_replications(len(seeds), shards)
+
+    if executor is None:
+        if recorders is not None:
+            recorders = list(recorders)
+        results: list = []
+        for offset, count in bounds:
+            shard_recorders = (
+                recorders[offset:offset + count]
+                if recorders is not None
+                else None
+            )
+            results.extend(
+                resolved_engine.run_replications(
+                    simulator,
+                    orders,
+                    seeds[offset:offset + count],
+                    shard_recorders,
+                    start_time,
+                    replication_offset=offset,
+                    **run_kwargs,
+                )
+            )
+        return results
+
+    if recorders is not None:
+        raise ModelError(
+            "recorders cannot cross process boundaries; run recorded "
+            "ensembles with executor=None (in-process sharding)"
+        )
+    executor = resolve_executor(executor)
+    tasks = [
+        ExecTask(
+            index=shard_index,
+            kind="call",
+            call=(
+                run_replication_shard,
+                (
+                    simulator,
+                    orders,
+                    seeds[offset:offset + count],
+                    offset,
+                    resolved_engine.name,
+                    start_time,
+                ),
+                {"run_kwargs": dict(run_kwargs)} if run_kwargs else {},
+            ),
+        )
+        for shard_index, (offset, count) in enumerate(bounds)
+    ]
+    outcomes = {o.index: o for o in executor.run_tasks(tasks)}
+    merged: list = []
+    for shard_index in range(len(bounds)):
+        outcome = outcomes.get(shard_index)
+        if outcome is None or not outcome.ok:
+            message = (
+                outcome.error.get("message", "shard failed")
+                if outcome is not None and outcome.error
+                else "shard was never completed"
+            )
+            error = RemoteTaskError(
+                f"replication shard {shard_index} failed on executor "
+                f"{executor.name!r}: {message}"
+            )
+            if outcome is not None and outcome.error:
+                from ..resilience.document import ErrorDocument
+
+                error.error_document = ErrorDocument.from_dict(outcome.error)
+            raise error
+        merged.extend(outcome.result)
+    return merged

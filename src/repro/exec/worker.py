@@ -1,0 +1,179 @@
+"""Pool-worker entry point and wire-payload execution helpers.
+
+Everything here is **top-level and importable**, because under the
+``spawn`` multiprocessing start method the child re-imports this module
+to find :func:`worker_main`.  The protocol is deliberately tiny:
+
+Supervisor → worker (per-worker task queue)
+    ``("task", index, kind, payload, directive)`` or ``("stop",)``.
+    ``directive`` is ``None``, ``"crash"`` (fault-injected: die with
+    ``os._exit`` before touching the task) or ``"hang"`` (fault-
+    injected: stop heartbeats and wedge, so the supervisor's straggler
+    / stall detection has a real victim).
+
+Worker → supervisor (shared result queue)
+    ``("ready", worker_id)`` once after startup,
+    ``("beat", worker_id)`` every heartbeat interval from a daemon
+    thread, and per task either
+    ``("done", worker_id, index, status, result)`` or
+    ``("error", worker_id, index, error_doc)``.
+
+``run`` payloads execute through the ordinary
+:meth:`repro.api.Session.run` path — the worker rebuilds the spec and
+config with ``from_dict`` and returns the result's ``to_dict``
+document, so a result that crossed the pool re-serializes
+byte-identically to one produced serially
+(:meth:`~repro.api.session.RunResult.from_document` is the restoring
+inverse).  Failures come back as
+:class:`~repro.resilience.document.ErrorDocument` dicts, replayable on
+the supervisor side.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from ..errors import ReproError
+
+__all__ = [
+    "worker_main",
+    "execute_wire_payload",
+    "run_task_document",
+    "run_replication_shard",
+    "CRASH_EXIT_CODE",
+]
+
+#: Exit status of a fault-injected worker crash (recognizably nonzero).
+CRASH_EXIT_CODE = 13
+
+#: How long a fault-injected hang sleeps; the supervisor kills the
+#: worker long before this elapses.
+_HANG_SLEEP = 3600.0
+
+
+def run_task_document(spec_doc, config_doc):
+    """Execute one serialized ``(spec, config)`` pair in this process.
+
+    Returns ``(status, result_document)`` where status is
+    ``"succeeded"`` or ``"degraded"``; raises
+    :class:`~repro.errors.ReproError` exactly as a serial run would.
+    """
+    from ..api.config import RunConfig
+    from ..api.session import Session
+    from ..api.spec import ExperimentSpec
+
+    spec = ExperimentSpec.from_dict(spec_doc)
+    config = RunConfig.from_dict(config_doc)
+    result = Session(config).run(spec)
+    status = "degraded" if result.degraded else "succeeded"
+    return status, result.to_dict()
+
+
+def run_replication_shard(
+    simulator, orders, seeds, offset, engine, start_time=0.0, run_kwargs=None
+):
+    """Run one contiguous replication shard at its global *offset*.
+
+    The ``call``-task target of
+    :func:`repro.exec.shard.sharded_run_replications`: resolves the
+    engine by name and hands it the seed slice with
+    ``replication_offset=offset``, so fault coordinates and error
+    labels stay global no matter which worker ran the shard.
+    """
+    from ..perf.engine import resolve_engine
+
+    resolved = resolve_engine(engine)
+    return resolved.run_replications(
+        simulator,
+        orders,
+        seeds,
+        None,
+        start_time,
+        replication_offset=offset,
+        **(run_kwargs or {}),
+    )
+
+
+def execute_wire_payload(kind: str, payload):
+    """Dispatch one wire payload; returns ``(status, result)``."""
+    if kind == "run":
+        spec_doc, config_doc = payload
+        return run_task_document(spec_doc, config_doc)
+    func, args, kwargs = payload
+    return "succeeded", func(*args, **(kwargs or {}))
+
+
+def _error_payload(exc: BaseException, kind: str, payload) -> dict:
+    """An :class:`ErrorDocument` dict for a failed wire payload."""
+    from ..resilience.document import ErrorDocument
+
+    spec = config = None
+    if kind == "run":
+        from ..api.config import RunConfig
+        from ..api.spec import ExperimentSpec
+
+        try:
+            spec = ExperimentSpec.from_dict(payload[0])
+            config = RunConfig.from_dict(payload[1])
+        except Exception:
+            spec = config = None
+    return ErrorDocument.capture(exc, spec=spec, config=config).to_dict()
+
+
+def worker_main(
+    worker_id: int,
+    task_queue,
+    result_queue,
+    heartbeat_interval: float = 0.05,
+    spawn_directive=None,
+) -> None:
+    """The pool member's main loop (runs in the child process)."""
+    if spawn_directive == "crash":
+        # Fault-injected spawn failure: die before announcing readiness,
+        # exactly like a worker whose interpreter never came up.
+        os._exit(CRASH_EXIT_CODE)
+
+    stop_beats = threading.Event()
+
+    def _beat() -> None:
+        while not stop_beats.wait(heartbeat_interval):
+            try:
+                result_queue.put(("beat", worker_id))
+            except Exception:  # pragma: no cover - queue torn down
+                return
+
+    beats = threading.Thread(target=_beat, daemon=True)
+    beats.start()
+    result_queue.put(("ready", worker_id))
+
+    while True:
+        message = task_queue.get()
+        if message[0] == "stop":
+            break
+        _, index, kind, payload, directive = message
+        if directive == "crash":
+            # Fault-injected mid-batch crash: a genuinely dead process,
+            # detected by the supervisor through its exit code.
+            os._exit(CRASH_EXIT_CODE)
+        if directive == "hang":
+            # Fault-injected wedge: heartbeats stop, the task never
+            # completes — straggler/stall detection must reap us.
+            stop_beats.set()
+            time.sleep(_HANG_SLEEP)
+            continue
+        try:
+            status, result = execute_wire_payload(kind, payload)
+        except ReproError as exc:
+            result_queue.put(
+                ("error", worker_id, index, _error_payload(exc, kind, payload))
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            result_queue.put(
+                ("error", worker_id, index, _error_payload(exc, kind, payload))
+            )
+        else:
+            result_queue.put(("done", worker_id, index, status, result))
+
+    stop_beats.set()

@@ -582,9 +582,11 @@ def get_deadline_comparator(
     if resolved is None:
         from ..errors import RegistryError
 
-        raise RegistryError(
-            f"unknown deadline comparator {comparator!r}; expected one of "
-            f"{list(available_deadline_comparators())} or a callable"
+        raise RegistryError.unknown(
+            "deadline comparator",
+            comparator,
+            available_deadline_comparators(),
+            hint="or a callable",
         )
     return resolved
 

@@ -91,6 +91,7 @@ class EvaluationEngine:
         seeds,
         recorders=None,
         start_time: float = 0.0,
+        replication_offset: int = 0,
         **run_kwargs,
     ) -> list:
         """Run R independent market-simulator replications.
@@ -105,6 +106,14 @@ class EvaluationEngine:
         same seeds, so — as with :meth:`sample` — swapping engines
         never changes an experiment's numbers.
 
+        ``replication_offset`` is the global index of ``seeds[0]`` when
+        the caller hands this engine a *shard* of a larger ensemble
+        (:func:`repro.exec.sharded_run_replications`): fault-site
+        coordinates, recorder bookkeeping and error labels all use the
+        global index ``offset + k``, so an injected fault or a timeout
+        lands on the same replication no matter how the ensemble was
+        split across executors.
+
         A :class:`~repro.errors.SimulationError` raised inside one
         replication (e.g. ``max_sim_time`` exceeded) is re-raised with
         its replication index prefixed (and set as ``.replication``),
@@ -115,12 +124,13 @@ class EvaluationEngine:
 
         if recorders is None:
             recorders = [None] * len(seeds)
+        offset = int(replication_offset)
         fault_state = active_fault_state()
         results = []
         for k, (seed, rec) in enumerate(zip(seeds, recorders)):
-            site_check("market.replication", replication=k)
+            site_check("market.replication", replication=offset + k)
             if fault_state is not None:
-                fault_state.enter_replication(k)
+                fault_state.enter_replication(offset + k)
             try:
                 results.append(
                     simulator._run_job_with_rng(
@@ -129,8 +139,10 @@ class EvaluationEngine:
                     )
                 )
             except SimulationError as exc:
-                wrapped = SimulationError(f"replication {k}: {exc}")
-                wrapped.replication = k
+                wrapped = SimulationError(
+                    f"replication {offset + k}: {exc}"
+                )
+                wrapped.replication = offset + k
                 raise wrapped from exc
         return results
 
@@ -243,9 +255,9 @@ def get_engine(engine: Union[str, EvaluationEngine, None]) -> EvaluationEngine:
         return engine
     resolved = _REGISTRY.get(engine)
     if resolved is None:
-        raise RegistryError(
-            f"unknown engine {engine!r}; expected one of "
-            f"{sorted(_REGISTRY)} or an EvaluationEngine instance"
+        raise RegistryError.unknown(
+            "engine", engine, _REGISTRY,
+            hint="or an EvaluationEngine instance",
         )
     return resolved
 

@@ -113,6 +113,7 @@ def batch_agent_run_replications(
     seeds,
     recorders=None,
     start_time: float = 0.0,
+    replication_offset: int = 0,
 ) -> list[JobResult]:
     """Advance R seeded :class:`AgentSimulator` replications in lock-step.
 
@@ -122,10 +123,15 @@ def batch_agent_run_replications(
     ``worker_id`` values come from the same global counters, assigned
     in replication order).  Callers normally reach this through
     ``run_replications(engine="agent-batch")``.
+
+    ``replication_offset`` is the global index of ``seeds[0]`` when the
+    seeds are a shard of a larger ensemble — fault-site coordinates and
+    error labels use the global index, matching the base engine.
     """
     orders = list(orders)
     if not orders:
         raise SimulationError("job must contain at least one atomic task")
+    offset = int(replication_offset)
     pool = simulator.pool
     model = pool.choice_model
     kind = _builtin_kind(model)
@@ -137,7 +143,8 @@ def batch_agent_run_replications(
     ):
         # Sequential reference fan-out (bit-identical by definition).
         return ScalarEngine.run_replications(
-            ScalarEngine(), simulator, orders, seeds, recorders, start_time
+            ScalarEngine(), simulator, orders, seeds, recorders, start_time,
+            replication_offset=offset,
         )
 
     R = len(seeds)
@@ -152,7 +159,7 @@ def batch_agent_run_replications(
     # injected worker abandonment shares the sequential path's
     # per-replication counters, so trajectories stay engine-identical.
     for k in range(R):
-        site_check("market.replication", replication=k)
+        site_check("market.replication", replication=offset + k)
     fault_state = active_fault_state()
     abandon_state = (
         fault_state
@@ -440,7 +447,9 @@ def batch_agent_run_replications(
                         t_ts.append(tE_list[i])
             for r, s, t in zip(t_rs, t_ss, t_ts):
                 # -- acceptance --------------------------------------
-                if abandon_state is not None and abandon_state.abandon_fires(r):
+                if abandon_state is not None and abandon_state.abandon_fires(
+                    offset + r
+                ):
                     # Injected abandonment: the slot stays live (no
                     # tombstone), no worker id, no processing draw —
                     # exactly the scalar loop's skip.
@@ -463,7 +472,7 @@ def batch_agent_run_replications(
             act_list = [r for r in act_list if not done[r]]
 
     if failed:
-        k = min(failed)
+        k = offset + min(failed)
         raise SimulationError(
             f"replication {k}: simulation exceeded "
             f"max_sim_time={max_sim_time}; the market is too slow for "
@@ -637,15 +646,18 @@ class AgentBatchEngine(ScalarEngine):
         seeds,
         recorders=None,
         start_time: float = 0.0,
+        replication_offset: int = 0,
         **run_kwargs,
     ) -> list:
         if run_kwargs or not isinstance(simulator, AgentSimulator):
             return super().run_replications(
                 simulator, orders, seeds, recorders, start_time,
+                replication_offset=replication_offset,
                 **run_kwargs,
             )
         return batch_agent_run_replications(
-            simulator, orders, seeds, recorders, start_time
+            simulator, orders, seeds, recorders, start_time,
+            replication_offset=replication_offset,
         )
 
 

@@ -50,12 +50,23 @@ class SpecOutcome:
 
 @dataclass(frozen=True)
 class BatchReport:
-    """All outcomes of one ``run_many`` batch, in submission order."""
+    """All outcomes of one ``run_many`` batch, in submission order.
+
+    ``events`` is the supervisor's observability stream — worker
+    crashes, straggler requeues, respawns, degradation to serial — as
+    plain dicts in occurrence order.  Serial batches leave it empty.
+    Like :attr:`SpecOutcome.restored`, events are bookkeeping only and
+    excluded from :meth:`to_dict` unless ``include_events=True``, so
+    serial and parallel reports of the same batch serialize
+    byte-identically.
+    """
 
     outcomes: tuple = field(default_factory=tuple)
+    events: tuple = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "outcomes", tuple(self.outcomes))
+        object.__setattr__(self, "events", tuple(self.events))
 
     # -- views ---------------------------------------------------------
 
@@ -89,14 +100,17 @@ class BatchReport:
 
     # -- serialization -------------------------------------------------
 
-    def to_dict(self) -> dict:
-        return {
+    def to_dict(self, include_events: bool = False) -> dict:
+        out = {
             "total": len(self.outcomes),
             "succeeded": len(self.succeeded),
             "degraded": len(self.degraded),
             "failed": len(self.failed),
             "outcomes": [o.to_dict() for o in self.outcomes],
         }
+        if include_events:
+            out["events"] = [dict(event) for event in self.events]
+        return out
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, indent=indent)

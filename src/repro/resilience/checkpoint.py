@@ -17,6 +17,13 @@ mid-write leaves at most one partial trailing line, which
 kept).  Any other malformed content raises
 :class:`~repro.errors.CheckpointError` rather than silently skipping
 completed work.
+
+Supervisor *events* (worker crashes, requeues, respawns — see
+:class:`repro.exec.ProcessExecutor`) may be interleaved as
+``{"event": {...}}`` lines by :meth:`CheckpointJournal.append_event`.
+They are an audit trail only: :meth:`load` skips them, so a resumed
+batch replays completed work identically whether or not the previous
+attempt suffered worker failures.
 """
 
 from __future__ import annotations
@@ -63,6 +70,8 @@ class CheckpointJournal:
                     f"checkpoint {self.path}: malformed journal line "
                     f"{index + 1} (not trailing — refusing to guess)"
                 ) from None
+            if isinstance(entry, Mapping) and set(entry) == {"event"}:
+                continue  # supervisor audit line, not completed work
             if not isinstance(entry, Mapping) or not _REQUIRED_KEYS <= set(
                 entry
             ):
@@ -73,12 +82,35 @@ class CheckpointJournal:
             entries[entry["fingerprint"]] = dict(entry)
         return entries
 
+    def load_events(self) -> list:
+        """The journaled supervisor events, in append order."""
+        if not self.path.exists():
+            return []
+        events = []
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # load() polices corruption; events are best-effort
+            if isinstance(entry, Mapping) and set(entry) == {"event"}:
+                events.append(dict(entry["event"]))
+        return events
+
     def append(self, fingerprint: str, status: str, result: dict) -> None:
         """Durably journal one completed spec."""
-        line = json.dumps(
-            {"fingerprint": fingerprint, "status": status, "result": result},
-            sort_keys=True,
+        self._write_line(
+            {"fingerprint": fingerprint, "status": status, "result": result}
         )
+
+    def append_event(self, event: Mapping) -> None:
+        """Durably journal one supervisor event (audit trail only)."""
+        self._write_line({"event": dict(event)})
+
+    def _write_line(self, document: dict) -> None:
+        line = json.dumps(document, sort_keys=True)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()

@@ -71,13 +71,28 @@ __all__ = [
 #:   (context: replication index), on the sequential and lock-step
 #:   fan-outs alike;
 #: * ``market.abandon`` — worker abandonment in the agent market (does
-#:   not raise; see module docstring).
+#:   not raise; see module docstring);
+#: * ``worker.spawn`` / ``worker.task`` / ``worker.hang`` — the
+#:   **process-level** sites, evaluated by the
+#:   :class:`repro.exec.ProcessExecutor` supervisor (which owns the
+#:   single deterministic counter stream for the whole pool) and acted
+#:   out by real subprocesses: a firing ``worker.spawn`` rule makes the
+#:   freshly spawned pool member die immediately (occurrence = spawn
+#:   index), ``worker.task`` makes the assigned worker crash
+#:   (``os._exit``) on receipt of the task (occurrence = dispatch
+#:   index), and ``worker.hang`` wedges it — heartbeats stop and the
+#:   main thread sleeps — so straggler detection has something real to
+#:   kill.  None of the three is reachable from the in-run
+#:   :func:`site_check` hook; they exist for the supervisor.
 FAULT_SITES = (
     "run.start",
     "engine.sample",
     "comparator.min_cost",
     "market.replication",
     "market.abandon",
+    "worker.spawn",
+    "worker.task",
+    "worker.hang",
 )
 
 
@@ -280,20 +295,38 @@ class FaultState:
             return occurrence
         return None
 
-    def check(self, site: str, replication=None, engine=None, comparator=None):
+    def fires(
+        self, site: str, replication=None, engine=None, comparator=None
+    ):
+        """First firing ``(occurrence, rule)`` at *site*, else ``None``.
+
+        The non-raising twin of :meth:`check`, advancing the same
+        counters — the :class:`repro.exec.ProcessExecutor` supervisor
+        consults it for the ``worker.*`` sites, where the reaction is
+        killing/wedging a subprocess rather than raising in-line.
+        """
         rules = self._site_rules.get(site)
         if not rules:
-            return
+            return None
         context = {"engine": engine, "comparator": comparator}
         for index, rule in rules:
             occurrence = self._fires(index, rule, replication, context)
             if occurrence is not None:
-                raise FaultInjectedError(
-                    site=site,
-                    replication=replication,
-                    occurrence=occurrence,
-                    detail=rule.detail,
-                )
+                return occurrence, rule
+        return None
+
+    def check(self, site: str, replication=None, engine=None, comparator=None):
+        fired = self.fires(
+            site, replication=replication, engine=engine, comparator=comparator
+        )
+        if fired is not None:
+            occurrence, rule = fired
+            raise FaultInjectedError(
+                site=site,
+                replication=replication,
+                occurrence=occurrence,
+                detail=rule.detail,
+            )
 
     def abandon_fires(self, replication: int) -> bool:
         """Whether the next acceptance in *replication* is abandoned.
@@ -344,9 +377,8 @@ def get_fault_plan(name: str) -> FaultPlan:
     """Resolve a registered fault-plan name."""
     plan = _PLANS.get(name)
     if plan is None:
-        raise RegistryError(
-            f"unknown fault plan {name!r}; expected one of "
-            f"{sorted(_PLANS)} or an inline FaultPlan"
+        raise RegistryError.unknown(
+            "fault plan", name, _PLANS, hint="or an inline FaultPlan"
         )
     return plan
 

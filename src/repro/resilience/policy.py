@@ -148,21 +148,46 @@ class ExecutionRecord:
     marks a payload produced by a fallback engine; ``attempts`` lists
     every failed attempt as a small dict (engine label, attempt index,
     error code/message, fault site/replication, backoff applied).
+
+    ``started_at`` / ``elapsed`` are wall-clock observability — the
+    ``time.time()`` instant the run began and its ``time.monotonic()``
+    duration in seconds.  Every :meth:`repro.api.Session.run` attaches
+    them, but they never enter the default serialized form: a record is
+    :attr:`significant` only when the *resilience* fields are
+    non-default, and :meth:`to_dict` omits timing unless
+    ``include_timing=True`` (the ``repro run --json`` path), so result
+    documents — and therefore checkpoints, fingerprint goldens, and
+    serial-vs-parallel merges — stay byte-identical across runs.
     """
 
     engine: Optional[str] = None
     degraded: bool = False
     attempts: tuple = ()
+    started_at: Optional[float] = None
+    elapsed: Optional[float] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "attempts", tuple(self.attempts))
 
-    def to_dict(self) -> dict:
-        return {
+    @property
+    def significant(self) -> bool:
+        """True when something non-default happened (timing excluded)."""
+        return (
+            self.engine is not None
+            or self.degraded
+            or bool(self.attempts)
+        )
+
+    def to_dict(self, include_timing: bool = False) -> dict:
+        out = {
             "engine": self.engine,
             "degraded": bool(self.degraded),
             "attempts": [dict(entry) for entry in self.attempts],
         }
+        if include_timing:
+            out["started_at"] = self.started_at
+            out["elapsed"] = self.elapsed
+        return out
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "ExecutionRecord":
@@ -170,4 +195,6 @@ class ExecutionRecord:
             engine=payload.get("engine"),
             degraded=bool(payload.get("degraded", False)),
             attempts=tuple(payload.get("attempts", ())),
+            started_at=payload.get("started_at"),
+            elapsed=payload.get("elapsed"),
         )

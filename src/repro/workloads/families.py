@@ -248,10 +248,7 @@ def get_family_builder(name: str) -> Callable[..., ProblemFamily]:
     if builder is None:
         from ..errors import RegistryError
 
-        raise RegistryError(
-            f"unknown family {name!r}; expected one of "
-            f"{sorted(_FAMILY_REGISTRY)}"
-        )
+        raise RegistryError.unknown("family", name, _FAMILY_REGISTRY)
     return builder
 
 

@@ -1,0 +1,41 @@
+"""Tiny batch specs + gating for the executor suite.
+
+The executor tests reuse the resilience suite's tiny parameter sets so
+a three-spec batch stays tier-1 cheap.  Process-pool tests spawn real
+subprocesses and are gated behind ``REPRO_EXEC_TESTS=1`` — tier-1
+stays serial-only; the ``parallel-executor`` CI job flips the gate.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api import make_spec
+
+#: experiment name -> smallest sensible parameter overrides (a subset
+#: of the resilience suite's TINY_PARAMS covering three run paths:
+#: budget sweep, market replication, inference).
+TINY_PARAMS = {
+    "fig2": {"n_tasks": 4, "n_samples": 20, "budgets": [800]},
+    "fig3": {"n_arrivals": 3},
+    "fig4": {"prices": [5, 8], "repetitions": 2},
+}
+
+#: Marker gating tests that spawn a real worker pool.
+requires_process_pool = pytest.mark.skipif(
+    os.environ.get("REPRO_EXEC_TESTS") != "1",
+    reason="process-pool tests run in the parallel-executor CI job "
+    "(set REPRO_EXEC_TESTS=1 to enable)",
+)
+
+
+def tiny_specs():
+    """A fresh three-spec batch (fig2 / fig3 / fig4, tiny params)."""
+    return [make_spec(name, **params) for name, params in TINY_PARAMS.items()]
+
+
+def tiny_spec_documents():
+    """The same batch as inline JSON-able spec documents (CLI form)."""
+    return [spec.to_dict() for spec in tiny_specs()]

@@ -1,0 +1,267 @@
+"""Sharded replication ensembles: split, merge, and identity contracts.
+
+The contract under test (module docstring of :mod:`repro.exec.shard`):
+in-process sharding (``executor=None``) is **fully bit-identical** to
+the sequential fan-out — process-global task-uid / worker-id counters
+advance in replication order; executor-backed sharding is
+**trajectory-identical** modulo a per-shard constant in those process
+counters, which the comparisons below normalize away exactly like the
+lock-step engine suite does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError, RemoteTaskError, SimulationError
+from repro.exec import (
+    SerialExecutor,
+    sharded_run_replications,
+    split_replications,
+)
+from repro.market import AgentSimulator, TaskType, WorkerPool
+from repro.market.simulator import AtomicTaskOrder
+from repro.perf.engine import resolve_engine
+from repro.resilience.faults import FaultPlan, runtime_scope
+from repro.stats.rng import replication_seeds
+
+from exec_tiny import requires_process_pool
+
+ENGINES = ("scalar", "batch", "agent-batch")
+
+
+def make_orders(n_tasks=6):
+    easy = TaskType(name="easy", processing_rate=2.0, accuracy=0.9)
+    hard = TaskType(name="hard", processing_rate=1.3, accuracy=0.6)
+    return [
+        AtomicTaskOrder(
+            task_type=easy if i % 2 == 0 else hard,
+            prices=tuple(1 + (i + k) % 4 for k in range(2)),
+            atomic_task_id=i,
+        )
+        for i in range(n_tasks)
+    ]
+
+
+def make_sim(seed=999):
+    return AgentSimulator(WorkerPool(arrival_rate=5.0), seed=seed)
+
+
+def trajectory(result):
+    """Everything observable about a replication, uids made relative."""
+    records = result.trace.records
+    base_uid = records[0].uid if records else 0
+    return (
+        result.makespan,
+        result.per_atomic_completion,
+        result.total_paid,
+        result.answers,
+        [
+            (
+                r.atomic_task_id,
+                r.repetition_index,
+                r.price,
+                r.published_at,
+                r.accepted_at,
+                r.completed_at,
+                r.uid - base_uid,
+            )
+            for r in records
+        ],
+    )
+
+
+class TestSplitReplications:
+    def test_even_split(self):
+        assert split_replications(6, 3) == [(0, 2), (2, 2), (4, 2)]
+
+    def test_remainder_goes_to_leading_shards(self):
+        assert split_replications(7, 3) == [(0, 3), (3, 2), (5, 2)]
+        assert split_replications(5, 4) == [(0, 2), (2, 1), (3, 1), (4, 1)]
+
+    def test_more_shards_than_replications(self):
+        assert split_replications(2, 5) == [(0, 1), (1, 1)]
+
+    def test_offsets_tile_the_ensemble(self):
+        for n in (1, 4, 9, 16):
+            for shards in (1, 2, 3, 5):
+                spans = split_replications(n, shards)
+                covered = [
+                    k for offset, count in spans
+                    for k in range(offset, offset + count)
+                ]
+                assert covered == list(range(n))
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            split_replications(-1, 2)
+        with pytest.raises(ModelError):
+            split_replications(4, 0)
+
+
+class TestInProcessSharding:
+    """``executor=None``: same process, same counters — bit-identical."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_bit_identical_to_sequential(self, engine):
+        orders = make_orders()
+        sequential = resolve_engine(engine).run_replications(
+            make_sim(), orders, replication_seeds(3, 6), None, 0.0
+        )
+        sharded = sharded_run_replications(
+            make_sim(), orders, replication_seeds(3, 6),
+            engine=engine, shards=3,
+        )
+        assert len(sharded) == 6
+        for seq, shd in zip(sequential, sharded):
+            assert shd.makespan == seq.makespan
+            assert shd.answers == seq.answers
+            assert trajectory(shd) == trajectory(seq)
+
+    def test_single_shard_is_the_sequential_path(self):
+        orders = make_orders()
+        sequential = resolve_engine("scalar").run_replications(
+            make_sim(), orders, replication_seeds(1, 4), None, 0.0
+        )
+        sharded = sharded_run_replications(
+            make_sim(), orders, replication_seeds(1, 4),
+            engine="scalar", shards=1,
+        )
+        assert [r.makespan for r in sharded] == [
+            r.makespan for r in sequential
+        ]
+
+    def test_fault_coordinates_are_global(self):
+        # A rule pinned to replication 4 must land on the same world no
+        # matter how the ensemble is split: shard 2 sees it as its
+        # local k=0, but the site reports the global index.
+        plan = FaultPlan(
+            rules=(
+                {"site": "market.replication", "replication": 4, "at": [0]},
+            )
+        )
+        orders = make_orders()
+        for shards in (1, 2, 3):
+            with runtime_scope(plan.activate()):
+                with pytest.raises(Exception) as exc:
+                    sharded_run_replications(
+                        make_sim(), orders, replication_seeds(3, 6),
+                        engine="scalar", shards=shards,
+                    )
+            assert getattr(exc.value, "replication", None) == 4
+
+    def test_recorders_cannot_cross_an_executor_boundary(self):
+        with pytest.raises(ModelError, match="recorder"):
+            sharded_run_replications(
+                make_sim(), make_orders(), replication_seeds(3, 4),
+                engine="scalar", shards=2, executor=SerialExecutor(),
+                recorders=[None] * 4,
+            )
+
+
+class TestExecutorSharding:
+    def test_serial_executor_merge_is_trajectory_identical(self):
+        # The serial executor exercises the full wire format (pickled
+        # shard calls, merged by shard index) without subprocesses.
+        orders = make_orders()
+        sequential = resolve_engine("agent-batch").run_replications(
+            make_sim(), orders, replication_seeds(3, 5), None, 0.0
+        )
+        sharded = sharded_run_replications(
+            make_sim(), orders, replication_seeds(3, 5),
+            engine="agent-batch", shards=2, executor=SerialExecutor(),
+        )
+        assert [trajectory(r) for r in sharded] == [
+            trajectory(r) for r in sequential
+        ]
+
+    def test_failed_shard_raises_remote_task_error(self):
+        # max_sim_time saturation inside a shard comes back as a
+        # RemoteTaskError carrying the shard's error document, which
+        # names the *global* replication that failed.
+        orders = make_orders()
+        sim = AgentSimulator(
+            WorkerPool(arrival_rate=5.0), seed=999, max_sim_time=1e-6
+        )
+        with pytest.raises(RemoteTaskError) as exc:
+            sharded_run_replications(
+                sim, orders, replication_seeds(3, 4),
+                engine="scalar", shards=2, executor=SerialExecutor(),
+            )
+        document = exc.value.error_document
+        assert document.code == "simulation-failed"
+        assert "max_sim_time" in document.message
+
+    @requires_process_pool
+    def test_process_pool_shards_are_trajectory_identical(self):
+        from repro.exec import ProcessExecutor
+
+        orders = make_orders()
+        sequential = resolve_engine("agent-batch").run_replications(
+            make_sim(), orders, replication_seeds(3, 6), None, 0.0
+        )
+        sharded = sharded_run_replications(
+            make_sim(), orders, replication_seeds(3, 6),
+            engine="agent-batch", shards=3,
+            executor=ProcessExecutor(workers=3, heartbeat_interval=0.02),
+        )
+        assert [trajectory(r) for r in sharded] == [
+            trajectory(r) for r in sequential
+        ]
+
+    @requires_process_pool
+    def test_shard_survives_worker_crash_retry(self):
+        # A worker.task crash on the first dispatch kills the worker
+        # holding shard 0; the requeued shard re-runs on a fresh seat
+        # and the merged ensemble is still trajectory-identical.
+        from repro.api import RunConfig
+        from repro.exec import ProcessExecutor
+
+        orders = make_orders()
+        sequential = resolve_engine("scalar").run_replications(
+            make_sim(), orders, replication_seeds(3, 4), None, 0.0
+        )
+        events = []
+        outcomes = ProcessExecutor(
+            workers=2, heartbeat_interval=0.02
+        ).run_tasks(
+            _shard_tasks(orders, shards=2),
+            faults=FaultPlan(rules=({"site": "worker.task", "at": [0]},)),
+            retry=RunConfig(retry={"attempts": 2}).retry,
+            on_event=events.append,
+        )
+        assert all(o.ok for o in outcomes)
+        merged = []
+        for outcome in sorted(outcomes, key=lambda o: o.index):
+            merged.extend(outcome.result)
+        assert [trajectory(r) for r in merged] == [
+            trajectory(r) for r in sequential
+        ]
+        assert "worker.crashed" in {e["type"] for e in events}
+        assert "task.requeued" in {e["type"] for e in events}
+
+
+def _shard_tasks(orders, shards):
+    from repro.exec import ExecTask
+    from repro.exec.worker import run_replication_shard
+
+    seeds = replication_seeds(3, 4)
+    tasks = []
+    for index, (offset, count) in enumerate(
+        split_replications(len(seeds), shards)
+    ):
+        tasks.append(
+            ExecTask(
+                index=index,
+                kind="call",
+                call=(
+                    run_replication_shard,
+                    (
+                        make_sim(), orders,
+                        seeds[offset:offset + count], offset, "scalar",
+                    ),
+                    {},
+                ),
+            )
+        )
+    return tasks

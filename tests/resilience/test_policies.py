@@ -119,10 +119,19 @@ def test_execution_record_roundtrips():
     assert ExecutionRecord.from_dict(record.to_dict()) == record
 
 
-def test_default_path_result_has_no_execution_record(run_tiny):
+def test_default_path_result_has_timing_only_execution_record(run_tiny):
     result = run_tiny("fig2")
-    assert result.execution is None
+    # Timing is always recorded ...
+    assert result.execution is not None
+    assert not result.execution.significant
+    assert result.execution.started_at is not None
+    assert result.execution.elapsed >= 0.0
+    # ... but never serialized by default, so default-path documents
+    # keep their historical layout byte-for-byte.
     assert "execution" not in result.to_dict()
+    timed = result.to_dict(include_timing=True)
+    assert timed["execution"]["elapsed"] == result.execution.elapsed
+    assert timed["execution"]["started_at"] == result.execution.started_at
 
 
 def test_timeout_policy_raises_run_timeout(fig2_spec):

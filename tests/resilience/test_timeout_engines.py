@@ -1,0 +1,100 @@
+"""Cooperative timeouts inside the engines and comparators.
+
+``TimeoutPolicy`` is checked at the same named sites faults inject at,
+so coverage must reach the sites that matter under batching: the
+lock-step ``agent-batch`` replication fan-out and the batched deadline
+comparator — not just ``run.start`` (covered in ``test_policies.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TaskSpec
+from repro.api import RunConfig, Session
+from repro.errors import RunTimeoutError
+from repro.market import AgentSimulator, LinearPricing, TaskType, WorkerPool
+from repro.market.simulator import AtomicTaskOrder
+from repro.perf.engine import resolve_engine
+from repro.resilience.faults import runtime_scope
+from repro.stats.rng import replication_seeds
+
+from tiny import tiny_spec
+
+
+def _orders(n=4):
+    tt = TaskType(name="t", processing_rate=2.0, accuracy=0.9)
+    return [
+        AtomicTaskOrder(task_type=tt, prices=(2, 3), atomic_task_id=i)
+        for i in range(n)
+    ]
+
+
+@pytest.mark.parametrize("engine", ["scalar", "agent-batch"])
+def test_deadline_fires_inside_the_replication_fanout(engine):
+    # An expired deadline interrupts the ensemble at a replication
+    # boundary — the site where partial state discards cleanly — on the
+    # sequential and lock-step engines alike.
+    sim = AgentSimulator(WorkerPool(arrival_rate=5.0), seed=3)
+    with runtime_scope(None, timeout_seconds=1e-9):
+        with pytest.raises(RunTimeoutError) as exc:
+            resolve_engine(engine).run_replications(
+                sim, _orders(), replication_seeds(1, 3), None, 0.0
+            )
+    assert exc.value.site == "market.replication"
+    assert exc.value.seconds == 1e-9
+
+
+def test_deadline_fires_inside_the_batched_comparator():
+    from repro.core.deadline import min_cost_for_deadline
+
+    tasks = [
+        TaskSpec(
+            i,
+            repetitions=2,
+            pricing=LinearPricing(slope=1.0, intercept=1.0),
+            processing_rate=2.0,
+        )
+        for i in range(3)
+    ]
+    with runtime_scope(None, timeout_seconds=1e-9):
+        with pytest.raises(RunTimeoutError) as exc:
+            min_cost_for_deadline(tasks, deadline=5.0)
+    assert exc.value.site == "comparator.min_cost"
+
+
+def test_agent_batch_session_timeout_surfaces_as_timeout():
+    # Through the full Session path with the lock-step engine: the
+    # cooperative deadline must surface as RunTimeoutError (site
+    # recorded), never wrapped into a per-replication SimulationError.
+    config = RunConfig(engine="agent-batch", timeout=1e-12)
+    with pytest.raises(RunTimeoutError) as exc:
+        Session(config).run(tiny_spec("fig3"))
+    assert exc.value.error_document.code == "timeout"
+    assert exc.value.error_document.site is not None
+
+
+def test_timeout_document_replays_to_the_same_failure():
+    # The captured document embeds the config (and so the policy): a
+    # 1e-12 budget deterministically re-times-out on replay, and the
+    # replayed document matches the original byte-for-byte.
+    config = RunConfig(timeout=1e-12)
+    with pytest.raises(RunTimeoutError) as exc:
+        Session(config).run(tiny_spec("fig3"))
+    document = exc.value.error_document
+    replayed = document.replay()
+    assert replayed == document
+    assert replayed.to_json() == document.to_json()
+
+
+def test_batched_comparator_timeout_through_session():
+    # The deadline-sweep experiment drives the batched comparator; an
+    # expired budget is reported at whichever instrumented site the
+    # run reaches first, and the document still addresses the run.
+    config = RunConfig(comparator="batched", timeout=1e-12)
+    with pytest.raises(RunTimeoutError) as exc:
+        Session(config).run(tiny_spec("deadline-sweep"))
+    document = exc.value.error_document
+    assert document.code == "timeout"
+    assert document.config["timeout"] == {"seconds": 1e-12}
+    assert document.spec["experiment"] == "deadline-sweep"
