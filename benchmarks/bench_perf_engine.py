@@ -43,6 +43,11 @@ Fig. 2-sized workload, against the seed implementations:
   recovery overhead of one injected worker kill.  Spawns real
   subprocesses, so the tier-1 smoke suite asserts on the committed
   numbers and only the ``parallel-executor`` CI job re-runs it.
+* **Store serving** — cold compute vs warm memoized serving through
+  the crash-safe result store (``Session.run(store=...)``): one
+  verified disk read (sha256 + validity envelope) instead of a full
+  numeric sweep, plus a 100-spec ``run_many`` hit-rate sweep asserted
+  to come back 100% served and byte-identical on re-submission.
 
 Run directly (``python benchmarks/bench_perf_engine.py``) to write
 ``BENCH_perf_engine.json`` at the repo root; ``--sections NAME ...``
@@ -799,6 +804,114 @@ def bench_executor_scaling(
     }
 
 
+def bench_store_serving(
+    n_tasks: int = 100, n_budgets: int = 9, n_specs: int = 100
+) -> dict:
+    """Cold compute vs warm memoized serving (``repro.store``).
+
+    Two shapes against a throwaway on-disk :class:`ResultStore`:
+
+    * **single spec** — a numeric Fig. 2-sized budget sweep through
+      ``Session.run(store=...)``: the cold call computes and files the
+      entry, the warm call is one verified disk read
+      (verify-before-serve: checksum + validity envelope).  The served
+      result is asserted to serialize byte-identically to the computed
+      one, with the engine never executing (``runs_completed`` is the
+      witness);
+    * **hit-rate sweep** — ``n_specs`` single-budget sweeps through
+      ``run_many(store=...)`` twice: the cold batch misses and
+      computes everything, the re-submitted batch must come back 100%
+      served (``warm_hit_rate``) with a byte-identical report.
+
+    The store's integrity work (sha256 of the canonical result
+    document + envelope comparison) happens on *every* warm serve, so
+    ``speedup`` prices verification in — this is the memoized-serving
+    number a result-caching service would actually see.
+    """
+    import shutil
+    import tempfile
+
+    from repro.api import BudgetSweepSpec, Session
+    from repro.store import ResultStore
+
+    root = pathlib.Path(tempfile.mkdtemp(prefix="repro-bench-store-"))
+    try:
+        store = ResultStore(root / "single")
+        top = 1000 + 500 * max(int(n_budgets) - 1, 1)
+        spec = BudgetSweepSpec(
+            family="repe",
+            case="a",
+            n_tasks=n_tasks,
+            budgets=tuple(range(1000, top + 1, 500)),
+            strategies=("ra", "re"),
+            scoring="numeric",
+        )
+        session = Session()
+        computed = session.run(spec, store=store)
+        runs_after_compute = session.runs_completed
+
+        def warm():
+            return session.run(spec, store=store)
+
+        served = warm()
+        if session.runs_completed != runs_after_compute:
+            raise AssertionError("warm serve executed the engine")
+        if served.to_dict() != computed.to_dict():
+            raise AssertionError(
+                "served document diverged from the computed one"
+            )
+        t_cold = _time(lambda: Session().run(spec), repeats=3)
+        t_warm = _time(warm, repeats=5)
+
+        sweep_store = ResultStore(root / "sweep")
+        sweep = [
+            BudgetSweepSpec(
+                family="repe",
+                case="a",
+                n_tasks=n_tasks,
+                budgets=(1000 + 50 * i,),
+                strategies=("ra",),
+                scoring="numeric",
+            )
+            for i in range(int(n_specs))
+        ]
+        t0 = time.perf_counter()
+        cold_report = Session().run_many(sweep, store=sweep_store)
+        t_sweep_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm_report = Session().run_many(sweep, store=sweep_store)
+        t_sweep_warm = time.perf_counter() - t0
+        if warm_report.store["hits"] != len(sweep):
+            raise AssertionError(
+                f"warm sweep should serve every spec, got "
+                f"{warm_report.store}"
+            )
+        if warm_report.to_dict() != cold_report.to_dict():
+            raise AssertionError(
+                "warm sweep report diverged from the cold batch"
+            )
+        return {
+            "workload": f"numeric budget sweep ({n_tasks} tasks, "
+            f"{max(int(n_budgets), 1)} budgets) + {len(sweep)}-spec "
+            "single-budget hit-rate sweep",
+            "cold_seconds": t_cold,
+            "warm_seconds": t_warm,
+            "speedup": t_cold / t_warm,
+            "sweep_specs": len(sweep),
+            "sweep_cold_seconds": t_sweep_cold,
+            "sweep_warm_seconds": t_sweep_warm,
+            "sweep_speedup": t_sweep_cold / t_sweep_warm,
+            "warm_hit_rate": warm_report.store["hits"] / len(sweep),
+            "outputs_identical": True,
+            "note": "cold = full compute, no store; warm = one "
+            "verify-before-serve disk read (sha256 + envelope) per "
+            "result; sweep numbers re-submit the same 100-spec batch "
+            "against a warm store",
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 #: Section name -> (bench callable, arguments it takes from run()).
 _SECTIONS = {
     "mc_job_sampling": lambda p: bench_mc_sampling(
@@ -830,6 +943,9 @@ _SECTIONS = {
     ),
     "executor_scaling": lambda p: bench_executor_scaling(
         p["n_samples"], p["n_tasks"], p["n_replications"]
+    ),
+    "store_serving": lambda p: bench_store_serving(
+        p["n_tasks"], p["n_budgets"]
     ),
 }
 

@@ -23,7 +23,12 @@ Subpackages:
   (:class:`~repro.resilience.FaultPlan`), retry/timeout policies,
   structured :class:`~repro.resilience.ErrorDocument` failure capture,
   and checkpointed :class:`~repro.resilience.BatchReport` batches
-  (see ``docs/robustness.md``).
+  (see ``docs/robustness.md``);
+* :mod:`repro.store` — crash-safe persistent result store:
+  content-addressed :class:`~repro.store.ResultStore` with atomic
+  writes, checksum + validity-envelope verification, and quarantine,
+  behind ``Session.run(store=...)`` and the ``repro results`` CLI
+  (see ``docs/robustness.md``, "Result store failure modes").
 
 Quickstart::
 
@@ -60,6 +65,10 @@ from .errors import (
     ReproError,
     RunTimeoutError,
     SimulationError,
+    StoreCorruptError,
+    StoreError,
+    StoreStaleError,
+    StoreWriteError,
     error_code,
 )
 from .resilience import (
@@ -70,6 +79,7 @@ from .resilience import (
     RetryPolicy,
     TimeoutPolicy,
 )
+from .store import ResultStore
 
 __version__ = "1.0.0"
 
@@ -90,6 +100,7 @@ __all__ = [
     "PlanError",
     "RegistryError",
     "ReproError",
+    "ResultStore",
     "RetryPolicy",
     "RunConfig",
     "RunResult",
@@ -97,6 +108,10 @@ __all__ = [
     "Scenario",
     "Session",
     "SimulationError",
+    "StoreCorruptError",
+    "StoreError",
+    "StoreStaleError",
+    "StoreWriteError",
     "TaskGroup",
     "TaskSpec",
     "TimeoutPolicy",

@@ -208,7 +208,10 @@ class Session:
     # -- execution -----------------------------------------------------
 
     def run(
-        self, spec: Union[ExperimentSpec, Mapping, str]
+        self,
+        spec: Union[ExperimentSpec, Mapping, str],
+        *,
+        store=None,
     ) -> RunResult:
         """Execute *spec* under this session's config.
 
@@ -216,6 +219,16 @@ class Session:
         document, or a bare registered experiment name (default
         params).  Returns a :class:`RunResult` whose payload is
         byte-identical to the corresponding legacy function call.
+
+        ``store`` (a :class:`~repro.store.ResultStore` or a directory
+        path) memoizes the run by fingerprint: a verified stored entry
+        is served without executing anything (the restored result
+        serializes byte-identically to the computed one), a miss
+        executes and writes the entry back atomically.  Store failures
+        never fail the run — an unwritable entry just loses the
+        memoization, a corrupt/stale entry is quarantined and the run
+        recomputes.  Like :attr:`RunConfig.executor`, the store is
+        orchestration, not identity: it never enters the fingerprint.
         """
         spec = self._normalize_spec(spec)
         if self.config.recorder is not None and not spec.uses_recorder:
@@ -228,6 +241,48 @@ class Session:
                 f"policy (config.recorder={self.config.recorder!r}); only "
                 "specs with uses_recorder=True honor it"
             )
+        if store is not None:
+            return self._run_stored(spec, store)
+        return self._run_normalized(spec)
+
+    def _run_stored(self, spec: ExperimentSpec, store) -> RunResult:
+        """The memoized path: store lookup → serve or compute+write."""
+        from ..errors import StoreError
+        from ..store import resolve_store
+
+        store = resolve_store(store)
+        token = fingerprint(
+            {"spec": spec.to_dict(), "config": self.config.to_dict()}
+        )
+        state = self._store_fault_state()
+        lookup = store.lookup(token, fault_state=state)
+        if lookup.hit:
+            return RunResult.from_document(lookup.result)
+        result = self._run_normalized(spec)
+        try:
+            store.put(
+                token,
+                result.to_dict(),
+                status="degraded" if result.degraded else "succeeded",
+                fault_state=state,
+            )
+        except StoreError:
+            pass  # memoization lost, run intact
+        return result
+
+    def _store_fault_state(self):
+        """A fresh fault state for the ``store.*`` sites, or ``None``.
+
+        The store consults an explicitly passed state (the ``worker.*``
+        pattern) with its own occurrence counters, independent of the
+        per-attempt states the resilient executor activates.
+        """
+        from ..resilience.faults import resolve_fault_plan
+
+        plan = resolve_fault_plan(self.config.faults)
+        return plan.activate() if plan is not None else None
+
+    def _run_normalized(self, spec: ExperimentSpec) -> RunResult:
         config = self.config
         if (
             config.faults is None
@@ -351,6 +406,7 @@ class Session:
         fail_fast: bool = False,
         checkpoint=None,
         executor=None,
+        store=None,
     ):
         """Execute a batch of specs against the shared kernel tables.
 
@@ -387,6 +443,16 @@ class Session:
         byte-identically whichever path ran it; supervisor
         observability lands in :attr:`BatchReport.events` and as
         ``{"event": ...}`` audit lines in the checkpoint journal.
+
+        ``store`` (a :class:`~repro.store.ResultStore` or a directory
+        path) makes the batch memoized: verified stored entries are
+        served without executing (``SpecOutcome.served``), misses
+        execute and are written back, and the hit/miss/quarantine
+        tally lands in :attr:`BatchReport.store`.  With both
+        ``checkpoint=`` and ``store=``, the journal line wins — a spec
+        journaled but evicted from (or corrupted in) the store is
+        restored from the journal, never re-executed, and the store is
+        backfilled from the journal entry on resume.
         """
         from ..resilience.batch import BatchReport, SpecOutcome
         from ..resilience.checkpoint import CheckpointJournal
@@ -397,22 +463,28 @@ class Session:
             executor = self.config.executor
         if executor is not None:
             return self._run_many_executor(
-                normalized, executor, fail_fast=fail_fast, checkpoint=checkpoint
+                normalized,
+                executor,
+                fail_fast=fail_fast,
+                checkpoint=checkpoint,
+                store=store,
             )
         journal = completed = None
         if checkpoint is not None:
             journal = CheckpointJournal(checkpoint)
             completed = journal.load()
+        store, store_state, store_counts = self._store_batch_setup(store)
         outcomes = []
         for spec in normalized:
             token = None
-            if journal is not None:
+            if journal is not None or store is not None:
                 token = fingerprint(
                     {
                         "spec": spec.to_dict(),
                         "config": self.config.to_dict(),
                     }
                 )
+            if journal is not None:
                 entry = completed.get(token)
                 if entry is not None:
                     outcomes.append(
@@ -423,7 +495,36 @@ class Session:
                             restored=True,
                         )
                     )
+                    if store is not None and token not in store:
+                        # Journal line wins; backfill the evicted store
+                        # entry so future batches hit without a journal.
+                        self._store_put(
+                            store,
+                            token,
+                            entry["result"],
+                            entry["status"],
+                            store_state,
+                            store_counts,
+                        )
                     continue
+            if store is not None:
+                lookup = store.lookup(token, fault_state=store_state)
+                if lookup.quarantined:
+                    store_counts["quarantined"] += 1
+                if lookup.hit:
+                    store_counts["hits"] += 1
+                    outcomes.append(
+                        SpecOutcome(
+                            spec=spec,
+                            status=lookup.status,
+                            result=RunResult.from_document(lookup.result),
+                            served=True,
+                        )
+                    )
+                    if journal is not None:
+                        journal.append(token, lookup.status, lookup.result)
+                    continue
+                store_counts["misses"] += 1
             try:
                 result = self.run(spec)
             except ReproError as exc:
@@ -443,10 +544,49 @@ class Session:
             outcomes.append(SpecOutcome(spec=spec, status=status, result=result))
             if journal is not None:
                 journal.append(token, status, result.to_dict())
-        return BatchReport(tuple(outcomes))
+            if store is not None:
+                self._store_put(
+                    store,
+                    token,
+                    result.to_dict(),
+                    status,
+                    store_state,
+                    store_counts,
+                )
+        return BatchReport(
+            tuple(outcomes),
+            store=dict(store_counts) if store is not None else None,
+        )
+
+    def _store_batch_setup(self, store):
+        """Resolve ``store=`` plus one shared fault state and tally.
+
+        One state per batch, so ``store.*`` occurrence indexes count
+        across the whole batch (``at=[2]`` fires on the third store
+        operation of the batch, whichever spec reaches it).
+        """
+        if store is None:
+            return None, None, None
+        from ..store import resolve_store
+
+        return (
+            resolve_store(store),
+            self._store_fault_state(),
+            {"hits": 0, "misses": 0, "quarantined": 0, "write_failures": 0},
+        )
+
+    @staticmethod
+    def _store_put(store, token, result_doc, status, state, counts) -> None:
+        """Best-effort store write: failures are counted, never raised."""
+        from ..errors import StoreError
+
+        try:
+            store.put(token, result_doc, status=status, fault_state=state)
+        except StoreError:
+            counts["write_failures"] += 1
 
     def _run_many_executor(
-        self, specs: list, executor, *, fail_fast: bool, checkpoint
+        self, specs: list, executor, *, fail_fast: bool, checkpoint, store=None
     ):
         """The ``run_many`` fan-out path: wire tasks on an executor.
 
@@ -458,6 +598,13 @@ class Session:
         Checkpointing and resume share the inline path's journal
         format; supervisor events are appended both to the report and
         (as skip-on-load audit lines) to the journal.
+
+        The store is consulted and written **in the parent only**:
+        hits are filtered out before dispatch and misses are written
+        back as completions arrive, so pool workers never touch the
+        store and concurrent same-key writes within one batch are
+        impossible by construction (cross-batch races are safe at the
+        file level — see :meth:`repro.store.ResultStore.put`).
         """
         from ..exec import ExecTask, resolve_executor
         from ..resilience.batch import BatchReport, SpecOutcome
@@ -471,6 +618,7 @@ class Session:
         if checkpoint is not None:
             journal = CheckpointJournal(checkpoint)
             completed = journal.load()
+        store, store_state, store_counts = self._store_batch_setup(store)
 
         outcomes: list = [None] * len(specs)
         tasks = []
@@ -487,7 +635,32 @@ class Session:
                         result=RunResult.from_document(entry["result"]),
                         restored=True,
                     )
+                    if store is not None and token not in store:
+                        self._store_put(
+                            store,
+                            token,
+                            entry["result"],
+                            entry["status"],
+                            store_state,
+                            store_counts,
+                        )
                     continue
+            if store is not None:
+                lookup = store.lookup(token, fault_state=store_state)
+                if lookup.quarantined:
+                    store_counts["quarantined"] += 1
+                if lookup.hit:
+                    store_counts["hits"] += 1
+                    outcomes[index] = SpecOutcome(
+                        spec=spec,
+                        status=lookup.status,
+                        result=RunResult.from_document(lookup.result),
+                        served=True,
+                    )
+                    if journal is not None:
+                        journal.append(token, lookup.status, lookup.result)
+                    continue
+                store_counts["misses"] += 1
             tasks.append(
                 ExecTask(
                     index=index,
@@ -506,8 +679,21 @@ class Session:
                 journal.append_event(event)
 
         def on_complete(task, outcome) -> None:
-            if journal is not None and outcome.ok:
+            if not outcome.ok:
+                return
+            if journal is not None:
                 journal.append(task.fingerprint, outcome.status, outcome.result)
+            if store is not None:
+                self._store_put(
+                    store,
+                    task.fingerprint,
+                    outcome.result,
+                    outcome.status,
+                    store_state,
+                    store_counts,
+                )
+
+        from ..perf.cache import export_ladder_state
 
         task_outcomes = resolved.run_tasks(
             tasks,
@@ -517,6 +703,9 @@ class Session:
             timeout=self.config.timeout,
             on_complete=on_complete,
             on_event=on_event,
+            # Hand the parent's warm kernel-cache state to pool workers
+            # so small batches don't pay per-worker cold ladder builds.
+            warmup=export_ladder_state(),
         )
         self.runs_completed += sum(1 for o in task_outcomes if o.ok)
 
@@ -551,7 +740,11 @@ class Session:
                 f"executor {resolved.name!r} returned no outcome for "
                 f"tasks {missing}"
             )
-        return BatchReport(tuple(outcomes), events=tuple(events))
+        return BatchReport(
+            tuple(outcomes),
+            events=tuple(events),
+            store=dict(store_counts) if store is not None else None,
+        )
 
     # -- introspection -------------------------------------------------
 

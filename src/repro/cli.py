@@ -144,7 +144,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
     except ReproError as exc:
         _fail(args, exc, USER_ERROR_EXIT)
     try:
-        result = Session(config).run(spec)
+        result = Session(config).run(spec, store=args.store)
     except ReproError as exc:
         _fail(args, exc, EXECUTION_ERROR_EXIT, spec=spec, config=config)
     if args.json:
@@ -210,28 +210,145 @@ def _cmd_run_many(args: argparse.Namespace) -> None:
             fail_fast=args.fail_fast,
             checkpoint=args.checkpoint,
             executor=executor,
+            store=args.store,
         )
     except ReproError as exc:
         _fail(args, exc, EXECUTION_ERROR_EXIT, config=config)
     if args.json:
         print(
             json.dumps(
-                report.to_dict(include_events=True), indent=2, sort_keys=True
+                report.to_dict(include_events=True, include_store=True),
+                indent=2,
+                sort_keys=True,
             )
         )
     else:
         for outcome in report.outcomes:
             label = getattr(outcome.spec, "name", "?")
-            marker = "*" if outcome.restored else " "
+            marker = " "
+            if outcome.restored:
+                marker = "*"  # replayed from the checkpoint journal
+            elif outcome.served:
+                marker = "+"  # served from the result store
             print(f"{label:20s} {outcome.status}{marker}")
         print(
             f"total {len(report)}  succeeded {len(report.succeeded)}  "
             f"degraded {len(report.degraded)}  failed {len(report.failed)}"
         )
+        if report.store is not None:
+            tally = report.store
+            print(
+                f"store: hits {tally['hits']}  misses {tally['misses']}  "
+                f"quarantined {tally['quarantined']}  "
+                f"write failures {tally['write_failures']}"
+            )
         if report.events:
             print(f"supervisor events: {len(report.events)}")
     if not report.ok:
         raise SystemExit(EXECUTION_ERROR_EXIT)
+
+
+def _cmd_results(args: argparse.Namespace) -> None:
+    """Inspect a persistent result store (see ``repro.store``).
+
+    Default: list every stored entry.  ``--show FP`` prints one entry
+    document, ``--verify`` walks the store quarantining corruption
+    (always exits 0 — finding damage *is* the command working),
+    ``--replay FP`` re-executes a stored run and compares documents
+    byte-for-byte (mismatch exits 3).  Unknown fingerprints exit 2.
+    """
+    from .store import ResultStore
+
+    store = ResultStore(args.store)
+
+    if args.verify:
+        report = store.verify()
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            for token, code, message in report.quarantined:
+                print(f"{token}  {code}  {message}")
+            print(
+                f"checked {report.checked}  intact {report.intact}  "
+                f"quarantined {len(report.quarantined)}  "
+                f"previously quarantined {report.previously_quarantined}"
+            )
+        return
+
+    if args.show is not None:
+        try:
+            code, message, entry = store.inspect(args.show)
+        except ReproError as exc:
+            _fail(args, exc, USER_ERROR_EXIT)
+        if code is not None:
+            from .errors import StoreCorruptError
+
+            exc = StoreCorruptError(f"entry {args.show}: {message}")
+            _fail(args, exc, EXECUTION_ERROR_EXIT)
+        print(json.dumps(entry, indent=2, sort_keys=True))
+        return
+
+    if args.replay is not None:
+        try:
+            code, message, entry = store.inspect(args.replay)
+        except ReproError as exc:
+            _fail(args, exc, USER_ERROR_EXIT)
+        if code is not None:
+            from .errors import StoreCorruptError
+
+            exc = StoreCorruptError(f"entry {args.replay}: {message}")
+            _fail(args, exc, EXECUTION_ERROR_EXIT)
+        from .api.session import RunResult
+
+        stored = RunResult.from_document(entry["result"])
+        try:
+            replayed = Session(stored.config).run(stored.spec)
+        except ReproError as exc:
+            _fail(args, exc, EXECUTION_ERROR_EXIT)
+        match = replayed.to_dict() == entry["result"]
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "fingerprint": args.replay,
+                        "experiment": stored.experiment,
+                        "match": match,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            verdict = "matches" if match else "DIVERGES FROM"
+            print(
+                f"replayed {stored.experiment} ({args.replay}): "
+                f"{verdict} the stored document"
+            )
+        if not match:
+            raise SystemExit(EXECUTION_ERROR_EXIT)
+        return
+
+    entries = list(store.entries())
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "root": str(store.root),
+                    "entries": entries,
+                    "quarantined": len(store.quarantined()),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return
+    for entry in entries:
+        experiment = entry["experiment"] or "?"
+        print(f"{entry['fingerprint']}  {experiment:20s} {entry['status']}")
+    print(
+        f"total {len(entries)}  "
+        f"quarantined {len(store.quarantined())}"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -408,6 +525,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "deadline": _cmd_deadline,
     "run": _cmd_run,
     "run-many": _cmd_run_many,
+    "results": _cmd_results,
     "experiments": _cmd_experiments,
 }
 
@@ -481,6 +599,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic fault plan: a registered plan name or an "
         'inline JSON document, e.g. \'{"rules": [{"site": '
         '"engine.sample", "at": [0]}]}\' (see docs/robustness.md)',
+    )
+    run.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent result store: serve the run from a verified "
+        "stored entry if present, execute and store it otherwise "
+        "(see `repro results`)",
     )
     run.add_argument(
         "--json",
@@ -564,6 +690,13 @@ def build_parser() -> argparse.ArgumentParser:
         "worker.* sites drive the process supervisor)",
     )
     run_many.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent result store: skip verified hits, execute and "
+        "store misses, tally hit/miss/quarantine counts",
+    )
+    run_many.add_argument(
         "--fail-fast",
         action="store_true",
         help="stop at the first failing spec and exit 3",
@@ -571,7 +704,45 @@ def build_parser() -> argparse.ArgumentParser:
     run_many.add_argument(
         "--json",
         action="store_true",
-        help="print the BatchReport document including supervisor events",
+        help="print the BatchReport document including supervisor "
+        "events and the store tally",
+    )
+
+    results = sub.add_parser(
+        "results",
+        help="list / inspect / verify / replay a persistent result "
+        "store (repro results ./results --verify)",
+    )
+    results.add_argument(
+        "store",
+        metavar="DIR",
+        help="store directory (what `repro run --store` wrote)",
+    )
+    results_mode = results.add_mutually_exclusive_group()
+    results_mode.add_argument(
+        "--show",
+        default=None,
+        metavar="FINGERPRINT",
+        help="print one stored entry document (exit 2 if absent, 3 if "
+        "corrupt)",
+    )
+    results_mode.add_argument(
+        "--verify",
+        action="store_true",
+        help="walk every entry, quarantine corruption/staleness with "
+        "typed reason documents, and report the damage (always exits 0)",
+    )
+    results_mode.add_argument(
+        "--replay",
+        default=None,
+        metavar="FINGERPRINT",
+        help="re-execute a stored run from its own spec/config and "
+        "compare documents byte-for-byte (exit 3 on divergence)",
+    )
+    results.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output",
     )
 
     sub.add_parser("table1", help="motivation examples (Table 1 / Fig 1)")
@@ -661,7 +832,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
-        for name in sorted(set(_COMMANDS) - {"run", "run-many", "experiments"}):
+        for name in sorted(
+            set(_COMMANDS) - {"run", "run-many", "results", "experiments"}
+        ):
             print(name)
         return 0
     if args.command == "all":

@@ -31,6 +31,10 @@ __all__ = [
     "CheckpointError",
     "WorkerCrashError",
     "RemoteTaskError",
+    "StoreError",
+    "StoreCorruptError",
+    "StoreStaleError",
+    "StoreWriteError",
     "error_code",
 ]
 
@@ -217,6 +221,53 @@ class CheckpointError(ReproError, RuntimeError):
     """Raised for unreadable or inconsistent checkpoint journals."""
 
     code = "checkpoint-invalid"
+
+
+class StoreError(ReproError, RuntimeError):
+    """Base class for persistent result-store failures.
+
+    The store's contract is that *no* failure below it ever produces a
+    wrong answer: a raised ``StoreError`` means "this entry cannot be
+    served" and the caller falls through to recompute.  Subclasses
+    carry the stable quarantine codes recorded in reason documents.
+    """
+
+    code = "store-error"
+
+
+class StoreCorruptError(StoreError):
+    """A stored entry failed integrity verification.
+
+    Raised for unreadable files, unparseable JSON, documents missing
+    required keys, checksum mismatches, and fingerprint-field
+    mismatches.  The offending bytes are quarantined verbatim so the
+    corruption stays inspectable.
+    """
+
+    code = "store-corrupt"
+
+
+class StoreStaleError(StoreError):
+    """A stored entry's validity envelope no longer matches this process.
+
+    The entry itself is intact, but it was written under a different
+    package version, schema version, or engine/comparator registry
+    contents — serving it could silently mix incompatible semantics,
+    so it is quarantined and recomputed instead.
+    """
+
+    code = "store-stale"
+
+
+class StoreWriteError(StoreError):
+    """A store write could not be completed atomically.
+
+    Writes are best-effort from the run's point of view: the computed
+    result is still returned, only the memoization is lost.  Sessions
+    catch this, count it, and carry on.
+    """
+
+    code = "store-write-failed"
 
 
 def error_code(exc: BaseException) -> str:

@@ -125,6 +125,12 @@ class Executor:
     in-run resilience machinery — the ``worker.*`` sites are
     unreachable from in-run :func:`~repro.resilience.faults.site_check`
     calls, so nothing fires twice.
+
+    ``warmup`` is an optional phase-kernel cache snapshot
+    (:func:`repro.perf.cache.export_ladder_state`) multiprocess
+    executors ship to freshly spawned workers; in-process executors
+    ignore it (their caches are already warm by definition).  Purely
+    a performance hint — payloads are identical with or without it.
     """
 
     name: str = ""
@@ -139,6 +145,7 @@ class Executor:
         timeout=None,
         on_complete: Optional[Callable] = None,
         on_event: Optional[Callable] = None,
+        warmup=None,
     ) -> list:
         raise NotImplementedError
 
@@ -204,6 +211,7 @@ class SerialExecutor(Executor):
         timeout=None,
         on_complete: Optional[Callable] = None,
         on_event: Optional[Callable] = None,
+        warmup=None,  # in-process: caches are already warm
     ) -> list:
         outcomes = []
         for task in tasks:

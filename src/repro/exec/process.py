@@ -145,6 +145,7 @@ class ProcessExecutor(Executor):
         timeout=None,
         on_complete: Optional[Callable] = None,
         on_event: Optional[Callable] = None,
+        warmup=None,
     ) -> list:
         from ..resilience.faults import resolve_fault_plan
         from ..resilience.policy import DEFAULT_RETRY
@@ -171,6 +172,7 @@ class ProcessExecutor(Executor):
             fault_state=fault_state,
             on_complete=on_complete,
             on_event=on_event,
+            warmup=warmup,
         )
         try:
             return supervisor.run(
@@ -193,6 +195,7 @@ class _Supervision:
         fault_state,
         on_complete,
         on_event,
+        warmup=None,
     ) -> None:
         self.executor = executor
         self.ctx = ctx
@@ -202,6 +205,9 @@ class _Supervision:
         self.fault_state = fault_state
         self.on_complete = on_complete
         self.on_event = on_event
+        # Phase-kernel cache snapshot shipped to each worker on its
+        # ready handshake (see repro.perf.cache.export_ladder_state).
+        self.warmup = list(warmup) if warmup else None
         self.members: dict = {}  # worker_id -> _Member
         self.next_worker_id = 0
         self.respawns_used = 0
@@ -248,7 +254,13 @@ class _Supervision:
         )
         proc.start()
         self.members[worker_id] = _Member(worker_id, proc, queue)
-        self.emit({"type": "worker.spawned", "worker": worker_id})
+        self.emit(
+            {
+                "type": "worker.spawned",
+                "worker": worker_id,
+                "warmup": len(self.warmup) if self.warmup else 0,
+            }
+        )
 
     def reap_member(self, member: _Member, reason: str) -> None:
         """Kill *member* (if still alive), requeue its task, respawn."""
@@ -425,6 +437,11 @@ class _Supervision:
             member.last_beat = time.monotonic()
             if kind == "ready":
                 member.ready = True
+                if self.warmup:
+                    # Warm the fresh worker's phase-kernel caches before
+                    # any task reaches it: small batches otherwise pay
+                    # one cold ladder build per worker.
+                    member.queue.put(("warmup", self.warmup))
             return
         pending = member.task
         member.task = None

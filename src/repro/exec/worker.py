@@ -5,11 +5,17 @@ Everything here is **top-level and importable**, because under the
 to find :func:`worker_main`.  The protocol is deliberately tiny:
 
 Supervisor → worker (per-worker task queue)
-    ``("task", index, kind, payload, directive)`` or ``("stop",)``.
+    ``("task", index, kind, payload, directive)``, ``("warmup",
+    state)`` or ``("stop",)``.
     ``directive`` is ``None``, ``"crash"`` (fault-injected: die with
     ``os._exit`` before touching the task) or ``"hang"`` (fault-
     injected: stop heartbeats and wedge, so the supervisor's straggler
-    / stall detection has a real victim).
+    / stall detection has a real victim).  ``warmup`` carries a
+    phase-kernel cache snapshot
+    (:func:`repro.perf.cache.export_ladder_state`) sent once after the
+    ready handshake; the worker rebuilds those weight ladders in one
+    batched recurrence before its first task, so small batches don't
+    pay per-worker cold cache builds.
 
 Worker → supervisor (shared result queue)
     ``("ready", worker_id)`` once after startup,
@@ -152,10 +158,24 @@ def worker_main(
         message = task_queue.get()
         if message[0] == "stop":
             break
+        if message[0] == "warmup":
+            from ..perf.cache import warm_ladders
+
+            try:
+                warm_ladders(message[1])
+            except Exception:  # pragma: no cover - defensive
+                pass  # a bad snapshot must never kill a worker
+            continue
         _, index, kind, payload, directive = message
         if directive == "crash":
             # Fault-injected mid-batch crash: a genuinely dead process,
-            # detected by the supervisor through its exit code.
+            # detected by the supervisor through its exit code.  Park
+            # the heartbeat thread first: dying while it holds the
+            # shared result-queue write lock would wedge every later
+            # worker's ready handshake, turning a clean injected crash
+            # into a whole-pool poisoning the fault did not ask for.
+            stop_beats.set()
+            beats.join(timeout=1.0)
             os._exit(CRASH_EXIT_CODE)
         if directive == "hang":
             # Fault-injected wedge: heartbeats stop, the task never

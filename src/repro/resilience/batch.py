@@ -24,9 +24,11 @@ class SpecOutcome:
     """One spec's fate inside a batch.
 
     ``restored`` marks outcomes replayed from a checkpoint journal
-    instead of executed; it is bookkeeping only and deliberately
-    excluded from :meth:`to_dict`, so resumed and uninterrupted batches
-    serialize byte-identically.
+    instead of executed; ``served`` marks outcomes served from a
+    verified :class:`~repro.store.ResultStore` entry.  Both are
+    bookkeeping only and deliberately excluded from :meth:`to_dict`,
+    so resumed / memoized and uninterrupted batches serialize
+    byte-identically.
     """
 
     spec: object
@@ -34,6 +36,7 @@ class SpecOutcome:
     result: Optional[object] = None
     error: Optional[object] = None
     restored: bool = False
+    served: bool = False
 
     @property
     def ok(self) -> bool:
@@ -59,10 +62,16 @@ class BatchReport:
     excluded from :meth:`to_dict` unless ``include_events=True``, so
     serial and parallel reports of the same batch serialize
     byte-identically.
+
+    ``store`` is the result-store tally of a memoized batch
+    (``run_many(store=...)``): hits / misses / quarantined /
+    write_failures counts, ``None`` for unmemoized batches.  Also
+    bookkeeping: opt in with ``to_dict(include_store=True)``.
     """
 
     outcomes: tuple = field(default_factory=tuple)
     events: tuple = field(default_factory=tuple)
+    store: Optional[dict] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "outcomes", tuple(self.outcomes))
@@ -83,6 +92,11 @@ class BatchReport:
         return tuple(o for o in self.outcomes if o.status == "failed")
 
     @property
+    def served(self) -> tuple:
+        """Outcomes served from the result store instead of executed."""
+        return tuple(o for o in self.outcomes if o.served)
+
+    @property
     def results(self) -> list:
         """Completed :class:`RunResult` objects (succeeded + degraded)."""
         return [o.result for o in self.outcomes if o.result is not None]
@@ -100,7 +114,9 @@ class BatchReport:
 
     # -- serialization -------------------------------------------------
 
-    def to_dict(self, include_events: bool = False) -> dict:
+    def to_dict(
+        self, include_events: bool = False, include_store: bool = False
+    ) -> dict:
         out = {
             "total": len(self.outcomes),
             "succeeded": len(self.succeeded),
@@ -110,6 +126,8 @@ class BatchReport:
         }
         if include_events:
             out["events"] = [dict(event) for event in self.events]
+        if include_store and self.store is not None:
+            out["store"] = dict(self.store)
         return out
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -84,6 +84,18 @@ __all__ = [
 #:   main thread sleeps — so straggler detection has something real to
 #:   kill.  None of the three is reachable from the in-run
 #:   :func:`site_check` hook; they exist for the supervisor.
+#: * ``store.read`` / ``store.write`` / ``store.corrupt`` — the
+#:   **result-store** sites, evaluated by
+#:   :class:`repro.store.ResultStore` against an explicitly passed
+#:   state (the same pattern as the ``worker.*`` sites: not reachable
+#:   from the in-run :func:`site_check` hook).  A firing ``store.read``
+#:   rule makes a lookup treat the entry as unreadable — it is
+#:   quarantined and the run recomputes (occurrence = lookup index); a
+#:   firing ``store.write`` rule makes the atomic write fail with a
+#:   :class:`~repro.errors.StoreWriteError` after the result is
+#:   computed (the run still returns it); a firing ``store.corrupt``
+#:   rule deterministically bit-flips one byte of the entry *as it is
+#:   written*, so the next read's checksum verification must catch it.
 FAULT_SITES = (
     "run.start",
     "engine.sample",
@@ -93,6 +105,9 @@ FAULT_SITES = (
     "worker.spawn",
     "worker.task",
     "worker.hang",
+    "store.read",
+    "store.write",
+    "store.corrupt",
 )
 
 

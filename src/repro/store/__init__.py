@@ -1,0 +1,27 @@
+"""Crash-safe persistent result store (content-addressed, verified).
+
+The serving layer of the reproduction: every completed
+:class:`~repro.api.session.RunResult` can be filed under its
+fingerprint and served back byte-identically without re-executing the
+engines — "compute once, serve millions of identical queries".
+:class:`ResultStore` owns durability (atomic temp-file + fsync +
+rename writes) and integrity (sha256 checksums, validity envelopes,
+verify-before-serve with quarantine); :class:`~repro.api.Session`
+threads it through ``run(store=...)`` / ``run_many(store=...)``; the
+``repro results`` CLI lists, inspects, verifies, and replays what is
+stored.  See ``docs/robustness.md`` ("Result store failure modes")
+for the failure-mode contract.
+"""
+
+from .envelope import SCHEMA_VERSION, current_envelope, registry_contents_hash
+from .store import ResultStore, StoreLookup, VerifyReport, resolve_store
+
+__all__ = [
+    "ResultStore",
+    "StoreLookup",
+    "VerifyReport",
+    "resolve_store",
+    "SCHEMA_VERSION",
+    "current_envelope",
+    "registry_contents_hash",
+]

@@ -1,0 +1,78 @@
+"""Validity envelope for stored result entries.
+
+A stored :class:`~repro.api.session.RunResult` document is only
+servable while the process reading it would have computed the same
+bytes.  The envelope captures everything the fingerprint does *not*
+cover but correctness depends on:
+
+* ``schema`` — the store's own entry-layout version; bumped whenever
+  the entry shape changes incompatibly;
+* ``package`` — ``repro.__version__`` at write time (result semantics
+  may shift between releases even for identical specs);
+* ``registries`` — a digest of the engine and deadline-comparator
+  registry *contents*.  A config naming ``engine="batch"`` fingerprints
+  identically whatever ``"batch"`` currently resolves to, so a process
+  that registered different engines must not serve entries written
+  under the old registry.
+
+An intact entry whose envelope mismatches is **stale**, not corrupt:
+it is quarantined with the :class:`~repro.errors.StoreStaleError` code
+and the run falls through to recompute — the entry was valid once and
+stays inspectable, it just cannot be trusted here.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..api.config import fingerprint
+
+__all__ = ["SCHEMA_VERSION", "current_envelope", "registry_contents_hash"]
+
+#: Store entry-layout version.  Bump on incompatible entry changes;
+#: entries written under another schema quarantine as stale.
+SCHEMA_VERSION = 1
+
+
+def registry_contents_hash() -> str:
+    """Digest of what the engine/comparator registries currently hold."""
+    from ..perf.deadline import available_deadline_comparators
+    from ..perf.engine import available_engines
+
+    return fingerprint(
+        {
+            "engines": list(available_engines()),
+            "comparators": list(available_deadline_comparators()),
+        }
+    )
+
+
+def current_envelope() -> dict:
+    """The envelope this process stamps on (and requires of) entries."""
+    from .. import __version__
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "package": __version__,
+        "registries": registry_contents_hash(),
+    }
+
+
+def envelope_mismatch(envelope: object) -> str:
+    """Human-readable diff against the current envelope, or ``""``.
+
+    Returns an empty string when *envelope* matches this process;
+    otherwise names every differing field (the quarantine reason).
+    """
+    expected = current_envelope()
+    if not isinstance(envelope, Mapping):
+        return f"envelope is {envelope!r}, expected a mapping"
+    differences = []
+    for key, want in expected.items():
+        got = envelope.get(key)
+        if got != want:
+            differences.append(f"{key}: entry has {got!r}, process has {want!r}")
+    unknown = sorted(set(envelope) - set(expected))
+    if unknown:
+        differences.append(f"unknown envelope fields {unknown}")
+    return "; ".join(differences)

@@ -1,0 +1,126 @@
+"""Phase-kernel warm-up: the cache snapshot shipped to pool workers.
+
+The in-process half (export / rebuild round-trip, bitwise ladder
+equality, malformed-snapshot tolerance) is tier-1; the handshake test
+that spawns a real pool rides the ``REPRO_EXEC_TESTS=1`` gate with the
+rest of the process-pool suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import RunConfig, Session, make_spec
+from repro.exec import ProcessExecutor
+from repro.perf.cache import (
+    clear_phase_caches,
+    export_ladder_state,
+    phase_cache_stats,
+    survival_weights,
+    warm_ladders,
+)
+
+from exec_tiny import requires_process_pool, tiny_specs
+
+
+class TestExportWarmRoundTrip:
+    def setup_method(self):
+        clear_phase_caches()
+
+    def teardown_method(self):
+        clear_phase_caches()
+
+    def test_rebuilt_ladders_are_bitwise_identical(self):
+        profiles = [(1.0, 2.0), (0.5,), (3.0, 1.5, 0.25)]
+        originals = {
+            p: np.array(survival_weights(p, 40)) for p in profiles
+        }
+        state = export_ladder_state()
+        assert sorted(tuple(rates) for rates, _ in state) == sorted(profiles)
+        clear_phase_caches()
+        assert warm_ladders(state) == len(profiles)
+        for profile, weights in originals.items():
+            rebuilt = survival_weights(profile, 40)
+            assert np.array_equal(rebuilt, weights)
+        # The rebuilds were cold builds, not hits.
+        stats = phase_cache_stats()
+        assert stats["ladder_entries"] == len(profiles)
+
+    def test_warm_is_idempotent_and_never_shrinks(self):
+        survival_weights((1.0, 2.0), 60)
+        state = export_ladder_state()
+        assert warm_ladders(state) == 0  # already at least as long
+        # A shorter snapshot never truncates the warm ladder.
+        assert warm_ladders([[[1.0, 2.0], 5]]) == 0
+        assert len(survival_weights((1.0, 2.0), 60)) == 60
+
+    def test_export_limit_drops_least_recent_first(self):
+        for i in range(5):
+            survival_weights((1.0 + i,), 8)
+        state = export_ladder_state(limit=2)
+        assert [rates for rates, _ in state] == [[4.0], [5.0]]
+        assert export_ladder_state(limit=None) and len(
+            export_ladder_state(limit=None)
+        ) == 5
+
+    def test_malformed_snapshots_are_ignored(self):
+        bad = [
+            "not-a-pair",
+            [[], 10],          # empty profile
+            [[1.0], 0],        # no terms requested
+            [[1.0], "many"],   # unparsable count
+            None,
+        ]
+        assert warm_ladders(bad) == 0
+        assert warm_ladders(None) == 0
+        assert warm_ladders([*bad, [[2.5], 12]]) == 1
+
+    def test_session_runs_leave_an_exportable_state(self):
+        # The deadline comparators are the heavy ladder users: a tiny
+        # frontier run leaves a rich snapshot behind.
+        spec = make_spec(
+            "deadline-frontier", n_tasks=5, n_deadlines=2, max_price=8
+        )
+        Session(RunConfig()).run(spec)
+        state = export_ladder_state()
+        assert state, "tiny frontier run should have built ladders"
+        clear_phase_caches()
+        assert warm_ladders(state) == len(state)
+
+
+@requires_process_pool
+class TestPoolWarmup:
+    def test_spawned_workers_receive_the_parent_snapshot(self):
+        # Warm the parent caches with one spec, then fan a batch out:
+        # the spawn events must record a non-empty warm-up shipment,
+        # and the pooled report stays byte-identical to the inline one.
+        clear_phase_caches()
+        session = Session(RunConfig())
+        session.run(
+            make_spec(
+                "deadline-frontier", n_tasks=5, n_deadlines=2, max_price=8
+            )
+        )
+        assert export_ladder_state()
+        pooled = session.run_many(
+            tiny_specs(),
+            executor=ProcessExecutor(workers=2, heartbeat_interval=0.02),
+        )
+        spawned = [
+            e for e in pooled.events if e["type"] == "worker.spawned"
+        ]
+        assert len(spawned) == 2
+        assert all(e["warmup"] > 0 for e in spawned)
+        inline = Session(RunConfig()).run_many(tiny_specs())
+        assert pooled.to_json() == inline.to_json()
+
+    def test_cold_parent_ships_no_snapshot(self):
+        clear_phase_caches()
+        pooled = Session(RunConfig()).run_many(
+            [tiny_specs()[1]],  # fig3: market path, no ladders needed
+            executor=ProcessExecutor(workers=1, heartbeat_interval=0.02),
+        )
+        spawned = [
+            e for e in pooled.events if e["type"] == "worker.spawned"
+        ]
+        assert spawned and all(e["warmup"] == 0 for e in spawned)

@@ -93,6 +93,13 @@ def test_smoke_run_asserts_equivalence_and_speedup(bench, tmp_path):
     # machinery (empty plan, live site checks) must stay cheap.
     assert resilience["outputs_identical"]
     assert resilience["overhead_pct"] < 5.0
+    # The store bench raises internally if a served document ever
+    # diverges from the computed one or a warm re-submission misses;
+    # serving a verified disk read must beat recomputing the sweep.
+    serving = results["store_serving"]
+    assert serving["outputs_identical"]
+    assert serving["warm_hit_rate"] == 1.0
+    assert serving["speedup"] > 1.0
 
 
 def test_sections_filter_runs_subset(bench):

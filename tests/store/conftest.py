@@ -1,0 +1,31 @@
+"""Shared fixtures for the result-store suite (tiny specs live in
+``store_tiny.py``).
+
+The store itself lives in a per-test tmp directory so nothing leaks
+between tests (a :class:`~repro.store.ResultStore` has no global
+state).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RunConfig, Session
+from repro.store import ResultStore
+
+from store_tiny import tiny_spec
+
+
+@pytest.fixture
+def fig3_spec():
+    return tiny_spec("fig3")
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+@pytest.fixture
+def session():
+    return Session(RunConfig())

@@ -1,0 +1,39 @@
+"""Tiny batch specs + gating for the result-store suite.
+
+The store tests reuse the resilience suite's tiny parameter sets so a
+three-spec batch stays tier-1 cheap.  The concurrency test spawns real
+subprocesses and is gated behind ``REPRO_EXEC_TESTS=1`` — tier-1 stays
+in-process; the ``result-store`` CI job flips the gate.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api import make_spec
+
+#: experiment name -> smallest sensible parameter overrides (the
+#: resilience suite's tiny entries for the three cheapest run paths).
+TINY_PARAMS = {
+    "fig2": {"n_tasks": 4, "n_samples": 20, "budgets": [800]},
+    "fig3": {"n_arrivals": 3},
+    "fig4": {"prices": [5, 8], "repetitions": 2},
+}
+
+#: Marker gating tests that spawn real subprocesses.
+requires_subprocesses = pytest.mark.skipif(
+    os.environ.get("REPRO_EXEC_TESTS") != "1",
+    reason="subprocess tests run in the result-store CI job "
+    "(set REPRO_EXEC_TESTS=1 to enable)",
+)
+
+
+def tiny_spec(name):
+    return make_spec(name, **TINY_PARAMS[name])
+
+
+def tiny_specs():
+    """A fresh three-spec batch (fig2 / fig3 / fig4, tiny params)."""
+    return [tiny_spec(name) for name in TINY_PARAMS]

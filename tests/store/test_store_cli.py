@@ -1,0 +1,158 @@
+"""CLI tests for ``--store`` on run / run-many and ``repro results``.
+
+Exit contract: 0 success, 2 user error (unknown fingerprint), 3
+execution failure (corrupt entry on ``--show``/``--replay``, replay
+divergence).  ``results --verify`` always exits 0 — finding damage is
+the command working.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+RUN = ["run", "fig3", "--param", "n_arrivals=3"]
+
+
+def run_stored(tmp_path, capsys):
+    """One stored tiny run; returns (store_root, result document)."""
+    root = tmp_path / "rs"
+    assert main([*RUN, "--store", str(root), "--json"]) == 0
+    return root, json.loads(capsys.readouterr().out)
+
+
+def flip_byte(path):
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 2] ^= 0x01
+    path.write_bytes(bytes(blob))
+
+
+def entry_path(root, token):
+    return root / "objects" / token[:2] / f"{token}.json"
+
+
+class TestRunStore:
+    def test_second_run_serves_identical_document(self, tmp_path, capsys):
+        root, computed = run_stored(tmp_path, capsys)
+        assert main([*RUN, "--store", str(root), "--json"]) == 0
+        served = json.loads(capsys.readouterr().out)
+        # The computed run carries its wall-clock execution record;
+        # the served document is the stored (timing-free) one.
+        computed.pop("execution", None)
+        served.pop("execution", None)
+        assert served == computed
+
+    def test_run_many_store_tally(self, tmp_path, capsys):
+        root = tmp_path / "rs"
+        batch = [
+            "run-many",
+            json.dumps({"experiment": "fig3", "params": {"n_arrivals": 3}}),
+            json.dumps({"experiment": "fig3", "params": {"n_arrivals": 4}}),
+            "--store",
+            str(root),
+        ]
+        assert main(batch) == 0
+        out = capsys.readouterr().out
+        assert "store: hits 0  misses 2" in out
+        assert main([*batch, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["store"] == {
+            "hits": 2, "misses": 0, "quarantined": 0, "write_failures": 0,
+        }
+
+
+class TestResults:
+    def test_list_shows_the_entry(self, tmp_path, capsys):
+        root, doc = run_stored(tmp_path, capsys)
+        assert main(["results", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert doc["fingerprint"] in out
+        assert "total 1" in out and "quarantined 0" in out
+
+    def test_list_json(self, tmp_path, capsys):
+        root, doc = run_stored(tmp_path, capsys)
+        assert main(["results", str(root), "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert listing["entries"] == [
+            {
+                "fingerprint": doc["fingerprint"],
+                "experiment": "fig3",
+                "status": "succeeded",
+                "intact": True,
+            }
+        ]
+
+    def test_show_prints_the_entry_document(self, tmp_path, capsys):
+        root, doc = run_stored(tmp_path, capsys)
+        assert main(["results", str(root), "--show", doc["fingerprint"]]) == 0
+        entry = json.loads(capsys.readouterr().out)
+        assert entry["fingerprint"] == doc["fingerprint"]
+        stored = dict(doc)
+        stored.pop("execution", None)
+        assert entry["result"] == stored
+
+    def test_show_unknown_fingerprint_is_a_user_error(self, tmp_path, capsys):
+        root, _ = run_stored(tmp_path, capsys)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["results", str(root), "--show", "deadbeefdeadbeef"])
+        assert excinfo.value.code == 2
+
+    def test_show_corrupt_entry_exits_3(self, tmp_path, capsys):
+        root, doc = run_stored(tmp_path, capsys)
+        flip_byte(entry_path(root, doc["fingerprint"]))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["results", str(root), "--show", doc["fingerprint"]])
+        assert excinfo.value.code == 3
+
+    def test_replay_matches(self, tmp_path, capsys):
+        root, doc = run_stored(tmp_path, capsys)
+        assert (
+            main(["results", str(root), "--replay", doc["fingerprint"]]) == 0
+        )
+        assert "matches the stored document" in capsys.readouterr().out
+
+    def test_replay_divergence_exits_3(self, tmp_path, capsys):
+        root, doc = run_stored(tmp_path, capsys)
+        # Rewrite the entry with a doctored payload *and* a matching
+        # checksum, so only the replay comparison can catch it.
+        from repro.store import ResultStore
+
+        tampered = dict(doc)
+        tampered.pop("execution", None)
+        tampered["payload"] = {"forged": True}
+        ResultStore(root).put(doc["fingerprint"], tampered)
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["results", str(root), "--replay", doc["fingerprint"], "--json"]
+            )
+        assert excinfo.value.code == 3
+        assert json.loads(capsys.readouterr().out)["match"] is False
+
+
+class TestVerify:
+    def test_verify_clean_store(self, tmp_path, capsys):
+        root, _ = run_stored(tmp_path, capsys)
+        assert main(["results", str(root), "--verify"]) == 0
+        assert "checked 1  intact 1  quarantined 0" in capsys.readouterr().out
+
+    def test_corruption_recovery_cycle(self, tmp_path, capsys):
+        """The CI smoke in miniature: damage -> verify -> recompute."""
+        root, doc = run_stored(tmp_path, capsys)
+        path = entry_path(root, doc["fingerprint"])
+        flip_byte(path)
+        # Finding damage is the command working: exit 0, damage listed.
+        assert main(["results", str(root), "--verify", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["intact"] == 0
+        assert report["quarantined"][0]["code"] == "store-corrupt"
+        # Rerun recomputes and heals the store.
+        assert main([*RUN, "--store", str(root), "--json"]) == 0
+        recomputed = json.loads(capsys.readouterr().out)
+        assert recomputed["payload"] == doc["payload"]
+        assert main(["results", str(root), "--verify", "--json"]) == 0
+        healed = json.loads(capsys.readouterr().out)
+        assert healed["intact"] == 1
+        assert healed["previously_quarantined"] == 1

@@ -1,0 +1,153 @@
+"""Fault-grid tests for the ``store.*`` injection sites.
+
+The invariant every cell certifies: **an injected store failure never
+propagates into a result**.  Whatever fires — unreadable entries,
+failed writes, at-rest corruption — the run recomputes and returns a
+payload identical to the fault-free run's.
+
+A fault plan is part of the config, so it changes the fingerprint:
+comparisons against a fault-free run go through
+``to_dict()["payload"]``, never the whole document.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RunConfig, Session
+from repro.errors import StoreWriteError, error_code
+from repro.resilience import FaultPlan, FaultRule
+
+from store_tiny import tiny_specs
+
+
+def plan(site, at=(0,)):
+    return FaultPlan(rules=(FaultRule(site=site, at=tuple(at)),))
+
+
+def payload(result):
+    return result.to_dict()["payload"]
+
+
+@pytest.fixture
+def clean_payload(fig3_spec):
+    return payload(Session(RunConfig()).run(fig3_spec))
+
+
+class TestStoreWriteFault:
+    def test_write_failure_loses_memoization_not_the_run(
+        self, store, fig3_spec, clean_payload
+    ):
+        session = Session(RunConfig(faults=plan("store.write")))
+        result = session.run(fig3_spec, store=store)
+        assert payload(result) == clean_payload
+        # The entry was never written: every run under this plan
+        # recomputes (fresh fault state per run, so at=[0] always fires).
+        assert len(store) == 0
+        again = session.run(fig3_spec, store=store)
+        assert payload(again) == clean_payload
+        assert session.runs_completed == 2
+        assert store.stats()["write_failures"] == 2
+
+    def test_put_raises_typed_error(self, store):
+        state = plan("store.write").activate()
+        with pytest.raises(StoreWriteError) as excinfo:
+            store.put("ab" * 8, {"x": 1}, fault_state=state)
+        assert error_code(excinfo.value) == "store-write-failed"
+        assert "store.write" in str(excinfo.value)
+
+    def test_batch_counts_write_failures(self, store, clean_payload):
+        config = RunConfig(faults=plan("store.write", at=[0, 1, 2]))
+        report = Session(config).run_many(tiny_specs(), store=store)
+        assert report.ok
+        assert report.store["write_failures"] == 3
+        assert len(store) == 0
+        assert payload(report.outcomes[1].result) == clean_payload
+
+
+class TestStoreCorruptFault:
+    def test_corruption_is_caught_on_the_next_read(
+        self, store, fig3_spec, clean_payload
+    ):
+        session = Session(RunConfig(faults=plan("store.corrupt")))
+        first = session.run(fig3_spec, store=store)
+        assert payload(first) == clean_payload
+        assert len(store) == 1  # the corrupt write "succeeded"
+        # The next run's verify-before-serve catches the flip,
+        # quarantines, and recomputes — the caller never sees bad data.
+        second = session.run(fig3_spec, store=store)
+        assert payload(second) == clean_payload
+        assert session.runs_completed == 2
+        assert store.stats()["quarantined"] == 1
+        reasons = store.quarantined()
+        assert reasons and reasons[0]["code"] == "store-corrupt"
+
+    def test_verify_reports_injected_corruption(self, store, fig3_spec):
+        session = Session(RunConfig(faults=plan("store.corrupt")))
+        session.run(fig3_spec, store=store)
+        report = store.verify()
+        assert not report.ok
+        assert report.quarantined[0][1] == "store-corrupt"
+
+
+class TestStoreReadFault:
+    def test_read_failure_quarantines_good_entry_and_recomputes(
+        self, store, fig3_spec, clean_payload
+    ):
+        session = Session(RunConfig(faults=plan("store.read")))
+        first = session.run(fig3_spec, store=store)  # miss: entry absent
+        assert session.runs_completed == 1
+        # The entry now exists, so the next lookup consults the fault:
+        # the (perfectly good) entry is treated as unreadable.
+        second = session.run(fig3_spec, store=store)
+        assert session.runs_completed == 2
+        assert payload(second) == payload(first) == clean_payload
+        assert store.stats()["quarantined"] == 1
+        # The recompute wrote the entry back.
+        assert len(store) == 1
+
+    def test_occurrences_only_advance_on_existing_entries(self, store):
+        # at=[1] over a warm three-entry batch: the *second lookup that
+        # finds a file* fires, whichever spec that is.  The cold batch
+        # never consults the site (absent entries miss before the fault
+        # check), so its occurrence counter stays at zero.
+        config = RunConfig(faults=plan("store.read", at=[1]))
+        session = Session(config)
+        cold = session.run_many(tiny_specs(), store=store)
+        assert cold.store == {
+            "hits": 0, "misses": 3, "quarantined": 0, "write_failures": 0,
+        }
+        warm = session.run_many(tiny_specs(), store=store)
+        assert warm.store == {
+            "hits": 2, "misses": 1, "quarantined": 1, "write_failures": 0,
+        }
+        assert [o.served for o in warm.outcomes] == [True, False, True]
+        # The recompute healed the store (the miss was rewritten), so
+        # the next batch repeats the same pattern: every entry exists,
+        # occurrence 1 fires again, and everything else is served.
+        again = session.run_many(tiny_specs(), store=store)
+        assert again.store["hits"] == 2
+        assert again.store["quarantined"] == 1
+
+    def test_unreached_occurrence_never_fires(self, store, fig3_spec):
+        config = RunConfig(
+            faults=FaultPlan(rules=(FaultRule(site="store.read", at=(5,)),))
+        )
+        session = Session(config)
+        session.run(fig3_spec, store=store)
+        served = session.run(fig3_spec, store=store)
+        assert session.runs_completed == 1
+        assert served is not None
+        assert store.stats()["quarantined"] == 0
+
+
+class TestFaultPlanIdentity:
+    def test_fault_plan_changes_the_fingerprint(self, store, fig3_spec):
+        plain = Session(RunConfig()).run(fig3_spec, store=store)
+        faulted = Session(RunConfig(faults=plan("store.write"))).run(
+            fig3_spec
+        )
+        # The plan is identity: a faulted config can never be served a
+        # fault-free config's entry (or vice versa).
+        assert plain.fingerprint != faulted.fingerprint
+        assert payload(plain) == payload(faulted)
