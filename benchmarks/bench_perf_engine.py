@@ -48,6 +48,13 @@ Fig. 2-sized workload, against the seed implementations:
   verified disk read (sha256 + validity envelope) instead of a full
   numeric sweep, plus a 100-spec ``run_many`` hit-rate sweep asserted
   to come back 100% served and byte-identical on re-submission.
+* **Service latency** — the live ``repro.serve`` HTTP service under
+  three request shapes (cold submit→poll→result, warm-store re-serving
+  on a fresh service instance, online DP-priced market allocations):
+  p50/p95/p99 per shape plus requests/sec, with every served document
+  asserted byte-identical to a direct ``Session.run``.  Binds real
+  sockets, so tier-1 asserts on the committed numbers and the
+  ``service-layer`` CI job re-runs it live.
 
 Run directly (``python benchmarks/bench_perf_engine.py``) to write
 ``BENCH_perf_engine.json`` at the repo root; ``--sections NAME ...``
@@ -912,6 +919,164 @@ def bench_store_serving(
         shutil.rmtree(root, ignore_errors=True)
 
 
+def bench_service_latency(
+    n_tasks: int = 100, n_specs: int = 18, n_allocates: int = 36
+) -> dict:
+    """Cold vs warm-store vs online serving through the live service.
+
+    Drives a real :class:`repro.serve.ReproService` (asyncio streams
+    on a background thread, store-backed, serial executor) through the
+    three request shapes a deployment serves, reporting p50/p95/p99
+    latency and sustained requests/sec for each:
+
+    * **cold** — *n_specs* distinct single-budget numeric sweeps, each
+      submitted, polled to completion, and fetched (submit → settled →
+      result per request).  Every served document is asserted
+      byte-identical to a direct ``Session.run`` of the same spec —
+      the HTTP layer must not perturb results;
+    * **warm_store** — a *fresh* service instance on the same store
+      directory re-serves the identical submissions: every one must be
+      a store hit (``served``), one verified disk read instead of a
+      numeric sweep;
+    * **online** — allocate requests priced by the DP kernels against
+      the live ledger (the market path has no store to hide behind).
+
+    The headline ``speedup`` is cold/warm total serving time — the
+    memoization gain as seen *through the service*, verification and
+    HTTP overhead priced in.
+    """
+    import asyncio
+    import shutil
+    import tempfile
+
+    from repro.api import BudgetSweepSpec, RunConfig, Session
+    from repro.serve import ReproService, http_request, start_in_thread
+
+    specs = [
+        BudgetSweepSpec(
+            family="repe",
+            case="a",
+            n_tasks=n_tasks,
+            budgets=(1000 + 50 * i,),
+            strategies=("ra",),
+            scoring="numeric",
+        )
+        for i in range(int(n_specs))
+    ]
+    scenarios = ("homo", "repe", "heter")
+
+    async def settle(host, port, spec_doc):
+        t0 = time.perf_counter()
+        status, body = await http_request(
+            host, port, "POST", "/runs", {"spec": spec_doc}
+        )
+        if status not in (200, 202):
+            raise AssertionError(f"submit failed: {status} {body}")
+        run_id = body["run_id"]
+        served = bool(body.get("served"))
+        while body.get("status") in ("queued", "running"):
+            await asyncio.sleep(0.002)
+            status, body = await http_request(
+                host, port, "GET", f"/runs/{run_id}"
+            )
+        status, result = await http_request(
+            host, port, "GET", f"/runs/{run_id}/result"
+        )
+        if status != 200:
+            raise AssertionError(f"result failed: {status} {result}")
+        return (time.perf_counter() - t0) * 1000.0, result, served
+
+    async def drive(host, port):
+        latencies, results, served_flags = [], [], []
+        for spec in specs:
+            ms, doc, served = await settle(host, port, spec.to_dict())
+            latencies.append(ms)
+            results.append(doc)
+            served_flags.append(served)
+        return latencies, results, served_flags
+
+    async def drive_market(host, port):
+        latencies = []
+        for i in range(int(n_allocates)):
+            t0 = time.perf_counter()
+            status, body = await http_request(
+                host, port, "POST", "/market/allocate",
+                {
+                    "scenario": scenarios[i % len(scenarios)],
+                    "n_tasks": 4,
+                    "budget": 600,
+                },
+            )
+            if status != 200:
+                raise AssertionError(f"allocate failed: {status} {body}")
+            latencies.append((time.perf_counter() - t0) * 1000.0)
+        return latencies
+
+    def shape(latencies):
+        arr = np.sort(np.asarray(latencies, dtype=float))
+        total = arr.sum() / 1000.0
+        return {
+            "p50_ms": float(np.percentile(arr, 50)),
+            "p95_ms": float(np.percentile(arr, 95)),
+            "p99_ms": float(np.percentile(arr, 99)),
+            "requests_per_sec": len(arr) / total,
+        }, total
+
+    root = pathlib.Path(tempfile.mkdtemp(prefix="repro-bench-serve-"))
+    try:
+        cold_service = ReproService(store=root / "store")
+        with start_in_thread(cold_service) as handle:
+            cold_ms, cold_docs, _ = asyncio.run(
+                drive(handle.host, handle.port)
+            )
+            online_ms = asyncio.run(drive_market(handle.host, handle.port))
+
+        direct = [Session(RunConfig()).run(spec).to_dict() for spec in specs]
+        for served_doc, direct_doc in zip(cold_docs, direct):
+            if json.dumps(served_doc, sort_keys=True) != json.dumps(
+                direct_doc, sort_keys=True
+            ):
+                raise AssertionError(
+                    "service result diverged from direct Session.run"
+                )
+
+        warm_service = ReproService(store=root / "store")  # fresh instance
+        with start_in_thread(warm_service) as handle:
+            warm_ms, warm_docs, served_flags = asyncio.run(
+                drive(handle.host, handle.port)
+            )
+        if not all(served_flags):
+            raise AssertionError(
+                f"warm pass missed the store: {served_flags.count(False)} "
+                "submissions recomputed"
+            )
+        if warm_docs != cold_docs:
+            raise AssertionError("warm-store documents diverged from cold")
+
+        cold_shape, cold_total = shape(cold_ms)
+        warm_shape, warm_total = shape(warm_ms)
+        online_shape, _ = shape(online_ms)
+        return {
+            "workload": f"{len(specs)} single-budget numeric sweeps "
+            f"({n_tasks} tasks) + {int(n_allocates)} market allocations, "
+            "served over HTTP",
+            "cold": cold_shape,
+            "warm_store": warm_shape,
+            "online": online_shape,
+            "cold_seconds": cold_total,
+            "warm_seconds": warm_total,
+            "speedup": cold_total / warm_total,
+            "outputs_identical": True,
+            "note": "cold = submit+poll+result against an empty store; "
+            "warm_store = a fresh service instance re-serving the same "
+            "submissions from disk (every one asserted a store hit); "
+            "online = DP-priced market allocations; speedup = cold/warm "
+            "total serving time through the real socket path",
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 #: Section name -> (bench callable, arguments it takes from run()).
 _SECTIONS = {
     "mc_job_sampling": lambda p: bench_mc_sampling(
@@ -946,6 +1111,9 @@ _SECTIONS = {
     ),
     "store_serving": lambda p: bench_store_serving(
         p["n_tasks"], p["n_budgets"]
+    ),
+    "service_latency": lambda p: bench_service_latency(
+        p["n_tasks"], 2 * p["n_budgets"], 4 * p["n_budgets"]
     ),
 }
 

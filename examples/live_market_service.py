@@ -1,0 +1,124 @@
+"""The live crowd-market service, end to end, in one process.
+
+Starts a :class:`repro.serve.ReproService` on a background thread
+(backed by a result store in a temp dir), then plays both sides of the
+ROADMAP's "serving heavy traffic" story against it over real HTTP:
+
+* **batch side** — submit a fig2-sized budget sweep (``POST /runs``),
+  poll its status, fetch the result document, and resubmit to show the
+  store-hit path (the second submission is served, not recomputed);
+* **market side** — stream allocate requests (``POST /market/allocate``)
+  priced by the paper's DP kernels against one live budget ledger
+  until the ledger rejects a batch with a 409, then print the final
+  ledger state.
+
+Run:  python examples/live_market_service.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+import time
+
+from repro.serve import ReproService, http_request, start_in_thread
+
+
+async def play(host: str, port: int, spec: dict) -> None:
+    req = lambda *a, **kw: http_request(host, port, *a, **kw)  # noqa: E731
+
+    # --- batch side: submit, poll, fetch, resubmit -------------------
+    status, doc = await req("POST", "/runs", {"spec": spec})
+    run_id = doc["run_id"]
+    print(f"submitted   {run_id}  ({status}: {doc['status']})")
+
+    while True:
+        status, doc = await req("GET", f"/runs/{run_id}")
+        if doc["status"] not in ("queued", "running"):
+            break
+        await asyncio.sleep(0.05)
+    print(f"settled     {run_id}  ({doc['status']})")
+
+    status, result = await req("GET", f"/runs/{run_id}/result")
+    budgets = result["payload"]["budgets"]
+    print(f"result      {status}: budgets {budgets}")
+
+    t0 = time.perf_counter()
+    status, doc = await req("POST", "/runs", {"spec": spec})
+    warm_ms = (time.perf_counter() - t0) * 1000.0
+    print(
+        f"resubmitted {doc['run_id']}  ({status}: {doc['status']}, "
+        f"{warm_ms:.1f} ms — idempotent, not recomputed)"
+    )
+
+    # --- market side: allocate until the ledger says no --------------
+    print("\nmarket:")
+    batch = 0
+    while True:
+        batch += 1
+        status, doc = await req(
+            "POST",
+            "/market/allocate",
+            {"scenario": "repe", "n_tasks": 8, "budget": 800},
+        )
+        if status == 409:
+            print(f"  batch {batch:2d}: REJECTED ({doc['code']}: {doc['message']})")
+            break
+        print(
+            f"  batch {batch:2d}: accepted {doc['allocation_id']} "
+            f"cost {doc['cost']}  remaining {doc['remaining_budget']}"
+        )
+
+    _, state = await req("GET", "/market/state")
+    ledger = state["ledger"]
+    print(
+        f"\nledger: spent {ledger['spent']}/{ledger['budget']}  "
+        f"accepted {ledger['accepted']}  rejected {ledger['rejected']}  "
+        f"digest {state['trajectory_digest']}"
+    )
+
+    _, health = await req("GET", "/health")
+    tally = health["tally"]
+    print(
+        f"service: {tally['requests']} requests, "
+        f"{tally['computed']} computed, {tally['store_hits']} store hits"
+    )
+
+
+async def replay_after_restart(host: str, port: int, spec: dict) -> None:
+    """A fresh service on the same store serves the run without compute."""
+    t0 = time.perf_counter()
+    status, doc = await http_request(host, port, "POST", "/runs", {"spec": spec})
+    warm_ms = (time.perf_counter() - t0) * 1000.0
+    print(
+        f"\nafter restart: {doc['run_id']}  ({status}: {doc['status']}, "
+        f"served={doc['served']}, {warm_ms:.1f} ms — a store hit, no compute)"
+    )
+
+
+def main() -> None:
+    spec = {
+        "experiment": "budget-sweep",
+        "params": {
+            "family": "repe",
+            "case": "a",
+            "n_tasks": 12,
+            "budgets": [600, 900, 1200],
+            "strategies": ["ra", "ha"],
+            "scoring": "numeric",
+        },
+    }
+    with tempfile.TemporaryDirectory() as store_dir:
+        service = ReproService(store=store_dir, market_budget=3_000)
+        with start_in_thread(service) as handle:
+            print(f"service up at {handle.base_url}  (store: {store_dir})\n")
+            asyncio.run(play(handle.host, handle.port, spec))
+        # The store outlives the process: a brand-new service instance
+        # answers the same submission from disk (the restart story).
+        restarted = ReproService(store=store_dir)
+        with start_in_thread(restarted) as handle:
+            asyncio.run(replay_after_restart(handle.host, handle.port, spec))
+
+
+if __name__ == "__main__":
+    main()

@@ -63,6 +63,7 @@ from .errors import (
     PlanError,
     RegistryError,
     ReproError,
+    RunNotFoundError,
     RunTimeoutError,
     SimulationError,
     StoreCorruptError,
@@ -100,6 +101,7 @@ __all__ = [
     "PlanError",
     "RegistryError",
     "ReproError",
+    "RunNotFoundError",
     "ResultStore",
     "RetryPolicy",
     "RunConfig",

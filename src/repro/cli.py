@@ -5,6 +5,7 @@ Usage::
     python -m repro experiments [--json]   # registered experiments + schemas
     python -m repro run fig2 --param scenario=repe --param n_tasks=50 --json
     python -m repro run deadline-frontier --param confidences=[0.8,0.9]
+    python -m repro serve --port 8765 --store ./results  # live service
 
     python -m repro list                 # legacy command names
     python -m repro table1               # motivation examples
@@ -515,6 +516,51 @@ def _cmd_deadline(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    """Run the live service (see ``repro.serve`` / docs/service.md).
+
+    Binds an asyncio HTTP server exposing the batch endpoints
+    (``POST /runs``, ``GET /runs/<id>[/result]``) and the online
+    market (``POST /market/allocate``, ``GET /market/state``).  Bad
+    configuration (unknown executor/fault plan, malformed budget)
+    exits 2; the server itself runs until interrupted.
+    """
+    import asyncio
+
+    from .serve import DEFAULT_MARKET_BUDGET, ReproService, serve_forever
+
+    try:
+        faults = None
+        if args.faults:
+            try:
+                faults = json.loads(args.faults)
+            except json.JSONDecodeError:
+                faults = args.faults  # a registered plan name
+            from .resilience.faults import resolve_fault_plan
+
+            resolve_fault_plan(faults)  # unknown names are user errors
+        market_budget = (
+            DEFAULT_MARKET_BUDGET
+            if args.market_budget is None
+            else args.market_budget
+        )
+        service = ReproService(
+            store=args.store,
+            executor=args.executor,
+            workers=args.workers,
+            faults=faults,
+            market_budget=market_budget,
+        )
+    except ReproError as exc:
+        _fail(args, exc, USER_ERROR_EXIT)
+    try:
+        asyncio.run(serve_forever(service, args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "table1": _cmd_table1,
     "fig2": _cmd_fig2,
@@ -527,6 +573,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "run-many": _cmd_run_many,
     "results": _cmd_results,
     "experiments": _cmd_experiments,
+    "serve": _cmd_serve,
 }
 
 
@@ -743,6 +790,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="machine-readable output",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the live crowd-market HTTP service (repro serve "
+        "--port 8765 --store ./results --executor process)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port (default 8765; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent result store: submissions are served from "
+        "verified hits and computed results are written back",
+    )
+    serve.add_argument(
+        "--executor",
+        default="serial",
+        help="compute backend for submitted runs (registry-resolved; "
+        f"registered: {', '.join(available_executors())}); 'async' "
+        "wraps its own inner executor",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrent dispatch width for submitted runs",
+    )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault plan (registered name or inline "
+        "JSON; serve.request / serve.backend sites drive the service "
+        "— see docs/robustness.md)",
+    )
+    serve.add_argument(
+        "--market-budget",
+        type=int,
+        default=None,
+        help="total ledger units for the online market (default "
+        "100000)",
     )
 
     sub.add_parser("table1", help="motivation examples (Table 1 / Fig 1)")

@@ -128,21 +128,24 @@ def heterogeneous_algorithm_sweep(
     family,
     budgets: Sequence[int],
 ) -> dict[int, Allocation]:
-    """Run Algorithm 3 (HA) for every budget of a sweep, sharing work.
+    """Run Algorithm 3 (HA) for every budget of a sweep in one pass.
 
     *family* is a :class:`~repro.workloads.families.ProblemFamily`.
-    Three of HA's four ingredients are computed once for the whole
-    sweep: the utopia points (one multi-budget DP + one recorded
-    greedy walk, :func:`~repro.core.objectives.utopia_point_sweep`),
-    the price-independent phase-2 expectations, and the dense phase-1
-    tables (built once at the largest budget and shared by every
-    scan).  Only the closeness scan itself runs per budget — its tie
-    margin compares against budget-specific utopia coordinates, so
-    collapsing it across budgets could flip last-ulp ties.  Each
-    returned allocation is **bit-identical** to
+    Every ingredient is shared across the sweep: the utopia points
+    (one multi-budget DP + one recorded greedy walk,
+    :func:`~repro.core.objectives.utopia_point_sweep`), the
+    price-independent phase-2 expectations, the dense phase-1 tables
+    (built once at the largest budget), and — via
+    :func:`~repro.perf.dp.heterogeneous_closeness_sweep` — the
+    closeness scan itself: one shared trajectory evaluates each
+    candidate's raw objective once per budget level, and only the
+    cheap per-budget closeness comparison (against budget-specific
+    utopia coordinates) replays per budget.  A budget whose last-ulp
+    tie breaks differently forks into a private seed-exact
+    continuation, so each returned allocation is **bit-identical** to
     ``heterogeneous_algorithm(family.problem_at(b))``.
     """
-    from ..perf.dp import group_cost_table, heterogeneous_price_scan
+    from ..perf.dp import group_cost_table, heterogeneous_closeness_sweep
 
     budgets = [int(b) for b in budgets]
     groups = family.groups
@@ -160,18 +163,17 @@ def heterogeneous_algorithm_sweep(
         for g, u in zip(groups, unit_costs)
     ]
 
+    finals = heterogeneous_closeness_sweep(
+        groups,
+        [b - start_cost for b in budgets],
+        unit_costs,
+        group_onhold_latency,
+        phase2,
+        [(utopias[b].o1, utopias[b].o2) for b in budgets],
+        phase1_tables=tables,
+    )
     out: dict[int, Allocation] = {}
-    for b in budgets:
-        final, _ = heterogeneous_price_scan(
-            groups,
-            b - start_cost,
-            unit_costs,
-            group_onhold_latency,
-            phase2,
-            utopias[b].o1,
-            utopias[b].o2,
-            phase1_tables=tables,
-        )
+    for b, final in zip(budgets, finals):
         problem = family.problem_at(b)
         group_prices = {g.key: final[i] for i, g in enumerate(groups)}
         allocation = Allocation.from_group_prices(problem, group_prices)

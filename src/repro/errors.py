@@ -35,6 +35,7 @@ __all__ = [
     "StoreCorruptError",
     "StoreStaleError",
     "StoreWriteError",
+    "RunNotFoundError",
     "error_code",
 ]
 
@@ -268,6 +269,24 @@ class StoreWriteError(StoreError):
     """
 
     code = "store-write-failed"
+
+
+class RunNotFoundError(ReproError, LookupError):
+    """A run id addressed through the service layer is unknown.
+
+    Run ids are content-addressed fingerprints, so an unknown id means
+    the ``(spec, config)`` pair was never submitted to this service
+    (or the service restarted without a persistent store backing it).
+    """
+
+    code = "run-not-found"
+
+    def __init__(self, run_id: str) -> None:
+        self.run_id = str(run_id)
+        super().__init__(
+            f"unknown run id {self.run_id!r}; submit the spec via "
+            "POST /runs first"
+        )
 
 
 def error_code(exc: BaseException) -> str:

@@ -7,8 +7,11 @@ an :class:`Executor` resolved through the same kind of name registry
 engines and comparators use.  ``"serial"`` exercises the wire format
 in-process; ``"process"`` is the supervised multiprocess pool with
 crash recovery, straggler requeue and graceful degradation
-(:mod:`repro.exec.process`).  Results are executor-invariant by
-construction — the certification tests live under ``tests/exec/``.
+(:mod:`repro.exec.process`); ``"async"`` is the asyncio dispatcher
+that feeds a blocking inner executor from an event loop
+(:mod:`repro.exec.asyncexec`, the :mod:`repro.serve` backend).
+Results are executor-invariant by construction — the certification
+tests live under ``tests/exec/``.
 """
 
 from .base import (
@@ -22,6 +25,7 @@ from .base import (
     register_executor,
     resolve_executor,
 )
+from .asyncexec import AsyncExecutor
 from .process import ProcessExecutor
 from .shard import sharded_run_replications, split_replications
 from .worker import run_replication_shard, run_task_document, worker_main
@@ -32,6 +36,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "TaskOutcome",
+    "AsyncExecutor",
     "ProcessExecutor",
     "available_executors",
     "get_executor",

@@ -59,6 +59,7 @@ from .dp import (
     budget_indexed_dp_fast,
     budget_indexed_dp_sweep,
     group_cost_table,
+    heterogeneous_closeness_sweep,
     heterogeneous_price_scan,
 )
 from .engine import (
@@ -96,6 +97,7 @@ __all__ = [
     "get_deadline_comparator",
     "get_engine",
     "group_cost_table",
+    "heterogeneous_closeness_sweep",
     "heterogeneous_price_scan",
     "phase_cache_stats",
     "register_deadline_comparator",

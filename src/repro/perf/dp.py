@@ -33,6 +33,7 @@ __all__ = [
     "budget_indexed_dp_fast",
     "budget_indexed_dp_sweep",
     "heterogeneous_price_scan",
+    "heterogeneous_closeness_sweep",
 ]
 
 #: Strict-improvement margin of the seed DP scans (kept verbatim).
@@ -180,34 +181,106 @@ def heterogeneous_price_scan(
     table entries in one fused pass instead of rebuilding per-group
     latency lists through ladder calls.
 
-    ``phase1_tables`` may be passed in by multi-budget callers (the
-    one-pass sweep builds them once at the largest budget); each table
-    must cover at least ``2 + residual // unit_cost`` prices.  Larger
-    tables read the same entries, so sharing keeps results
-    bit-identical.
+    ``phase1_tables`` may be passed in by multi-budget callers; each
+    table must cover at least ``2 + residual // unit_cost`` prices.
+    Larger tables read the same entries, so sharing keeps results
+    bit-identical.  The scan itself is the single-budget slice of
+    :func:`heterogeneous_closeness_sweep`.
     """
-    n = len(groups)
+    phase1_tables = _check_phase1_tables(
+        groups, residual, unit_costs, group_cost_fn, phase1_tables
+    )
+    finals = heterogeneous_closeness_sweep(
+        groups,
+        [residual],
+        unit_costs,
+        group_cost_fn,
+        phase2,
+        [(utopia_o1, utopia_o2)],
+        phase1_tables=phase1_tables,
+    )
+    return finals[0], phase1_tables
+
+
+def _check_phase1_tables(
+    groups, residual, unit_costs, group_cost_fn, phase1_tables
+):
+    """Build dense phase-1 tables, or validate caller-shared ones."""
     if phase1_tables is None:
-        phase1_tables = [
+        return [
             group_cost_table(g, 2 + residual // u, group_cost_fn)
             for g, u in zip(groups, unit_costs)
         ]
-    else:
-        phase1_tables = list(phase1_tables)
-        for t, u in zip(phase1_tables, unit_costs):
-            if len(t) < 2 + residual // u:
-                raise ModelError(
-                    "shared phase-1 table too short for this residual; "
-                    f"need {2 + residual // u} entries, got {len(t)}"
-                )
+    phase1_tables = list(phase1_tables)
+    for t, u in zip(phase1_tables, unit_costs):
+        if len(t) < 2 + residual // u:
+            raise ModelError(
+                "shared phase-1 table too short for this residual; "
+                f"need {2 + residual // u} entries, got {len(t)}"
+            )
+    return phase1_tables
+
+
+def heterogeneous_closeness_sweep(
+    groups,
+    residuals: Sequence[int],
+    unit_costs: Sequence[int],
+    group_cost_fn: Callable,
+    phase2: Sequence[float],
+    utopias: Sequence[tuple[float, float]],
+    phase1_tables: Sequence[np.ndarray] | None = None,
+) -> list[tuple[int, ...]]:
+    """One-pass Algorithm-3 closeness scan for many budgets at once.
+
+    ``residuals[k]`` and ``utopias[k] = (o1*, o2*)`` describe budget
+    ``k``; the return value is the final price tuple per budget, each
+    **bit-identical** to an individual :func:`heterogeneous_price_scan`
+    with that budget's utopia point.
+
+    Why this is subtle: the DP *state* (the candidate price vectors and
+    their raw objective coordinates ``(O1, O2)``) does not depend on
+    the terminal budget, but the *decision* at each level compares
+    closeness values ``|O1 − O1*| + |O2 − O2*|`` against
+    budget-specific utopia coordinates with a ``1e-15`` strict-
+    improvement margin — so a last-ulp tie can break differently for
+    different budgets.  The sweep therefore walks one shared
+    trajectory, evaluating each candidate's ``(O1, O2)`` **once** per
+    level (the expensive fused table pass) and replaying only the
+    cheap per-budget closeness comparison — in the seed's exact
+    accumulation order, so every float matches.  On the rare level
+    where two live budgets disagree about the winning candidate, the
+    shared walk stops being valid for them and each disagreeing budget
+    forks into a private continuation of the seed loop from the shared
+    prefix.  Agreement is the overwhelmingly common case (in exact
+    arithmetic the argmin is utopia-independent), so the sweep is one
+    pass in practice while staying bit-exact even on adversarial ties.
+    """
+    if len(residuals) != len(utopias):
+        raise ModelError(
+            f"residuals/utopias length mismatch: "
+            f"{len(residuals)} vs {len(utopias)}"
+        )
+    if not residuals:
+        return []
+    n = len(groups)
+    residuals = [int(r) for r in residuals]
+    for r in residuals:
+        if r < 0:
+            raise ModelError(f"residual must be >= 0, got {r}")
+    max_residual = max(residuals)
+    phase1_tables = _check_phase1_tables(
+        groups, max_residual, unit_costs, group_cost_fn, phase1_tables
+    )
     p1 = [t.tolist() for t in phase1_tables]
     ph2 = [float(v) for v in phase2]
     indices = range(n)
+    scan = tuple(zip(range(n), unit_costs))
 
-    def cl_bump(prev: tuple[int, ...], bump: int) -> float:
-        # Closeness of `prev` with group `bump` raised one price step
-        # (bump < 0 evaluates `prev` itself).  Accumulation order
-        # matches the seed's sum()/max() so ties break identically.
+    def objective(prev: tuple[int, ...], bump: int) -> tuple[float, float]:
+        # Raw (O1, O2) of `prev` with group `bump` raised one price
+        # step (bump < 0 evaluates `prev` itself).  Accumulation order
+        # matches the seed's sum()/max() so downstream closeness
+        # values — and therefore tie decisions — are bit-identical.
         o1 = 0.0
         o2 = -np.inf
         for j in indices:
@@ -217,31 +290,98 @@ def heterogeneous_price_scan(
             t = v + ph2[j]
             if t > o2:
                 o2 = t
-        return abs(o1 - utopia_o1) + abs(o2 - utopia_o2)
+        return o1, o2
+
+    def closeness(o1: float, o2: float, k: int) -> float:
+        u1, u2 = utopias[k]
+        return abs(o1 - u1) + abs(o2 - u2)
+
+    def finish(
+        prefix: list[tuple[int, ...]], start_x: int, k: int, value: float
+    ):
+        # Private continuation of the seed loop for budget `k` after a
+        # tie disagreement: identical semantics to running the whole
+        # scan alone, because the shared prefix was decision-identical
+        # and `value` is the incumbent closeness carried from it.
+        prices_at = list(prefix)
+        for x in range(start_x, residuals[k] + 1):
+            best_value = value
+            best_i = -1
+            best_prev = prices_at[x - 1]
+            for i, u in scan:
+                if u > x:
+                    continue
+                prev = prices_at[x - u]
+                o1, o2 = objective(prev, i)
+                candidate = closeness(o1, o2, k)
+                if candidate < best_value - _TIE_EPS:
+                    best_value = candidate
+                    best_i = i
+                    best_prev = prev
+            if best_i >= 0:
+                lst = list(best_prev)
+                lst[best_i] += 1
+                prices_at.append(tuple(lst))
+            else:
+                prices_at.append(best_prev)
+            value = best_value
+        return prices_at[residuals[k]]
 
     base_prices = tuple([1] * n)
-    values: list[float] = [cl_bump(base_prices, -1)]
     prices_at: list[tuple[int, ...]] = [base_prices]
-    scan = tuple(zip(range(n), unit_costs))
+    objs: list[tuple[float, float]] = [objective(base_prices, -1)]
+    live = list(range(len(residuals)))
+    cur_val = {k: closeness(*objs[0], k) for k in live}
+    finals: dict[int, tuple[int, ...]] = {}
 
-    for x in range(1, residual + 1):
-        best_value = values[x - 1]
-        best_i = -1
-        best_prev = prices_at[x - 1]
+    for x in range(1, max_residual + 1):
+        live = [k for k in live if residuals[k] >= x]
+        if not live:
+            break
+        # Evaluate each candidate's raw objective once for all budgets.
+        candidates = []
         for i, u in scan:
             if u > x:
                 continue
             prev = prices_at[x - u]
-            candidate = cl_bump(prev, i)
-            if candidate < best_value - _TIE_EPS:
-                best_value = candidate
-                best_i = i
-                best_prev = prev
+            o1, o2 = objective(prev, i)
+            candidates.append((i, prev, o1, o2))
+        chosen: dict[int, int] = {}
+        chosen_val: dict[int, float] = {}
+        for k in live:
+            best_value = cur_val[k]
+            best_i = -1
+            for i, _prev, o1, o2 in candidates:
+                candidate = closeness(o1, o2, k)
+                if candidate < best_value - _TIE_EPS:
+                    best_value = candidate
+                    best_i = i
+            chosen[k] = best_i
+            chosen_val[k] = best_value
+        agreed = set(chosen.values())
+        if len(agreed) > 1:
+            # Last-ulp tie broke differently across budgets: the
+            # shared trajectory can no longer serve all of them.  Every
+            # still-live budget forks into its own seed-exact
+            # continuation from the (decision-identical) prefix.
+            for k in live:
+                finals[k] = finish(prices_at, x, k, cur_val[k])
+            live = []
+            break
+        best_i = agreed.pop()
         if best_i >= 0:
-            lst = list(best_prev)
+            entry = next(c for c in candidates if c[0] == best_i)
+            lst = list(entry[1])
             lst[best_i] += 1
             prices_at.append(tuple(lst))
+            objs.append((entry[2], entry[3]))
         else:
-            prices_at.append(best_prev)
-        values.append(best_value)
-    return prices_at[residual], phase1_tables
+            prices_at.append(prices_at[x - 1])
+            objs.append(objs[x - 1])
+        for k in live:
+            cur_val[k] = chosen_val[k]
+
+    for k in range(len(residuals)):
+        if k not in finals:
+            finals[k] = prices_at[residuals[k]]
+    return [finals[k] for k in range(len(residuals))]

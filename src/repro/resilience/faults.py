@@ -96,6 +96,18 @@ __all__ = [
 #:   computed (the run still returns it); a firing ``store.corrupt``
 #:   rule deterministically bit-flips one byte of the entry *as it is
 #:   written*, so the next read's checksum verification must catch it.
+#: * ``serve.request`` / ``serve.backend`` — the **service-layer**
+#:   sites, evaluated by :class:`repro.serve.ReproService` against an
+#:   explicitly passed state (same pattern as ``worker.*`` /
+#:   ``store.*``: not reachable from the in-run :func:`site_check`
+#:   hook).  A firing ``serve.request`` rule fails one HTTP request
+#:   before it is handled — the client sees a 500 with a replayable
+#:   :class:`~repro.resilience.document.ErrorDocument` and the service
+#:   keeps serving (occurrence = request index); a firing
+#:   ``serve.backend`` rule kills one dispatched run as it reaches the
+#:   backend — the run record goes ``failed`` with the injected error
+#:   while the service, store and ledger stay consistent, so a
+#:   resubmission recovers (occurrence = dispatch index).
 FAULT_SITES = (
     "run.start",
     "engine.sample",
@@ -108,6 +120,8 @@ FAULT_SITES = (
     "store.read",
     "store.write",
     "store.corrupt",
+    "serve.request",
+    "serve.backend",
 )
 
 

@@ -1,0 +1,113 @@
+"""Pluggable compute backends for the service layer.
+
+The service only ever talks to a backend through one coroutine —
+``execute(spec_doc, config_doc)`` returning a
+:class:`~repro.exec.base.TaskOutcome` — so *where* a submitted run
+executes is swappable without touching any endpoint logic.
+:class:`ExecutorBackend` is the standard implementation: it funnels
+every run through an :class:`~repro.exec.asyncexec.AsyncExecutor`
+(wrapping whatever inner executor the deployment chose — ``"serial"``
+for a single-process service, ``"process"`` for the supervised pool),
+so the event loop never blocks on compute.
+
+The ``serve.backend`` fault site is evaluated here, *before* dispatch,
+against the service's explicitly passed
+:class:`~repro.resilience.faults.FaultState` (the ``worker.*`` /
+``store.*`` pattern): a firing rule kills that one run with a
+replayable :class:`~repro.errors.FaultInjectedError` outcome while the
+loop, the other in-flight runs, and the ledger stay healthy —
+exactly the crash-mid-run recovery scenario the serve tests replay.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import FaultInjectedError
+from ..exec.asyncexec import AsyncExecutor
+from ..exec.base import ExecTask, Executor, TaskOutcome, resolve_executor
+from ..resilience.document import ErrorDocument
+
+__all__ = ["ServiceBackend", "ExecutorBackend"]
+
+
+class ServiceBackend:
+    """Protocol: run one serialized ``(spec, config)`` pair off-loop."""
+
+    async def execute(
+        self, spec_doc: dict, config_doc: dict, fault_state=None
+    ) -> TaskOutcome:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release any pools the backend holds (idempotent)."""
+
+
+class ExecutorBackend(ServiceBackend):
+    """Run submissions on a registered executor via async dispatch.
+
+    Parameters
+    ----------
+    executor:
+        Registered executor name or instance.  An
+        :class:`AsyncExecutor` is used as-is; anything else becomes the
+        *inner* executor of a fresh async dispatcher.
+    workers:
+        Concurrent dispatch width when a dispatcher is created here.
+    retry / timeout:
+        Supervisor-level policies forwarded to every dispatch (the
+        in-run policies still come from each submission's config).
+    """
+
+    def __init__(
+        self,
+        executor="serial",
+        workers: int = 2,
+        retry=None,
+        timeout=None,
+    ) -> None:
+        resolved = (
+            executor
+            if isinstance(executor, Executor)
+            else resolve_executor(executor)
+        )
+        if isinstance(resolved, AsyncExecutor):
+            self._async = resolved
+            self._owns_dispatcher = False
+        else:
+            self._async = AsyncExecutor(inner=resolved, workers=workers)
+            self._owns_dispatcher = True
+        self.retry = retry
+        self.timeout = timeout
+        self._dispatches = 0
+
+    @property
+    def executor_name(self) -> str:
+        inner = self._async.inner
+        return inner if isinstance(inner, str) else inner.name
+
+    async def execute(
+        self, spec_doc: dict, config_doc: dict, fault_state=None
+    ) -> TaskOutcome:
+        index = self._dispatches
+        self._dispatches += 1
+        task = ExecTask(index=index, spec=spec_doc, config=config_doc)
+        if fault_state is not None:
+            fired = fault_state.fires("serve.backend")
+            if fired is not None:
+                occurrence, _rule = fired
+                error = ErrorDocument.capture(
+                    FaultInjectedError(
+                        "serve.backend",
+                        occurrence=occurrence,
+                        detail="backend killed before dispatch",
+                    )
+                ).to_dict()
+                return TaskOutcome(index=index, status="failed", error=error)
+        return await self._async.execute_async(
+            task, retry=self.retry, timeout=self.timeout
+        )
+
+    def close(self) -> None:
+        if self._owns_dispatcher:
+            self._async.close()

@@ -1,0 +1,153 @@
+"""``"async"`` executor: asyncio dispatch certified executor-invariant.
+
+Tier-1 runs everything with a serial inner executor (no subprocesses);
+the process-inner variant is gated behind ``REPRO_EXEC_TESTS=1`` like
+the rest of the pool suite.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api import RunConfig, Session
+from repro.errors import ModelError, RegistryError
+from repro.exec import (
+    AsyncExecutor,
+    ExecTask,
+    available_executors,
+    get_executor,
+)
+
+from exec_tiny import requires_process_pool, tiny_specs
+
+
+def _tiny_tasks(config=None):
+    config_doc = (config or RunConfig()).to_dict()
+    return [
+        ExecTask(index=i, spec=spec.to_dict(), config=config_doc)
+        for i, spec in enumerate(tiny_specs())
+    ]
+
+
+@pytest.fixture()
+def async_serial():
+    executor = AsyncExecutor(inner="serial", workers=2)
+    yield executor
+    executor.close()
+
+
+class TestRegistration:
+    def test_async_is_registered(self):
+        assert "async" in available_executors()
+        assert get_executor("async").name == "async"
+
+    def test_typo_suggests_async(self):
+        with pytest.raises(RegistryError, match="did you mean 'async'"):
+            get_executor("asinc")
+
+    def test_default_inner_is_the_supervised_pool(self):
+        assert get_executor("async").inner == "process"
+
+    def test_workers_validated(self):
+        with pytest.raises(ModelError, match="workers"):
+            AsyncExecutor(workers=0)
+
+    def test_executor_never_serializes(self):
+        # Same orchestration-is-not-identity rule as serial/process:
+        # an async run must share fingerprints and golden documents.
+        doc = RunConfig(executor="async").to_dict()
+        assert "executor" not in doc
+        assert doc == RunConfig().to_dict()
+        assert (
+            RunConfig(executor="async").fingerprint()
+            == RunConfig().fingerprint()
+        )
+
+
+class TestAsyncDispatch:
+    def test_outcomes_byte_identical_to_serial(self, async_serial):
+        tasks = _tiny_tasks()
+        wired = async_serial.run_tasks(tasks)
+        serial = get_executor("serial").run_tasks(tasks)
+        assert {o.index for o in wired} == {o.index for o in serial}
+        by_index = {o.index: o for o in wired}
+        for ref in serial:
+            got = by_index[ref.index]
+            assert got.status == ref.status
+            assert json.dumps(got.result, sort_keys=True) == json.dumps(
+                ref.result, sort_keys=True
+            )
+
+    def test_on_complete_fires_per_task(self, async_serial):
+        seen = []
+        async_serial.run_tasks(
+            _tiny_tasks(), on_complete=lambda task, outcome: seen.append(task.index)
+        )
+        assert sorted(seen) == [0, 1, 2]
+
+    def test_failed_outcome_surfaces_not_raises(self, async_serial):
+        bad = ExecTask(
+            index=0,
+            spec={"experiment": "fig2", "params": {"n_tasks": -3}},
+            config=RunConfig().to_dict(),
+        )
+        (outcome,) = async_serial.run_tasks([bad])
+        assert outcome.status == "failed"
+        assert outcome.error["code"]
+
+    def test_fail_fast_stops_after_failure(self):
+        executor = AsyncExecutor(inner="serial", workers=1)
+        bad = ExecTask(
+            index=0,
+            spec={"experiment": "fig2", "params": {"n_tasks": -3}},
+            config=RunConfig().to_dict(),
+        )
+        tasks = [bad] + _tiny_tasks()[1:]
+        outcomes = executor.run_tasks(tasks, fail_fast=True)
+        executor.close()
+        assert outcomes[0].status == "failed"
+        assert len(outcomes) < len(tasks)
+
+    def test_sync_entry_rejected_inside_event_loop(self, async_serial):
+        async def call_blocking():
+            async_serial.run_tasks(_tiny_tasks())
+
+        with pytest.raises(ModelError, match="run_tasks_async"):
+            asyncio.run(call_blocking())
+
+    def test_async_entry_from_a_loop(self, async_serial):
+        async def drive():
+            return await async_serial.run_tasks_async(_tiny_tasks())
+
+        outcomes = asyncio.run(drive())
+        assert sorted(o.index for o in outcomes) == [0, 1, 2]
+        assert all(o.status == "succeeded" for o in outcomes)
+
+
+class TestSessionIntegration:
+    def test_run_many_report_byte_identical_to_serial(self):
+        executor = AsyncExecutor(inner="serial", workers=2)
+        config = RunConfig(seed=11)
+        wired = Session(config).run_many(tiny_specs(), executor=executor)
+        inline = Session(config).run_many(tiny_specs(), executor="serial")
+        executor.close()
+        assert wired.ok and inline.ok
+        assert json.dumps(wired.to_dict(), sort_keys=True) == json.dumps(
+            inline.to_dict(), sort_keys=True
+        )
+
+
+@requires_process_pool
+class TestProcessInner:
+    def test_process_inner_matches_serial(self):
+        executor = AsyncExecutor(inner="process", workers=2)
+        tasks = _tiny_tasks()
+        wired = executor.run_tasks(tasks)
+        executor.close()
+        serial = get_executor("serial").run_tasks(tasks)
+        ref = {o.index: json.dumps(o.result, sort_keys=True) for o in serial}
+        got = {o.index: json.dumps(o.result, sort_keys=True) for o in wired}
+        assert got == ref

@@ -137,3 +137,97 @@ class TestHeterogeneousScan:
             ref = reference_heterogeneous_prices(problem)
             result = heterogeneous_algorithm(problem, return_details=True)
             assert result.group_prices == ref
+
+
+class TestClosenessSweep:
+    """The one-pass HA sweep must be bit-identical per budget (PR 2
+    follow-up): the shared trajectory evaluates candidate objectives
+    once, but every tie decision replays the seed's float expression
+    against each budget's own utopia point."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sweep_matches_seed_oracle_per_budget(self, seed):
+        from repro.core.heterogeneous import heterogeneous_algorithm_sweep
+        from repro.workloads import ProblemFamily
+
+        rng = np.random.default_rng(500 + seed)
+        for _ in range(3):
+            problem = random_problem(rng, hetero=True)
+            family = ProblemFamily(problem.tasks)
+            start = family.min_feasible_budget
+            budgets = sorted(
+                {start + int(b) for b in rng.integers(0, 120, size=5)}
+            )
+            sweep = heterogeneous_algorithm_sweep(family, budgets)
+            for b in budgets:
+                member = family.problem_at(b)
+                ref = reference_heterogeneous_prices(member)
+                result = heterogeneous_algorithm(member, return_details=True)
+                assert result.group_prices == ref
+                assert sweep[b] == result.allocation
+
+    def test_adversarial_utopias_fork_to_single_scan_results(
+        self, linear_pricing
+    ):
+        # Inflated utopia coordinates flip the closeness ordering (all
+        # feasible points sit below them, so "closer" means *larger*
+        # objective), guaranteeing cross-budget disagreement at the
+        # first level — the fork path must still reproduce each
+        # budget's private scan exactly.
+        from repro.core.latency import group_processing_latency
+        from repro.perf.dp import (
+            heterogeneous_closeness_sweep,
+            heterogeneous_price_scan,
+        )
+
+        tasks = [
+            TaskSpec(i, 1 + i % 3, linear_pricing, 2.0, type_name=f"t{i % 3}")
+            for i in range(6)
+        ]
+        problem = HTuningProblem(tasks, 200)
+        groups = problem.groups()
+        unit_costs = tuple(g.unit_cost for g in groups)
+        phase2 = tuple(group_processing_latency(g) for g in groups)
+        residuals = [11, 25, 40]
+        utopias = [(0.0, 0.0), (1e6, 1e6), (3.0, 7.0)]
+        finals = heterogeneous_closeness_sweep(
+            groups,
+            residuals,
+            unit_costs,
+            group_onhold_latency,
+            phase2,
+            utopias,
+        )
+        for k, (r, (u1, u2)) in enumerate(zip(residuals, utopias)):
+            single, _ = heterogeneous_price_scan(
+                groups, r, unit_costs, group_onhold_latency, phase2, u1, u2
+            )
+            assert finals[k] == single
+
+    def test_validation(self, linear_pricing):
+        from repro.core.latency import group_processing_latency
+        from repro.perf.dp import heterogeneous_closeness_sweep
+
+        tasks = [TaskSpec(0, 2, linear_pricing, 2.0)]
+        groups = HTuningProblem(tasks, 20).groups()
+        phase2 = tuple(group_processing_latency(g) for g in groups)
+        unit_costs = tuple(g.unit_cost for g in groups)
+        with pytest.raises(ModelError):
+            heterogeneous_closeness_sweep(
+                groups, [3], unit_costs, group_onhold_latency, phase2, []
+            )
+        with pytest.raises(ModelError):
+            heterogeneous_closeness_sweep(
+                groups,
+                [-1],
+                unit_costs,
+                group_onhold_latency,
+                phase2,
+                [(0.0, 0.0)],
+            )
+        assert (
+            heterogeneous_closeness_sweep(
+                groups, [], unit_costs, group_onhold_latency, phase2, []
+            )
+            == []
+        )

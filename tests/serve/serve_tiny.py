@@ -1,0 +1,63 @@
+"""Tiny specs + in-process helpers for the serve suite.
+
+The serve tests exercise the service two ways: **in-process** (call
+``ReproService.handle`` directly inside one event loop — fast, no
+sockets, used for endpoint contracts) and **over the wire**
+(``start_in_thread`` + ``http_request`` — the real asyncio-streams
+path, used for the load-generator and process-executor tests).
+Process-spawning variants share the executor suite's
+``REPRO_EXEC_TESTS=1`` gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import pytest
+
+#: One tier-1-cheap submission (also first in the loadgen spec pool,
+#: so schedules and endpoint tests hit the same content address).
+TINY_SPEC = {
+    "experiment": "budget-sweep",
+    "params": {
+        "family": "repe",
+        "case": "a",
+        "n_tasks": 4,
+        "budgets": [600, 900],
+        "strategies": ["ra"],
+        "scoring": "numeric",
+    },
+}
+
+#: Marker gating tests that spawn a real worker pool (same gate as
+#: tests/exec — the parallel-executor CI job flips it).
+requires_process_pool = pytest.mark.skipif(
+    os.environ.get("REPRO_EXEC_TESTS") != "1",
+    reason="process-pool tests run in the parallel-executor / "
+    "service-layer CI jobs (set REPRO_EXEC_TESTS=1 to enable)",
+)
+
+
+async def call(service, method: str, path: str, doc=None):
+    """One in-process request; mirrors the wire's (status, body) shape."""
+    body = b"" if doc is None else json.dumps(doc).encode("utf-8")
+    return await service.handle(method, path, body)
+
+
+async def submit_and_wait(service, spec, config=None, timeout: float = 60.0):
+    """POST /runs then poll until the run settles; returns (run_id, doc)."""
+    payload = {"spec": spec}
+    if config is not None:
+        payload["config"] = config
+    status, doc = await call(service, "POST", "/runs", payload)
+    assert status in (200, 202), doc
+    run_id = doc["run_id"]
+    deadline = asyncio.get_running_loop().time() + timeout
+    while doc["status"] in ("queued", "running"):
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError(f"run {run_id} never settled: {doc}")
+        await asyncio.sleep(0.01)
+        _, doc = await call(service, "GET", f"/runs/{run_id}")
+    return run_id, doc

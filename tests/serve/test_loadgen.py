@@ -1,0 +1,179 @@
+"""The seeded load generator: schedules, replay, and determinism.
+
+The contract under test is the hard line drawn in
+:mod:`repro.serve.loadgen`: the schedule is a pure function of its
+seed, and replaying a schedule in order (``concurrency=1``) drives the
+market ledger through a trajectory that is *also* a pure function of
+the seed — asserted via the state document's ``trajectory_digest``
+across two fresh service instances.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from serve_tiny import TINY_SPEC, requires_process_pool
+
+from repro.errors import ModelError
+from repro.serve import (
+    DEFAULT_MIX,
+    ReproService,
+    build_schedule,
+    run_load,
+    start_in_thread,
+)
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        a = build_schedule(seed=42, n_requests=50)
+        b = build_schedule(seed=42, n_requests=50)
+        assert a == b
+
+    def test_different_seed_different_schedule(self):
+        a = build_schedule(seed=42, n_requests=50)
+        b = build_schedule(seed=43, n_requests=50)
+        assert a != b
+
+    def test_offsets_increase_and_kinds_are_known(self):
+        schedule = build_schedule(seed=7, n_requests=40)
+        offsets = [r.offset for r in schedule]
+        assert offsets == sorted(offsets)
+        assert all(r.offset > 0 for r in schedule)
+        kinds = {r.kind for r in schedule}
+        assert kinds <= set(DEFAULT_MIX)
+
+    def test_reads_are_promoted_until_first_submit(self):
+        # A read-only mix still produces valid traffic: the first
+        # poll/result draw becomes a submit so targets exist.
+        schedule = build_schedule(
+            seed=0, n_requests=10, mix={"poll": 1.0}
+        )
+        assert schedule[0].kind == "submit"
+        for request in schedule[1:]:
+            assert request.kind == "poll"
+            assert request.target_submit == 0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            build_schedule(seed=0, n_requests=0)
+        with pytest.raises(ModelError):
+            build_schedule(seed=0, n_requests=5, mix={"submit": -1.0})
+        with pytest.raises(ModelError):
+            build_schedule(seed=0, n_requests=5, mix={"submit": 0.0})
+
+
+def _replay(schedule, *, market_budget=4_000, concurrency=1):
+    """One fresh service + one replay; returns the LoadReport."""
+    service = ReproService(market_budget=market_budget)
+    with start_in_thread(service) as handle:
+        report = asyncio.run(
+            run_load(
+                handle.host,
+                handle.port,
+                schedule,
+                concurrency=concurrency,
+                poll_until_done=True,
+            )
+        )
+    return report
+
+
+class TestReplayDeterminism:
+    def test_ledger_trajectory_is_a_function_of_the_seed(self):
+        schedule = build_schedule(seed=42, n_requests=30)
+        first = _replay(schedule)
+        second = _replay(schedule)
+        assert first.ok, first.failures
+        assert second.ok, second.failures
+        assert first.market_state == second.market_state
+        assert (
+            first.market_state["trajectory_digest"]
+            == second.market_state["trajectory_digest"]
+        )
+
+    def test_different_seed_diverges(self):
+        a = _replay(build_schedule(seed=42, n_requests=30))
+        b = _replay(build_schedule(seed=43, n_requests=30))
+        assert (
+            a.market_state["trajectory_digest"]
+            != b.market_state["trajectory_digest"]
+        )
+
+    def test_report_accounts_for_every_request(self):
+        schedule = build_schedule(seed=11, n_requests=25)
+        report = _replay(schedule, concurrency=4)
+        assert report.requests == len(schedule)
+        assert sum(report.counts.values()) == len(schedule)
+        assert sum(report.status_counts.values()) == len(schedule)
+        assert report.requests_per_sec > 0
+        pcts = report.percentiles()
+        assert 0 < pcts["p50_ms"] <= pcts["p95_ms"] <= pcts["p99_ms"]
+        doc = report.to_dict()
+        assert doc["requests"] == len(schedule)
+        assert doc["health"]["status"] == "ok"
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            asyncio.run(
+                run_load("127.0.0.1", 1, build_schedule(0, 2), concurrency=0)
+            )
+
+
+class TestProcessBackend:
+    @requires_process_pool
+    def test_load_against_process_executor_service(self):
+        import json
+
+        service = ReproService(executor="process", workers=2)
+        with start_in_thread(service) as handle:
+            async def check():
+                from repro.serve import http_request
+
+                status, doc = await http_request(
+                    handle.host, handle.port, "POST", "/runs",
+                    {"spec": TINY_SPEC},
+                )
+                assert status in (200, 202)
+                run_id = doc["run_id"]
+                while doc["status"] in ("queued", "running"):
+                    await asyncio.sleep(0.02)
+                    _, doc = await http_request(
+                        handle.host, handle.port, "GET", f"/runs/{run_id}"
+                    )
+                assert doc["status"] == "succeeded"
+                _, result = await http_request(
+                    handle.host, handle.port, "GET", f"/runs/{run_id}/result"
+                )
+                return result
+
+            process_doc = asyncio.run(check())
+
+        serial = ReproService()
+        with start_in_thread(serial) as handle:
+            async def check_serial():
+                from repro.serve import http_request
+
+                _, doc = await http_request(
+                    handle.host, handle.port, "POST", "/runs",
+                    {"spec": TINY_SPEC},
+                )
+                run_id = doc["run_id"]
+                while doc["status"] in ("queued", "running"):
+                    await asyncio.sleep(0.02)
+                    _, doc = await http_request(
+                        handle.host, handle.port, "GET", f"/runs/{run_id}"
+                    )
+                _, result = await http_request(
+                    handle.host, handle.port, "GET", f"/runs/{run_id}/result"
+                )
+                return result
+
+            serial_doc = asyncio.run(check_serial())
+
+        # Same content address, byte-identical document: the executor
+        # is orchestration, not identity.
+        assert json.dumps(process_doc, sort_keys=True) == json.dumps(
+            serial_doc, sort_keys=True
+        )
